@@ -1,0 +1,82 @@
+// Ablation (DESIGN.md): conflict-handling strategies.
+//
+// 1. Serialization offsets — the paper's Alg. 13 (iterative scatter +
+//    gather-back) vs. the vpconflictd+vpopcntd instructions the paper
+//    anticipates as "AVX 3" (§5.1 / §7.3) vs. the scalar reference,
+//    measured over a stream of partition ids at several fanouts (lower
+//    fanout = more intra-vector conflicts = more Alg. 13 iterations).
+// 2. Hash-table build conflict detection — scattering unique lane ids vs.
+//    the §5.1 unique-keys shortcut of scattering the keys themselves.
+
+#include "bench/bench_common.h"
+#include "core/fundamental.h"
+#include "hash/linear_probing.h"
+
+namespace simddb::bench {
+namespace {
+
+constexpr size_t kTuples = size_t{1} << 21;
+
+enum SerVariant { kScalarRef, kIterative, kVpconflict };
+
+void BM_SerializeConflicts(benchmark::State& state) {
+  const auto variant = static_cast<SerVariant>(state.range(0));
+  const auto fanout = static_cast<uint32_t>(state.range(1));
+  if (variant != kScalarRef && !RequireIsa(state, Isa::kAvx512)) return;
+  AlignedBuffer<uint32_t> ids(kTuples + 16);
+  FillUniform(ids.data(), kTuples, 1, 0, fanout - 1);
+  AlignedBuffer<uint32_t> out(kTuples + 16);
+  AlignedBuffer<uint32_t> scratch(fanout + 16);
+  for (auto _ : state) {
+    for (size_t i = 0; i + 16 <= kTuples; i += 16) {
+      switch (variant) {
+        case kScalarRef:
+          fundamental::SerializeConflicts16(Isa::kScalar, out.data() + i,
+                                            ids.data() + i);
+          break;
+        case kIterative:
+          fundamental::SerializeConflictsIterative16(
+              Isa::kAvx512, out.data() + i, ids.data() + i, scratch.data());
+          break;
+        case kVpconflict:
+          fundamental::SerializeConflicts16(Isa::kAvx512, out.data() + i,
+                                            ids.data() + i);
+          break;
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetTuplesPerSecond(state, static_cast<double>(kTuples));
+  static const char* kNames[] = {"scalar", "alg13_scatter_gather",
+                                 "vpconflictd"};
+  state.SetLabel(kNames[variant]);
+}
+
+BENCHMARK(BM_SerializeConflicts)
+    ->ArgsProduct({{kScalarRef, kIterative, kVpconflict}, {2, 16, 256, 4096}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BuildConflictMode(benchmark::State& state) {
+  const bool unique_shortcut = state.range(0) != 0;
+  if (!RequireIsa(state, Isa::kAvx512)) return;
+  const size_t n = size_t{1} << 16;
+  AlignedBuffer<uint32_t> keys(n + 16), pays(n + 16);
+  FillUniqueShuffled(keys.data(), n, 1);
+  FillSequential(pays.data(), n, 0);
+  LinearProbingTable table(n * 2);
+  for (auto _ : state) {
+    table.Clear();
+    table.BuildAvx512(keys.data(), pays.data(), n, unique_shortcut);
+    benchmark::DoNotOptimize(table.bucket_keys());
+  }
+  SetTuplesPerSecond(state, static_cast<double>(n));
+  state.SetLabel(unique_shortcut ? "scatter_keys_directly"
+                                 : "scatter_lane_ids");
+}
+
+BENCHMARK(BM_BuildConflictMode)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace simddb::bench
+
+BENCHMARK_MAIN();

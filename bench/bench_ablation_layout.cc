@@ -1,0 +1,74 @@
+// Ablation (DESIGN.md / App. E): bucket layout for vertical hash-table
+// access. The paper packs keys and payloads into interleaved 64-bit pairs
+// and fetches both with two 8-way 64-bit gathers, halving the number of
+// cache accesses vs. fetching keys and payloads from split (SoA) arrays
+// with two 16-way 32-bit gathers. This binary measures exactly that pair
+// of access patterns at L1/L2/RAM-resident table sizes.
+//
+// (Compiled with the AVX-512 flags; skipped at runtime if unsupported.)
+
+#include "bench/bench_common.h"
+#include "core/avx512_ops.h"
+
+namespace simddb::bench {
+namespace {
+
+namespace v = simddb::avx512;
+
+constexpr size_t kAccesses = size_t{1} << 22;
+
+enum Mode { kSplit32, kInterleaved64, kEmulated };
+
+void BM_GatherLayout(benchmark::State& state) {
+  const auto mode = static_cast<Mode>(state.range(0));
+  const size_t table_bytes = static_cast<size_t>(state.range(1)) * 1024;
+  if (!RequireIsa(state, Isa::kAvx512)) return;
+  const size_t buckets = table_bytes / 8;
+  AlignedBuffer<uint64_t> pairs(buckets);
+  AlignedBuffer<uint32_t> keys(buckets), pays(buckets);
+  for (size_t i = 0; i < buckets; ++i) {
+    keys[i] = static_cast<uint32_t>(i * 7);
+    pays[i] = static_cast<uint32_t>(i * 13);
+    pairs[i] = (static_cast<uint64_t>(pays[i]) << 32) | keys[i];
+  }
+  AlignedBuffer<uint32_t> idx(kAccesses + 16);
+  FillUniform(idx.data(), kAccesses, 3, 0,
+              static_cast<uint32_t>(buckets - 1));
+  __m512i acc = _mm512_setzero_si512();
+  for (auto _ : state) {
+    for (size_t i = 0; i + 16 <= kAccesses; i += 16) {
+      __m512i h = _mm512_load_si512(idx.data() + i);
+      __m512i k, p;
+      switch (mode) {
+        case kInterleaved64:
+          v::GatherPairs(pairs.data(), h, &k, &p);
+          break;
+        case kSplit32:
+          k = v::Gather(keys.data(), h);
+          p = v::Gather(pays.data(), h);
+          break;
+        case kEmulated:  // App. B software gather
+          k = v::GatherEmulated(keys.data(), h);
+          p = v::GatherEmulated(pays.data(), h);
+          break;
+      }
+      acc = _mm512_add_epi32(acc, _mm512_xor_si512(k, p));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  SetTuplesPerSecond(state, static_cast<double>(kAccesses));
+  static const char* kNames[] = {"split_32bit_gathers",
+                                 "interleaved_64bit_gathers",
+                                 "emulated_gathers_appB"};
+  state.SetLabel(kNames[mode]);
+}
+
+BENCHMARK(BM_GatherLayout)
+    ->ArgsProduct({{kSplit32, kInterleaved64, kEmulated},
+                   {16, 256, 16384, 131072}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace simddb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+#ifndef SIMDDB_BENCH_BENCH_COMMON_H_
+#define SIMDDB_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the per-figure benchmark binaries. Each binary
+// regenerates one table or figure of the paper's §10; rows/series are
+// encoded as google-benchmark cases with throughput counters in billion
+// tuples per second ("Gtps"), the unit the paper's figures use.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "core/isa.h"
+#include "util/aligned_buffer.h"
+#include "util/data_gen.h"
+
+namespace simddb::bench {
+
+/// Sets the standard throughput counter (billion tuples per second).
+inline void SetTuplesPerSecond(benchmark::State& state, double tuples_per_iter) {
+  state.counters["Gtps"] = benchmark::Counter(
+      tuples_per_iter * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// A lazily-built, cached uniform (key, payload) column pair, shared across
+/// benchmark cases of one binary so data generation isn't repeated.
+struct KeyPayColumns {
+  AlignedBuffer<uint32_t> keys;
+  AlignedBuffer<uint32_t> pays;
+
+  static const KeyPayColumns& Get(size_t n, uint32_t key_min,
+                                  uint32_t key_max, uint64_t seed) {
+    static std::map<std::tuple<size_t, uint32_t, uint32_t, uint64_t>,
+                    std::unique_ptr<KeyPayColumns>>* cache =
+        new std::map<std::tuple<size_t, uint32_t, uint32_t, uint64_t>,
+                     std::unique_ptr<KeyPayColumns>>();
+    auto key = std::make_tuple(n, key_min, key_max, seed);
+    auto it = cache->find(key);
+    if (it == cache->end()) {
+      auto cols = std::make_unique<KeyPayColumns>();
+      cols->keys.Reset(n + 16);
+      cols->pays.Reset(n + 16);
+      FillUniform(cols->keys.data(), n, seed, key_min, key_max);
+      FillSequential(cols->pays.data(), n, 0);
+      it = cache->emplace(key, std::move(cols)).first;
+    }
+    return *it->second;
+  }
+};
+
+/// Skips the benchmark case when the required ISA is unavailable.
+inline bool RequireIsa(benchmark::State& state, Isa isa) {
+  if (!IsaSupported(isa)) {
+    state.SkipWithError("ISA not supported on this host");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace simddb::bench
+
+#endif  // SIMDDB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,48 @@
+// Extension benchmark (beyond the paper's figures): hash group-by
+// aggregation throughput, scalar vs. vertically vectorized, across group
+// cardinalities (L1-resident groups to cache-straining) — the paper's §5
+// second hash-table use, in the spirit of [25].
+
+#include "agg/group_by.h"
+#include "bench/bench_common.h"
+
+namespace simddb::bench {
+namespace {
+
+constexpr size_t kTuples = size_t{1} << 22;
+
+void BM_GroupBy(benchmark::State& state) {
+  const auto isa = static_cast<Isa>(state.range(0));
+  const size_t n_groups = static_cast<size_t>(state.range(1));
+  if (!RequireIsa(state, isa)) return;
+  static auto* cache =
+      new std::map<size_t, std::unique_ptr<AlignedBuffer<uint32_t>>>();
+  auto it = cache->find(n_groups);
+  if (it == cache->end()) {
+    auto keys = std::make_unique<AlignedBuffer<uint32_t>>(kTuples + 16);
+    FillWithRepeats(keys->data(), kTuples, n_groups, 1);
+    it = cache->emplace(n_groups, std::move(keys)).first;
+  }
+  const uint32_t* keys = it->second->data();
+  const auto& vals = KeyPayColumns::Get(kTuples, 0, 1'000'000, 2);
+  GroupByAggregator agg(n_groups + 16);
+  for (auto _ : state) {
+    agg.Clear();
+    agg.Accumulate(isa, keys, vals.keys.data(), kTuples);
+    benchmark::DoNotOptimize(agg.num_groups());
+  }
+  SetTuplesPerSecond(state, static_cast<double>(kTuples));
+  state.counters["groups"] = static_cast<double>(agg.num_groups());
+  state.SetLabel(IsaName(isa));
+}
+
+BENCHMARK(BM_GroupBy)
+    ->ArgsProduct({{static_cast<int>(Isa::kScalar),
+                    static_cast<int>(Isa::kAvx512)},
+                   {16, 256, 4096, 65536, 1 << 20}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace simddb::bench
+
+BENCHMARK_MAIN();

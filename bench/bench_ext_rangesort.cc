@@ -1,0 +1,56 @@
+// Extension benchmark: LSB radixsort vs. range-partitioned comparison sort
+// — §8's premise that "radixsort and comparison sorting based on range
+// partitioning have comparable performance" [26], here at several range
+// fanouts, scalar vs. vector.
+
+#include <cstring>
+
+#include "bench/bench_common.h"
+#include "sort/radix_sort.h"
+#include "sort/range_sort.h"
+
+namespace simddb::bench {
+namespace {
+
+constexpr size_t kTuples = size_t{1} << 22;
+
+void BM_RadixVsRangeSort(benchmark::State& state) {
+  const bool vec = state.range(0) != 0;
+  const uint32_t fanout = static_cast<uint32_t>(state.range(1));
+  if (vec && !RequireIsa(state, Isa::kAvx512)) return;
+  const auto& cols = KeyPayColumns::Get(kTuples, 0, 0xFFFFFFFFu, 1);
+  AlignedBuffer<uint32_t> keys(kTuples + 16), pays(kTuples + 16);
+  AlignedBuffer<uint32_t> sk(kTuples + 16), sp(kTuples + 16);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::memcpy(keys.data(), cols.keys.data(), kTuples * sizeof(uint32_t));
+    std::memcpy(pays.data(), cols.pays.data(), kTuples * sizeof(uint32_t));
+    state.ResumeTiming();
+    if (fanout == 0) {
+      RadixSortConfig cfg;
+      cfg.isa = vec ? Isa::kAvx512 : Isa::kScalar;
+      RadixSortPairs(keys.data(), pays.data(), sk.data(), sp.data(), kTuples,
+                     cfg);
+    } else {
+      RangeSortConfig cfg;
+      cfg.isa = vec ? Isa::kAvx512 : Isa::kScalar;
+      cfg.fanout = fanout;
+      RangeSortPairs(keys.data(), pays.data(), sk.data(), sp.data(), kTuples,
+                     cfg);
+    }
+    benchmark::DoNotOptimize(keys.data());
+  }
+  SetTuplesPerSecond(state, static_cast<double>(kTuples));
+  state.SetLabel(std::string(vec ? "vector" : "scalar") + "_" +
+                 (fanout == 0 ? std::string("radixsort")
+                              : "rangesort_f" + std::to_string(fanout)));
+}
+
+BENCHMARK(BM_RadixVsRangeSort)
+    ->ArgsProduct({{0, 1}, {0 /*radix*/, 17, 289, 4913}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace simddb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Fig. 12: range partition function throughput vs. fanout — scalar
+// branching / branchless binary search, vectorized binary search (Alg. 12),
+// and the horizontal SIMD range-index tree [26] at its natural fanouts
+// (9^d with 256-bit nodes, 17^d with 512-bit nodes).
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "partition/range.h"
+
+namespace simddb::bench {
+namespace {
+
+constexpr size_t kTuples = size_t{1} << 22;
+
+enum Variant {
+  kScalarBranching,
+  kScalarBranchless,
+  kVectorBinarySearch,
+  kVectorBinarySearchAvx2,
+  kTreeIndex8,   // 256-bit nodes, fanout 9^levels
+  kTreeIndex16,  // 512-bit nodes, fanout 17^levels
+};
+
+void BM_RangeFunction(benchmark::State& state) {
+  const auto variant = static_cast<Variant>(state.range(0));
+  const auto fanout = static_cast<uint32_t>(state.range(1));
+  if ((variant == kVectorBinarySearch || variant == kTreeIndex16) &&
+      !RequireIsa(state, Isa::kAvx512)) {
+    return;
+  }
+  if ((variant == kVectorBinarySearchAvx2 || variant == kTreeIndex8) &&
+      !RequireIsa(state, Isa::kAvx2)) {
+    return;
+  }
+  const auto& cols = KeyPayColumns::Get(kTuples, 0, 0xFFFFFFFFu, 1);
+  auto splitters = MakeSplitters(fanout, 0xFFFFFFF0u);
+  RangeFunction fn(splitters);
+  std::unique_ptr<RangeIndex> index;
+  if (variant == kTreeIndex8) index = std::make_unique<RangeIndex>(splitters, 8);
+  if (variant == kTreeIndex16) {
+    index = std::make_unique<RangeIndex>(splitters, 16);
+    if (!IsaSupported(Isa::kAvx512)) {
+      state.SkipWithError("avx512 required");
+      return;
+    }
+  }
+  AlignedBuffer<uint32_t> out(kTuples + 16);
+  for (auto _ : state) {
+    switch (variant) {
+      case kScalarBranching:
+        fn.ScalarBranching(cols.keys.data(), kTuples, out.data());
+        break;
+      case kScalarBranchless:
+        fn.ScalarBranchless(cols.keys.data(), kTuples, out.data());
+        break;
+      case kVectorBinarySearch:
+        fn.VectorAvx512(cols.keys.data(), kTuples, out.data());
+        break;
+      case kVectorBinarySearchAvx2:
+        fn.VectorAvx2(cols.keys.data(), kTuples, out.data());
+        break;
+      case kTreeIndex8:
+      case kTreeIndex16:
+        index->LookupAvx512(cols.keys.data(), kTuples, out.data());
+        break;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetTuplesPerSecond(state, static_cast<double>(kTuples));
+  static const char* kNames[] = {"scalar_branching", "scalar_branchless",
+                                 "vector_binsearch", "vector_binsearch_avx2",
+                                 "tree_index_9ary",  "tree_index_17ary"};
+  state.SetLabel(kNames[variant]);
+}
+
+// Generic fanouts for the search variants; the tree indexes run at their
+// natural fanouts (the paper's 9, 9^2, 9^3, 9^4 and 17, 17^2, 17^3).
+BENCHMARK(BM_RangeFunction)
+    ->ArgsProduct({{kScalarBranching, kScalarBranchless, kVectorBinarySearch,
+                    kVectorBinarySearchAvx2},
+                   {8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}});
+BENCHMARK(BM_RangeFunction)
+    ->ArgsProduct({{kTreeIndex8}, {9, 81, 729, 6561}});
+BENCHMARK(BM_RangeFunction)
+    ->ArgsProduct({{kTreeIndex16}, {17, 289, 4913}});
+
+}  // namespace
+}  // namespace simddb::bench
+
+BENCHMARK_MAIN();

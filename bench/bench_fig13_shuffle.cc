@@ -1,0 +1,89 @@
+// Fig. 13: out-of-cache radix shuffling throughput vs. fanout (2^3..2^13):
+// scalar unbuffered, scalar buffered, vector unbuffered (Alg. 14), vector
+// buffered (Alg. 15), and the unstable hash-partitioning variant.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "partition/histogram.h"
+#include "partition/shuffle.h"
+
+namespace simddb::bench {
+namespace {
+
+constexpr size_t kTuples = size_t{1} << 23;  // 64 MB of key+payload
+
+enum Variant {
+  kScalarUnbuffered,
+  kScalarBuffered,
+  kVectorUnbuffered,
+  kVectorBuffered,
+  kVectorBufferedHashUnstable,
+};
+
+void BM_Shuffle(benchmark::State& state) {
+  const auto variant = static_cast<Variant>(state.range(0));
+  const auto bits = static_cast<uint32_t>(state.range(1));
+  if (variant >= kVectorUnbuffered && !RequireIsa(state, Isa::kAvx512)) {
+    return;
+  }
+  const auto& cols = KeyPayColumns::Get(kTuples, 0, 0xFFFFFFFFu, 1);
+  PartitionFn fn = variant == kVectorBufferedHashUnstable
+                       ? PartitionFn::Hash(1u << bits)
+                       : PartitionFn::Radix(bits, 32 - bits);
+  std::vector<uint32_t> hist(fn.fanout), offsets(fn.fanout);
+  HistogramScalar(fn, cols.keys.data(), kTuples, hist.data());
+  AlignedBuffer<uint32_t> out_k(kTuples + 16), out_p(kTuples + 16);
+  ShuffleBuffers bufs;
+  for (auto _ : state) {
+    uint32_t sum = 0;
+    for (uint32_t p = 0; p < fn.fanout; ++p) {
+      offsets[p] = sum;
+      sum += hist[p];
+    }
+    switch (variant) {
+      case kScalarUnbuffered:
+        ShuffleScalarUnbuffered(fn, cols.keys.data(), cols.pays.data(),
+                                kTuples, offsets.data(), out_k.data(),
+                                out_p.data());
+        break;
+      case kScalarBuffered:
+        ShuffleScalarBuffered(fn, cols.keys.data(), cols.pays.data(),
+                              kTuples, offsets.data(), out_k.data(),
+                              out_p.data(), &bufs);
+        break;
+      case kVectorUnbuffered:
+        ShuffleVectorUnbufferedAvx512(fn, cols.keys.data(), cols.pays.data(),
+                                      kTuples, offsets.data(), out_k.data(),
+                                      out_p.data());
+        break;
+      case kVectorBuffered:
+        ShuffleVectorBufferedAvx512(fn, cols.keys.data(), cols.pays.data(),
+                                    kTuples, offsets.data(), out_k.data(),
+                                    out_p.data(), &bufs);
+        break;
+      case kVectorBufferedHashUnstable:
+        ShuffleVectorBufferedUnstableAvx512(
+            fn, cols.keys.data(), cols.pays.data(), kTuples, offsets.data(),
+            out_k.data(), out_p.data(), &bufs);
+        break;
+    }
+    benchmark::DoNotOptimize(out_k.data());
+  }
+  SetTuplesPerSecond(state, static_cast<double>(kTuples));
+  static const char* kNames[] = {"scalar_unbuffered", "scalar_buffered",
+                                 "vector_unbuffered", "vector_buffered",
+                                 "vector_buffered_hash_unstable"};
+  state.SetLabel(kNames[variant]);
+}
+
+BENCHMARK(BM_Shuffle)
+    ->ArgsProduct({{kScalarUnbuffered, kScalarBuffered, kVectorUnbuffered,
+                    kVectorBuffered, kVectorBufferedHashUnstable},
+                   {3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace simddb::bench
+
+BENCHMARK_MAIN();

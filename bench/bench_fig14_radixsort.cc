@@ -1,0 +1,50 @@
+// Fig. 14: LSB radixsort time vs. input size, scalar vs. fully vectorized,
+// for key-only and key+payload 32-bit inputs. Reported counter is million
+// tuples per second (the paper reports seconds at 1..8 x 10^8 tuples; sizes
+// are scaled to this host, shapes preserved).
+
+#include <cstring>
+
+#include "bench/bench_common.h"
+#include "sort/radix_sort.h"
+
+namespace simddb::bench {
+namespace {
+
+void BM_RadixSort(benchmark::State& state) {
+  const bool vec = state.range(0) != 0;
+  const bool with_payload = state.range(1) != 0;
+  const size_t n = static_cast<size_t>(state.range(2)) << 20;
+  if (vec && !RequireIsa(state, Isa::kAvx512)) return;
+  const auto& cols = KeyPayColumns::Get(n, 0, 0xFFFFFFFFu, 1);
+  AlignedBuffer<uint32_t> keys(n + 16), pays(n + 16);
+  AlignedBuffer<uint32_t> sk(n + 16), sp(n + 16);
+  RadixSortConfig cfg;
+  cfg.isa = vec ? Isa::kAvx512 : Isa::kScalar;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::memcpy(keys.data(), cols.keys.data(), n * sizeof(uint32_t));
+    if (with_payload) {
+      std::memcpy(pays.data(), cols.pays.data(), n * sizeof(uint32_t));
+    }
+    state.ResumeTiming();
+    if (with_payload) {
+      RadixSortPairs(keys.data(), pays.data(), sk.data(), sp.data(), n, cfg);
+    } else {
+      RadixSortKeys(keys.data(), sk.data(), n, cfg);
+    }
+    benchmark::DoNotOptimize(keys.data());
+  }
+  SetTuplesPerSecond(state, static_cast<double>(n));
+  state.SetLabel(std::string(vec ? "vector" : "scalar") +
+                 (with_payload ? "_key_payload" : "_key_only"));
+}
+
+BENCHMARK(BM_RadixSort)
+    ->ArgsProduct({{0, 1}, {0, 1}, {4, 8, 16, 32}})  // size in Mi tuples
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace simddb::bench
+
+BENCHMARK_MAIN();

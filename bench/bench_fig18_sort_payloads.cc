@@ -1,0 +1,64 @@
+// Fig. 18: radixsort of a 32-bit key with a varying set of payload columns
+// (none; 1..4 columns of 8/16/32/64-bit width), shuffled one column at a
+// time per pass via the destination-replay scheme of §7.4.
+
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sort/radix_sort.h"
+
+namespace simddb::bench {
+namespace {
+
+constexpr size_t kTuples = size_t{1} << 22;
+
+// Payload layouts swept: arg = (n_columns << 4) | log2(bytes); n_columns=0
+// encodes key-only.
+void BM_SortPayloads(benchmark::State& state) {
+  const bool vec = state.range(0) != 0;
+  const int n_cols = static_cast<int>(state.range(1));
+  const int elem_bytes = static_cast<int>(state.range(2));
+  if (vec && !RequireIsa(state, Isa::kAvx512)) return;
+  const auto& cols_src = KeyPayColumns::Get(kTuples, 0, 0xFFFFFFFFu, 1);
+  AlignedBuffer<uint32_t> keys(kTuples + 16), sk(kTuples + 16);
+  std::vector<AlignedBuffer<uint8_t>> payload(n_cols), scratch(n_cols);
+  std::vector<SortColumn> cols(n_cols);
+  for (int c = 0; c < n_cols; ++c) {
+    payload[c].Reset((kTuples + 64) * elem_bytes);
+    scratch[c].Reset((kTuples + 64) * elem_bytes);
+    FillUniform(reinterpret_cast<uint32_t*>(payload[c].data()),
+                kTuples * elem_bytes / 4, 7 + c, 0, 0xFFFFFFFFu);
+    cols[c] = {payload[c].data(), scratch[c].data(), elem_bytes};
+  }
+  RadixSortConfig cfg;
+  cfg.isa = vec ? Isa::kAvx512 : Isa::kScalar;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::memcpy(keys.data(), cols_src.keys.data(),
+                kTuples * sizeof(uint32_t));
+    state.ResumeTiming();
+    if (n_cols == 0) {
+      RadixSortKeys(keys.data(), sk.data(), kTuples, cfg);
+    } else {
+      RadixSortMultiColumn(keys.data(), sk.data(), kTuples, cols.data(),
+                           n_cols, cfg);
+    }
+    benchmark::DoNotOptimize(keys.data());
+  }
+  SetTuplesPerSecond(state, static_cast<double>(kTuples));
+  state.SetLabel(std::string(vec ? "vector" : "scalar") + "_" +
+                 std::to_string(n_cols) + "x" + std::to_string(elem_bytes) +
+                 "B");
+}
+
+BENCHMARK(BM_SortPayloads)
+    ->ArgsProduct({{0, 1}, {0}, {4}})  // key only
+    ->ArgsProduct({{0, 1}, {1}, {1, 2, 4, 8}})  // one column per width
+    ->ArgsProduct({{0, 1}, {2, 3, 4}, {8}})  // widening tuples: n x 64-bit
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace simddb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Fig. 19: max-partition hash join (10^7-scale R vs 10^8-scale S, scaled to
+// this host) carrying a varying number of 64-bit payload columns per side
+// (R:S column ratios 4:1 .. 1:4). The join itself runs on 32-bit keys and
+// row ids; the wide columns are materialized afterwards by rid-gathers
+// (§10.5.3 late materialization).
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "join/hash_join.h"
+#include "partition/shuffle.h"
+
+namespace simddb::bench {
+namespace {
+
+constexpr size_t kR = size_t{1} << 19;
+constexpr size_t kS = size_t{1} << 22;
+
+struct Workload {
+  AlignedBuffer<uint32_t> r_keys, r_rids, s_keys, s_rids;
+  AlignedBuffer<uint64_t> r_col, s_col;  // shared source columns
+  Workload() {
+    r_keys.Reset(kR + 16);
+    r_rids.Reset(kR + 16);
+    s_keys.Reset(kS + 16);
+    s_rids.Reset(kS + 16);
+    r_col.Reset(kR + 16);
+    s_col.Reset(kS + 16);
+    FillUniqueShuffled(r_keys.data(), kR, 1);
+    FillSequential(r_rids.data(), kR, 0);
+    FillProbeKeys(s_keys.data(), kS, r_keys.data(), kR, 1.0, 2);
+    FillSequential(s_rids.data(), kS, 0);
+    for (size_t i = 0; i < kR; ++i) r_col[i] = i * 3;
+    for (size_t i = 0; i < kS; ++i) s_col[i] = i * 5;
+  }
+  static Workload& Get() {
+    static Workload* w = new Workload();
+    return *w;
+  }
+};
+
+void BM_JoinPayloads(benchmark::State& state) {
+  const bool vec = state.range(0) != 0;
+  const int r_cols = static_cast<int>(state.range(1));
+  const int s_cols = static_cast<int>(state.range(2));
+  if (vec && !RequireIsa(state, Isa::kAvx512)) return;
+  Workload& w = Workload::Get();
+  JoinRelation r{w.r_keys.data(), w.r_rids.data(), kR};
+  JoinRelation s{w.s_keys.data(), w.s_rids.data(), kS};
+  JoinConfig cfg;
+  cfg.isa = vec ? Isa::kAvx512 : Isa::kScalar;
+  AlignedBuffer<uint32_t> ok(kS + 16), orid(kS + 16), osid(kS + 16);
+  AlignedBuffer<uint64_t> mat(kS + 16);
+  size_t matches = 0;
+  for (auto _ : state) {
+    matches = HashJoinMaxPartition(r, s, cfg, ok.data(), orid.data(),
+                                   osid.data(), nullptr);
+    // Late materialization: dereference each requested wide column by rid.
+    for (int c = 0; c < r_cols; ++c) {
+      if (vec) {
+        GatherColumnAvx512(w.r_col.data(), matches, orid.data(), mat.data(),
+                           8);
+      } else {
+        GatherColumnScalar(w.r_col.data(), matches, orid.data(), mat.data(),
+                           8);
+      }
+      benchmark::DoNotOptimize(mat.data());
+    }
+    for (int c = 0; c < s_cols; ++c) {
+      if (vec) {
+        GatherColumnAvx512(w.s_col.data(), matches, osid.data(), mat.data(),
+                           8);
+      } else {
+        GatherColumnScalar(w.s_col.data(), matches, osid.data(), mat.data(),
+                           8);
+      }
+      benchmark::DoNotOptimize(mat.data());
+    }
+  }
+  SetTuplesPerSecond(state, static_cast<double>(kR + kS));
+  state.counters["matches"] = static_cast<double>(matches);
+  state.SetLabel(std::string(vec ? "vector" : "scalar") + "_R" +
+                 std::to_string(r_cols) + ":S" + std::to_string(s_cols));
+}
+
+// R:S 64-bit payload column ratios 4:1, 3:1, 2:1, 1:1, 1:2, 1:3, 1:4.
+BENCHMARK(BM_JoinPayloads)
+    ->ArgsProduct({{0, 1}, {4}, {1}})
+    ->ArgsProduct({{0, 1}, {3}, {1}})
+    ->ArgsProduct({{0, 1}, {2}, {1}})
+    ->ArgsProduct({{0, 1}, {1}, {1}})
+    ->ArgsProduct({{0, 1}, {1}, {2}})
+    ->ArgsProduct({{0, 1}, {1}, {3}})
+    ->ArgsProduct({{0, 1}, {1}, {4}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace simddb::bench
+
+BENCHMARK_MAIN();

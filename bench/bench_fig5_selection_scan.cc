@@ -1,0 +1,57 @@
+// Fig. 5: selection scan throughput vs. selectivity, for the two scalar and
+// four vectorized variants (plus the AVX2/Haswell pair). 32-bit keys and
+// payloads; predicate k_lo <= k <= k_hi sized to hit each selectivity.
+
+#include "bench/bench_common.h"
+#include "scan/selection_scan.h"
+
+namespace simddb::bench {
+namespace {
+
+constexpr size_t kTuples = size_t{1} << 23;
+constexpr uint32_t kKeyMax = 999'999;
+
+void BM_SelectionScan(benchmark::State& state) {
+  const auto variant = static_cast<ScanVariant>(state.range(0));
+  const auto sel_pct = static_cast<uint32_t>(state.range(1));
+  if (!ScanVariantSupported(variant)) {
+    state.SkipWithError("variant unsupported");
+    return;
+  }
+  const auto& cols = KeyPayColumns::Get(kTuples, 0, kKeyMax, 1);
+  // Selectivity sel_pct%: range spanning that share of the key domain.
+  uint32_t lo = 0;
+  uint32_t hi = sel_pct == 0
+                    ? 0  // ~one in a million
+                    : static_cast<uint32_t>(
+                          (static_cast<uint64_t>(kKeyMax) * sel_pct) / 100);
+  AlignedBuffer<uint32_t> out_k(kTuples + kSelectionScanPad);
+  AlignedBuffer<uint32_t> out_p(kTuples + kSelectionScanPad);
+  size_t kept = 0;
+  for (auto _ : state) {
+    kept = SelectionScan(variant, cols.keys.data(), cols.pays.data(),
+                         kTuples, lo, hi, out_k.data(), out_p.data());
+    benchmark::DoNotOptimize(kept);
+  }
+  SetTuplesPerSecond(state, static_cast<double>(kTuples));
+  state.counters["selectivity_pct"] =
+      100.0 * static_cast<double>(kept) / kTuples;
+  state.SetLabel(ScanVariantName(variant));
+}
+
+BENCHMARK(BM_SelectionScan)
+    ->ArgsProduct({{static_cast<int>(ScanVariant::kScalarBranching),
+                    static_cast<int>(ScanVariant::kScalarBranchless),
+                    static_cast<int>(ScanVariant::kVectorBitExtractDirect),
+                    static_cast<int>(ScanVariant::kVectorStoreDirect),
+                    static_cast<int>(ScanVariant::kVectorBitExtractIndirect),
+                    static_cast<int>(ScanVariant::kVectorStoreIndirect),
+                    static_cast<int>(ScanVariant::kAvx2Direct),
+                    static_cast<int>(ScanVariant::kAvx2Indirect)},
+                   {0, 1, 2, 5, 10, 20, 50, 100}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace simddb::bench
+
+BENCHMARK_MAIN();

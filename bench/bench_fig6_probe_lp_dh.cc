@@ -1,0 +1,139 @@
+// Fig. 6: probe throughput of linear-probing and double-hashing tables —
+// scalar vs. horizontal (bucketized [30]) vs. vertical (the paper's design)
+// — as the table grows from L1-resident (4 KB) to RAM-resident (64 MB).
+// Tables 50% full, unique build keys, ~all probes match.
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "hash/bucketized.h"
+#include "hash/double_hashing.h"
+#include "hash/linear_probing.h"
+
+namespace simddb::bench {
+namespace {
+
+constexpr size_t kProbes = size_t{1} << 22;
+
+enum Variant {
+  kLpScalar,
+  kLpHorizontal,
+  kLpVertical,
+  kLpVerticalAvx2,
+  kDhScalar,
+  kDhHorizontal,
+  kDhVertical,
+};
+
+struct Setup {
+  AlignedBuffer<uint32_t> b_keys, b_pays;
+  AlignedBuffer<uint32_t> p_keys, p_pays;
+  std::unique_ptr<LinearProbingTable> lp;
+  std::unique_ptr<DoubleHashingTable> dh;
+  std::unique_ptr<BucketizedTable> lp_bucket;
+  std::unique_ptr<BucketizedTable> dh_bucket;
+
+  explicit Setup(size_t table_bytes) {
+    // Split layout: 8 bytes per bucket (key + payload arrays).
+    size_t buckets = table_bytes / 8;
+    size_t n_build = buckets / 2;  // 50% load factor
+    b_keys.Reset(n_build + 16);
+    b_pays.Reset(n_build + 16);
+    FillUniqueShuffled(b_keys.data(), n_build, 1);
+    FillSequential(b_pays.data(), n_build, 0);
+    p_keys.Reset(kProbes + 16);
+    p_pays.Reset(kProbes + 16);
+    FillProbeKeys(p_keys.data(), kProbes, b_keys.data(), n_build, 1.0, 2);
+    FillSequential(p_pays.data(), kProbes, 0);
+    lp = std::make_unique<LinearProbingTable>(buckets);
+    lp->BuildScalar(b_keys.data(), b_pays.data(), n_build);
+    dh = std::make_unique<DoubleHashingTable>(buckets);
+    dh->BuildScalar(b_keys.data(), b_pays.data(), n_build);
+    lp_bucket = std::make_unique<BucketizedTable>(buckets,
+                                                  BucketScheme::kLinear);
+    lp_bucket->BuildScalar(b_keys.data(), b_pays.data(), n_build);
+    dh_bucket = std::make_unique<BucketizedTable>(buckets,
+                                                  BucketScheme::kDouble);
+    dh_bucket->BuildScalar(b_keys.data(), b_pays.data(), n_build);
+  }
+
+  static Setup& Get(size_t table_bytes) {
+    static auto* cache = new std::map<size_t, std::unique_ptr<Setup>>();
+    auto it = cache->find(table_bytes);
+    if (it == cache->end()) {
+      it = cache->emplace(table_bytes, std::make_unique<Setup>(table_bytes))
+               .first;
+    }
+    return *it->second;
+  }
+};
+
+void BM_ProbeLpDh(benchmark::State& state) {
+  const auto variant = static_cast<Variant>(state.range(0));
+  const size_t table_bytes = static_cast<size_t>(state.range(1)) * 1024;
+  bool needs512 = variant == kLpHorizontal || variant == kLpVertical ||
+                  variant == kDhHorizontal || variant == kDhVertical;
+  if (needs512 && !RequireIsa(state, Isa::kAvx512)) return;
+  if (variant == kLpVerticalAvx2 && !RequireIsa(state, Isa::kAvx2)) return;
+  Setup& s = Setup::Get(table_bytes);
+  AlignedBuffer<uint32_t> ok(kProbes + 16), os(kProbes + 16),
+      orp(kProbes + 16);
+  size_t matches = 0;
+  for (auto _ : state) {
+    switch (variant) {
+      case kLpScalar:
+        matches = s.lp->ProbeScalar(s.p_keys.data(), s.p_pays.data(),
+                                    kProbes, ok.data(), os.data(),
+                                    orp.data());
+        break;
+      case kLpHorizontal:
+        matches = s.lp_bucket->ProbeHorizontalAvx512(
+            s.p_keys.data(), s.p_pays.data(), kProbes, ok.data(), os.data(),
+            orp.data());
+        break;
+      case kLpVertical:
+        matches = s.lp->ProbeAvx512(s.p_keys.data(), s.p_pays.data(),
+                                    kProbes, ok.data(), os.data(),
+                                    orp.data());
+        break;
+      case kLpVerticalAvx2:
+        matches = s.lp->ProbeAvx2(s.p_keys.data(), s.p_pays.data(), kProbes,
+                                  ok.data(), os.data(), orp.data());
+        break;
+      case kDhScalar:
+        matches = s.dh->ProbeScalar(s.p_keys.data(), s.p_pays.data(),
+                                    kProbes, ok.data(), os.data(),
+                                    orp.data());
+        break;
+      case kDhHorizontal:
+        matches = s.dh_bucket->ProbeHorizontalAvx512(
+            s.p_keys.data(), s.p_pays.data(), kProbes, ok.data(), os.data(),
+            orp.data());
+        break;
+      case kDhVertical:
+        matches = s.dh->ProbeAvx512(s.p_keys.data(), s.p_pays.data(),
+                                    kProbes, ok.data(), os.data(),
+                                    orp.data());
+        break;
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  SetTuplesPerSecond(state, static_cast<double>(kProbes));
+  static const char* kNames[] = {"LP_scalar",       "LP_horizontal",
+                                 "LP_vertical",     "LP_vertical_avx2",
+                                 "DH_scalar",       "DH_horizontal",
+                                 "DH_vertical"};
+  state.SetLabel(kNames[variant]);
+}
+
+BENCHMARK(BM_ProbeLpDh)
+    ->ArgsProduct({{kLpScalar, kLpHorizontal, kLpVertical, kLpVerticalAvx2,
+                    kDhScalar, kDhHorizontal, kDhVertical},
+                   // Table size in KB: 4 KB (L1) ... 64 MB (RAM).
+                   {4, 16, 64, 256, 1024, 4096, 16384, 65536}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace simddb::bench
+
+BENCHMARK_MAIN();

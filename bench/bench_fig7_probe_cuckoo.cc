@@ -1,0 +1,123 @@
+// Fig. 7: cuckoo-table probe throughput vs. table size — scalar branching,
+// scalar branchless [42], horizontal bucketized [30], vertical blend, and
+// vertical select (plus the AVX2 vertical probe). 2 hash functions, ~45%
+// full, unique keys, ~all probes match.
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "hash/bucketized.h"
+#include "hash/cuckoo.h"
+
+namespace simddb::bench {
+namespace {
+
+constexpr size_t kProbes = size_t{1} << 22;
+
+enum Variant {
+  kBranching,
+  kBranchless,
+  kHorizontal,
+  kVerticalBlend,
+  kVerticalSelect,
+  kVerticalAvx2,
+};
+
+struct Setup {
+  AlignedBuffer<uint32_t> b_keys, b_pays, p_keys, p_pays;
+  std::unique_ptr<CuckooTable> table;
+  std::unique_ptr<BucketizedCuckooTable> bucketized;
+
+  explicit Setup(size_t table_bytes) {
+    size_t buckets = table_bytes / 8;
+    size_t n_build = buckets * 45 / 100;
+    b_keys.Reset(n_build + 16);
+    b_pays.Reset(n_build + 16);
+    FillUniqueShuffled(b_keys.data(), n_build, 1);
+    FillSequential(b_pays.data(), n_build, 0);
+    p_keys.Reset(kProbes + 16);
+    p_pays.Reset(kProbes + 16);
+    FillProbeKeys(p_keys.data(), kProbes, b_keys.data(), n_build, 1.0, 2);
+    FillSequential(p_pays.data(), kProbes, 0);
+    table = std::make_unique<CuckooTable>(buckets);
+    table->BuildScalar(b_keys.data(), b_pays.data(), n_build);
+    bucketized = std::make_unique<BucketizedCuckooTable>(buckets);
+    bucketized->BuildScalar(b_keys.data(), b_pays.data(), n_build);
+  }
+
+  static Setup& Get(size_t table_bytes) {
+    static auto* cache = new std::map<size_t, std::unique_ptr<Setup>>();
+    auto it = cache->find(table_bytes);
+    if (it == cache->end()) {
+      it = cache->emplace(table_bytes, std::make_unique<Setup>(table_bytes))
+               .first;
+    }
+    return *it->second;
+  }
+};
+
+void BM_ProbeCuckoo(benchmark::State& state) {
+  const auto variant = static_cast<Variant>(state.range(0));
+  const size_t table_bytes = static_cast<size_t>(state.range(1)) * 1024;
+  bool needs512 = variant == kHorizontal || variant == kVerticalBlend ||
+                  variant == kVerticalSelect;
+  if (needs512 && !RequireIsa(state, Isa::kAvx512)) return;
+  if (variant == kVerticalAvx2 && !RequireIsa(state, Isa::kAvx2)) return;
+  Setup& s = Setup::Get(table_bytes);
+  AlignedBuffer<uint32_t> ok(kProbes + 16), os(kProbes + 16),
+      orp(kProbes + 16);
+  size_t matches = 0;
+  for (auto _ : state) {
+    switch (variant) {
+      case kBranching:
+        matches = s.table->ProbeScalarBranching(s.p_keys.data(),
+                                                s.p_pays.data(), kProbes,
+                                                ok.data(), os.data(),
+                                                orp.data());
+        break;
+      case kBranchless:
+        matches = s.table->ProbeScalarBranchless(s.p_keys.data(),
+                                                 s.p_pays.data(), kProbes,
+                                                 ok.data(), os.data(),
+                                                 orp.data());
+        break;
+      case kHorizontal:
+        matches = s.bucketized->ProbeHorizontalAvx512(
+            s.p_keys.data(), s.p_pays.data(), kProbes, ok.data(), os.data(),
+            orp.data());
+        break;
+      case kVerticalBlend:
+        matches = s.table->ProbeVerticalBlendAvx512(
+            s.p_keys.data(), s.p_pays.data(), kProbes, ok.data(), os.data(),
+            orp.data());
+        break;
+      case kVerticalSelect:
+        matches = s.table->ProbeVerticalSelectAvx512(
+            s.p_keys.data(), s.p_pays.data(), kProbes, ok.data(), os.data(),
+            orp.data());
+        break;
+      case kVerticalAvx2:
+        matches = s.table->ProbeAvx2(s.p_keys.data(), s.p_pays.data(),
+                                     kProbes, ok.data(), os.data(),
+                                     orp.data());
+        break;
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  SetTuplesPerSecond(state, static_cast<double>(kProbes));
+  static const char* kNames[] = {"scalar_branching", "scalar_branchless",
+                                 "horizontal",       "vertical_blend",
+                                 "vertical_select",  "vertical_avx2"};
+  state.SetLabel(kNames[variant]);
+}
+
+BENCHMARK(BM_ProbeCuckoo)
+    ->ArgsProduct({{kBranching, kBranchless, kHorizontal, kVerticalBlend,
+                    kVerticalSelect, kVerticalAvx2},
+                   {4, 16, 64, 256, 1024, 4096, 16384, 65536}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace simddb::bench
+
+BENCHMARK_MAIN();

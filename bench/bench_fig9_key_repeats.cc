@@ -1,0 +1,146 @@
+// Fig. 9: build & probe of L1-resident shared-nothing tables under key
+// repeats, 1:10 build:probe ratio. Series: {no repeats, 100% match},
+// {1.25 repeats, 80%}, {2.5, 40%}, {5, 20%} — expected output size is
+// constant (~1 match per probe). Cuckoo only supports the unique-key case.
+
+#include "bench/bench_common.h"
+#include "hash/cuckoo.h"
+#include "hash/double_hashing.h"
+#include "hash/linear_probing.h"
+#include "util/rng.h"
+
+namespace simddb::bench {
+namespace {
+
+enum Scheme { kLp, kDh, kCh };
+
+constexpr size_t kTableBytes = 4096;  // L1 resident
+constexpr size_t kBuckets = kTableBytes / 8;
+constexpr size_t kBuildPerTable = kBuckets / 2;
+constexpr size_t kProbePerTable = kBuildPerTable * 10;
+constexpr size_t kTables = 512;
+
+struct Workload {
+  AlignedBuffer<uint32_t> b_keys, b_pays, p_keys, p_pays;
+
+  // repeats_x100: average key multiplicity * 100 (100, 125, 250, 500).
+  explicit Workload(int repeats_x100) {
+    size_t total_b = kBuildPerTable * kTables;
+    size_t total_p = kProbePerTable * kTables;
+    b_keys.Reset(total_b + 16);
+    b_pays.Reset(total_b + 16);
+    p_keys.Reset(total_p + 16);
+    p_pays.Reset(total_p + 16);
+    FillSequential(b_pays.data(), total_b, 0);
+    FillSequential(p_pays.data(), total_p, 0);
+    double hit_rate = 100.0 / repeats_x100;
+    for (size_t t = 0; t < kTables; ++t) {
+      uint32_t* bk = b_keys.data() + t * kBuildPerTable;
+      size_t uniques = kBuildPerTable * 100 / repeats_x100;
+      if (repeats_x100 == 100) {
+        FillUniqueShuffled(bk, kBuildPerTable, t + 1);
+      } else {
+        FillWithRepeats(bk, kBuildPerTable, uniques, t + 1);
+      }
+      FillProbeKeys(p_keys.data() + t * kProbePerTable, kProbePerTable, bk,
+                    kBuildPerTable, hit_rate, 1000 + t);
+    }
+  }
+
+  static Workload& Get(int repeats_x100) {
+    static auto* cache = new std::map<int, std::unique_ptr<Workload>>();
+    auto it = cache->find(repeats_x100);
+    if (it == cache->end()) {
+      it = cache->emplace(repeats_x100,
+                          std::make_unique<Workload>(repeats_x100))
+               .first;
+    }
+    return *it->second;
+  }
+};
+
+void BM_KeyRepeats(benchmark::State& state) {
+  const auto scheme = static_cast<Scheme>(state.range(0));
+  const bool vec = state.range(1) != 0;
+  const int repeats_x100 = static_cast<int>(state.range(2));
+  if (vec && !RequireIsa(state, Isa::kAvx512)) return;
+  if (scheme == kCh && repeats_x100 != 100) {
+    state.SkipWithError("cuckoo tables do not support key repeats");
+    return;
+  }
+  Workload& w = Workload::Get(repeats_x100);
+  // Worst-case matches per probe bounded by the max key multiplicity.
+  size_t out_cap = kProbePerTable * (repeats_x100 / 100 + 2) + 16;
+  AlignedBuffer<uint32_t> ok(out_cap), os(out_cap), orp(out_cap);
+  LinearProbingTable lp(kBuckets);
+  DoubleHashingTable dh(kBuckets);
+  CuckooTable ch(kBuckets);
+  size_t matches = 0;
+  for (auto _ : state) {
+    for (size_t t = 0; t < kTables; ++t) {
+      const uint32_t* bk = w.b_keys.data() + t * kBuildPerTable;
+      const uint32_t* bp = w.b_pays.data() + t * kBuildPerTable;
+      const uint32_t* pk = w.p_keys.data() + t * kProbePerTable;
+      const uint32_t* pp = w.p_pays.data() + t * kProbePerTable;
+      switch (scheme) {
+        case kLp:
+          lp.Clear();
+          if (vec) {
+            lp.BuildAvx512(bk, bp, kBuildPerTable, repeats_x100 == 100);
+            matches = lp.ProbeAvx512(pk, pp, kProbePerTable, ok.data(),
+                                     os.data(), orp.data());
+          } else {
+            lp.BuildScalar(bk, bp, kBuildPerTable);
+            matches = lp.ProbeScalar(pk, pp, kProbePerTable, ok.data(),
+                                     os.data(), orp.data());
+          }
+          break;
+        case kDh:
+          dh.Clear();
+          if (vec) {
+            dh.BuildAvx512(bk, bp, kBuildPerTable);
+            matches = dh.ProbeAvx512(pk, pp, kProbePerTable, ok.data(),
+                                     os.data(), orp.data());
+          } else {
+            dh.BuildScalar(bk, bp, kBuildPerTable);
+            matches = dh.ProbeScalar(pk, pp, kProbePerTable, ok.data(),
+                                     os.data(), orp.data());
+          }
+          break;
+        case kCh:
+          ch.Clear();
+          if (vec) {
+            ch.BuildAvx512(bk, bp, kBuildPerTable);
+            matches = ch.ProbeVerticalSelectAvx512(pk, pp, kProbePerTable,
+                                                   ok.data(), os.data(),
+                                                   orp.data());
+          } else {
+            ch.BuildScalar(bk, bp, kBuildPerTable);
+            matches = ch.ProbeScalarBranching(pk, pp, kProbePerTable,
+                                              ok.data(), os.data(),
+                                              orp.data());
+          }
+          break;
+      }
+      benchmark::DoNotOptimize(matches);
+    }
+  }
+  SetTuplesPerSecond(
+      state,
+      static_cast<double>((kBuildPerTable + kProbePerTable) * kTables));
+  static const char* kNames[] = {"LP", "DH", "CH"};
+  state.SetLabel(std::string(kNames[scheme]) + (vec ? "_vector" : "_scalar") +
+                 "_rep" + std::to_string(repeats_x100));
+}
+
+BENCHMARK(BM_KeyRepeats)
+    ->ArgsProduct({{kLp, kDh, kCh},
+                   {0, 1},
+                   // repeats x100: 1, 1.25, 2.5, 5 (match 100/80/40/20 %)
+                   {100, 125, 250, 500}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace simddb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// Partitioning explorer: splits one dataset with the three partition
+// function families of §7 (radix, hash, range) and reports throughput and
+// partition balance — the decision the paper's sorting/join sections build
+// on (radix/hash functions are cheap; range needs the SIMD tree to keep
+// up, but enables ordered partitions).
+//
+//   $ ./partition_explorer [million_keys=16] [fanout=256]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/isa.h"
+#include "partition/histogram.h"
+#include "partition/partition_fn.h"
+#include "partition/range.h"
+#include "partition/shuffle.h"
+#include "util/aligned_buffer.h"
+#include "util/bits.h"
+#include "util/data_gen.h"
+#include "util/timer.h"
+
+using namespace simddb;
+
+namespace {
+
+void ReportBalance(const char* label, const std::vector<uint32_t>& hist,
+                   size_t n, double ms) {
+  uint32_t mx = *std::max_element(hist.begin(), hist.end());
+  uint32_t mn = *std::min_element(hist.begin(), hist.end());
+  double ideal = static_cast<double>(n) / hist.size();
+  std::printf(
+      "  %-28s %8.2f ms (%6.1f M keys/s)   largest %.2fx ideal, smallest "
+      "%.2fx\n",
+      label, ms, n / ms / 1e3, mx / ideal, mn / ideal);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = (argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16) *
+                   1'000'000ull;
+  const uint32_t fanout =
+      argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 256;
+  const bool vec = IsaSupported(Isa::kAvx512);
+  std::printf("partition_explorer: %zu keys into %u partitions (%s)\n", n,
+              fanout, vec ? "vectorized" : "scalar");
+
+  AlignedBuffer<uint32_t> keys(n + 16);
+  FillUniform(keys.data(), n, 9, 0, 0xFFFFFFFFu);
+  std::vector<uint32_t> hist(fanout);
+  HistogramWorkspace ws;
+
+  // Radix on the top bits (uniform keys -> balanced).
+  {
+    PartitionFn fn = PartitionFn::Radix(Log2Floor(fanout),
+                                        32 - Log2Floor(fanout));
+    Timer t;
+    if (vec) {
+      HistogramReplicatedAvx512(fn, keys.data(), n, hist.data(), &ws);
+    } else {
+      HistogramScalar(fn, keys.data(), n, hist.data());
+    }
+    ReportBalance("radix histogram", hist, n, t.Millis());
+  }
+  // Multiplicative hash.
+  {
+    PartitionFn fn = PartitionFn::Hash(fanout);
+    Timer t;
+    if (vec) {
+      HistogramReplicatedAvx512(fn, keys.data(), n, hist.data(), &ws);
+    } else {
+      HistogramScalar(fn, keys.data(), n, hist.data());
+    }
+    ReportBalance("hash histogram", hist, n, t.Millis());
+  }
+  // Range with equi-width splitters, via vector binary search and the
+  // horizontal SIMD range index.
+  {
+    auto splitters = MakeSplitters(fanout, 0xFFFFFFFFu);
+    RangeFunction fn(splitters);
+    AlignedBuffer<uint32_t> parts(n + 16);
+    Timer t;
+    if (vec) {
+      fn.VectorAvx512(keys.data(), n, parts.data());
+    } else {
+      fn.ScalarBranchless(keys.data(), n, parts.data());
+    }
+    double fn_ms = t.Millis();
+    std::fill(hist.begin(), hist.end(), 0);
+    for (size_t i = 0; i < n; ++i) ++hist[parts[i]];
+    ReportBalance("range fn (binary search)", hist, n, fn_ms);
+
+    RangeIndex index(splitters, 16);
+    t.Reset();
+    if (vec) {
+      index.LookupAvx512(keys.data(), n, parts.data());
+    } else {
+      index.LookupScalar(keys.data(), n, parts.data());
+    }
+    ReportBalance("range fn (SIMD tree)", hist, n, t.Millis());
+  }
+  // And an actual shuffle with the fastest function, to see data movement.
+  {
+    PartitionFn fn = PartitionFn::Hash(fanout);
+    if (vec) {
+      HistogramReplicatedAvx512(fn, keys.data(), n, hist.data(), &ws);
+    } else {
+      HistogramScalar(fn, keys.data(), n, hist.data());
+    }
+    std::vector<uint32_t> offsets(fanout);
+    uint32_t sum = 0;
+    for (uint32_t p = 0; p < fanout; ++p) {
+      offsets[p] = sum;
+      sum += hist[p];
+    }
+    AlignedBuffer<uint32_t> pays(n + 16), out_k(n + 16), out_p(n + 16);
+    FillSequential(pays.data(), n, 0);
+    ShuffleBuffers bufs;
+    Timer t;
+    if (vec) {
+      ShuffleVectorBufferedAvx512(fn, keys.data(), pays.data(), n,
+                                  offsets.data(), out_k.data(), out_p.data(),
+                                  &bufs);
+    } else {
+      ShuffleScalarBuffered(fn, keys.data(), pays.data(), n, offsets.data(),
+                            out_k.data(), out_p.data(), &bufs);
+    }
+    std::printf("  %-28s %8.2f ms (%6.1f M tuples/s)\n",
+                "buffered shuffle (k+p)", t.Millis(), n / t.Millis() / 1e3);
+  }
+  return 0;
+}

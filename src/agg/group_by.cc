@@ -1,0 +1,96 @@
+#include "agg/group_by.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "hash/hash_table.h"
+#include "util/bits.h"
+
+namespace simddb {
+
+GroupByAggregator::GroupByAggregator(size_t max_groups, uint64_t seed)
+    : n_buckets_(NextPowerOfTwo(max_groups * 2 + 32)),
+      factor_(HashFactor(seed, 0)) {
+  gkeys_.Reset(n_buckets_);
+  sums_.Reset(n_buckets_);
+  counts_.Reset(n_buckets_);
+  mins_.Reset(n_buckets_);
+  maxs_.Reset(n_buckets_);
+  Clear();
+}
+
+void GroupByAggregator::Clear() {
+  std::memset(gkeys_.data(), 0xFF, n_buckets_ * sizeof(uint32_t));
+  sums_.Clear();
+  counts_.Clear();
+  mins_.Clear();
+  maxs_.Clear();
+  n_groups_ = 0;
+}
+
+void GroupByAggregator::FoldScalar(uint32_t key, uint32_t val) {
+  uint32_t nb = static_cast<uint32_t>(n_buckets_);
+  uint32_t h = MultHash32(key, factor_, nb);
+  for (;;) {
+    if (gkeys_[h] == key) break;
+    if (gkeys_[h] == kEmptyKey) {
+      // The table must keep headroom or probing would stop terminating;
+      // callers size the aggregator by the expected group cardinality.
+      assert(n_groups_ + 1 < n_buckets_);
+      gkeys_[h] = key;
+      mins_[h] = 0xFFFFFFFFu;
+      maxs_[h] = 0;
+      ++n_groups_;
+      break;
+    }
+    if (++h == nb) h = 0;
+  }
+  sums_[h] += val;
+  counts_[h] += 1;
+  if (val < mins_[h]) mins_[h] = val;
+  if (val > maxs_[h]) maxs_[h] = val;
+}
+
+void GroupByAggregator::AccumulateScalar(const uint32_t* keys,
+                                         const uint32_t* vals, size_t n) {
+  for (size_t i = 0; i < n; ++i) FoldScalar(keys[i], vals[i]);
+}
+
+void GroupByAggregator::Accumulate(Isa isa, const uint32_t* keys,
+                                   const uint32_t* vals, size_t n) {
+  if (isa == Isa::kAvx512 && IsaSupported(Isa::kAvx512)) {
+    AccumulateAvx512(keys, vals, n);
+    return;
+  }
+  AccumulateScalar(keys, vals, n);
+}
+
+size_t GroupByAggregator::ExtractScalar(uint32_t* out_keys,
+                                        uint64_t* out_sums,
+                                        uint32_t* out_counts,
+                                        uint32_t* out_mins,
+                                        uint32_t* out_maxs) const {
+  size_t j = 0;
+  for (size_t h = 0; h < n_buckets_; ++h) {
+    if (gkeys_[h] == kEmptyKey) continue;
+    if (out_keys != nullptr) out_keys[j] = gkeys_[h];
+    if (out_sums != nullptr) out_sums[j] = sums_[h];
+    if (out_counts != nullptr) out_counts[j] = counts_[h];
+    if (out_mins != nullptr) out_mins[j] = mins_[h];
+    if (out_maxs != nullptr) out_maxs[j] = maxs_[h];
+    ++j;
+  }
+  return j;
+}
+
+size_t GroupByAggregator::Extract(Isa isa, uint32_t* out_keys,
+                                  uint64_t* out_sums, uint32_t* out_counts,
+                                  uint32_t* out_mins,
+                                  uint32_t* out_maxs) const {
+  if (isa == Isa::kAvx512 && IsaSupported(Isa::kAvx512)) {
+    return ExtractAvx512(out_keys, out_sums, out_counts, out_mins, out_maxs);
+  }
+  return ExtractScalar(out_keys, out_sums, out_counts, out_mins, out_maxs);
+}
+
+}  // namespace simddb

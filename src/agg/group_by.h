@@ -1,0 +1,76 @@
+#ifndef SIMDDB_AGG_GROUP_BY_H_
+#define SIMDDB_AGG_GROUP_BY_H_
+
+// Hash-based group-by aggregation — the second use of hash tables the paper
+// names (§5: "map tuples to unique group ids or insert and update partial
+// aggregates"; cf. [25]). Maintains COUNT, SUM (64-bit), MIN and MAX per
+// 32-bit group key in an open-addressing (linear probing) table.
+//
+// The vectorized accumulate processes one input tuple per lane, gathers the
+// group buckets, and resolves the two conflict kinds the paper's designs
+// deal with:
+//   - bucket claiming: lanes that found an empty bucket claim it via the
+//     scatter + gather-back idiom (Alg. 7);
+//   - aggregate update: among lanes updating the same bucket in one vector,
+//     only the scatter-winner applies its delta; the others retry in the
+//     next iteration (the retry-on-conflict pattern of §7.4), so no update
+//     is ever lost or double-applied.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/isa.h"
+#include "util/aligned_buffer.h"
+
+namespace simddb {
+
+class GroupByAggregator {
+ public:
+  /// Aggregates for up to max_groups distinct keys (table sized 2x, power
+  /// of two). Keys must differ from kEmptyKey (0xFFFFFFFF).
+  explicit GroupByAggregator(size_t max_groups, uint64_t seed = 42);
+
+  /// Drops all groups.
+  void Clear();
+
+  /// Folds n (group key, value) pairs into the aggregates.
+  void Accumulate(Isa isa, const uint32_t* keys, const uint32_t* vals,
+                  size_t n);
+  void AccumulateScalar(const uint32_t* keys, const uint32_t* vals, size_t n);
+  void AccumulateAvx512(const uint32_t* keys, const uint32_t* vals, size_t n);
+
+  /// Number of distinct groups accumulated so far.
+  size_t num_groups() const { return n_groups_; }
+
+  /// Extracts all groups (in table order) into caller buffers sized
+  /// num_groups(); any output pointer may be null to skip that aggregate.
+  /// Returns the group count. The AVX-512 path compacts occupied buckets
+  /// with selective stores.
+  size_t Extract(Isa isa, uint32_t* out_keys, uint64_t* out_sums,
+                 uint32_t* out_counts, uint32_t* out_mins,
+                 uint32_t* out_maxs) const;
+
+  size_t num_buckets() const { return n_buckets_; }
+
+ private:
+  size_t ExtractScalar(uint32_t* out_keys, uint64_t* out_sums,
+                       uint32_t* out_counts, uint32_t* out_mins,
+                       uint32_t* out_maxs) const;
+  size_t ExtractAvx512(uint32_t* out_keys, uint64_t* out_sums,
+                       uint32_t* out_counts, uint32_t* out_mins,
+                       uint32_t* out_maxs) const;
+  void FoldScalar(uint32_t key, uint32_t val);
+
+  AlignedBuffer<uint32_t> gkeys_;
+  AlignedBuffer<uint64_t> sums_;
+  AlignedBuffer<uint32_t> counts_;
+  AlignedBuffer<uint32_t> mins_;
+  AlignedBuffer<uint32_t> maxs_;
+  size_t n_buckets_;
+  size_t n_groups_ = 0;
+  uint32_t factor_;
+};
+
+}  // namespace simddb
+
+#endif  // SIMDDB_AGG_GROUP_BY_H_

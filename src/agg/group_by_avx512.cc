@@ -1,0 +1,170 @@
+// AVX-512 vertical group-by aggregation. One input tuple per lane; bucket
+// claiming uses the Alg. 7 scatter/gather-back idiom; aggregate updates are
+// applied only by per-bucket scatter winners, with losing lanes retrying at
+// the *same* bucket next iteration (so chains never skip a freshly claimed
+// bucket and no delta is lost).
+
+#include <cassert>
+
+#include "agg/group_by.h"
+#include "core/avx512_ops.h"
+#include "hash/hash_table.h"
+
+namespace simddb {
+namespace {
+
+namespace v = simddb::avx512;
+
+inline __m512i WrapBucket(__m512i h, __m512i nb) {
+  __mmask16 over = _mm512_cmpge_epu32_mask(h, nb);
+  return _mm512_mask_sub_epi32(h, over, h, nb);
+}
+
+// sums[idx[i]] += delta[i] for the lanes set in m (64-bit accumulators,
+// 32-bit deltas), via two masked 8-way 64-bit gather/scatter pairs.
+inline void AddToSums(uint64_t* sums, __mmask16 m, __m512i idx,
+                      __m512i delta) {
+  __m256i idx_lo = _mm512_castsi512_si256(idx);
+  __m256i idx_hi = _mm512_extracti64x4_epi64(idx, 1);
+  __m512i d_lo = _mm512_cvtepu32_epi64(_mm512_castsi512_si256(delta));
+  __m512i d_hi =
+      _mm512_cvtepu32_epi64(_mm512_extracti32x8_epi32(delta, 1));
+  __mmask8 m_lo = static_cast<__mmask8>(m & 0xFF);
+  __mmask8 m_hi = static_cast<__mmask8>(m >> 8);
+  __m512i s_lo = _mm512_mask_i32gather_epi64(
+      d_lo, m_lo, idx_lo, reinterpret_cast<const long long*>(sums), 8);
+  __m512i s_hi = _mm512_mask_i32gather_epi64(
+      d_hi, m_hi, idx_hi, reinterpret_cast<const long long*>(sums), 8);
+  _mm512_mask_i32scatter_epi64(sums, m_lo, idx_lo,
+                               _mm512_add_epi64(s_lo, d_lo), 8);
+  _mm512_mask_i32scatter_epi64(sums, m_hi, idx_hi,
+                               _mm512_add_epi64(s_hi, d_hi), 8);
+}
+
+}  // namespace
+
+void GroupByAggregator::AccumulateAvx512(const uint32_t* keys,
+                                         const uint32_t* vals, size_t n) {
+  const __m512i factor = _mm512_set1_epi32(static_cast<int>(factor_));
+  const __m512i nb = _mm512_set1_epi32(static_cast<int>(n_buckets_));
+  const __m512i empty = _mm512_set1_epi32(static_cast<int>(kEmptyKey));
+  const __m512i one = _mm512_set1_epi32(1);
+  const __m512i lane_ids =
+      _mm512_set_epi32(16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1);
+  // Unique per-lane tags above the bucket range, to exclude non-updating
+  // lanes from the scatter-winner computation.
+  const __m512i offrange_tags = _mm512_add_epi32(nb, lane_ids);
+  __m512i key = _mm512_setzero_si512();
+  __m512i val = _mm512_setzero_si512();
+  __m512i off = _mm512_setzero_si512();
+  __mmask16 need = 0xFFFF;
+  size_t i = 0;
+  while (i + 16 <= n) {
+    key = v::SelectiveLoad(key, need, keys + i);
+    val = v::SelectiveLoad(val, need, vals + i);
+    i += __builtin_popcount(need);
+    off = _mm512_maskz_mov_epi32(static_cast<__mmask16>(~need), off);
+    __m512i h = WrapBucket(
+        _mm512_add_epi32(v::MultHash(key, factor, nb), off), nb);
+    __m512i gk = v::Gather(gkeys_.data(), h);
+    __mmask16 match = _mm512_cmpeq_epi32_mask(gk, key);
+    __mmask16 at_empty = _mm512_cmpeq_epi32_mask(gk, empty);
+    // Claim empty buckets (one winner per bucket).
+    __mmask16 claim = 0;
+    if (at_empty != 0) {
+      assert(n_groups_ + 16 < n_buckets_);
+      v::MaskScatter(gkeys_.data(), at_empty, h, lane_ids);
+      __m512i back = v::MaskGather(lane_ids, at_empty, gkeys_.data(), h);
+      claim = _mm512_mask_cmpeq_epi32_mask(at_empty, back, lane_ids);
+      v::MaskScatter(gkeys_.data(), claim, h, key);
+      v::MaskScatter(mins_.data(), claim, h, empty);  // min sentinel = max u32
+      n_groups_ += __builtin_popcount(claim);
+    }
+    // Updaters this round: matched lanes + fresh claims; among those hitting
+    // the same bucket only the scatter winner applies (others retry).
+    __mmask16 upd = match | claim;
+    if (upd != 0) {
+      __m512i h_tagged = _mm512_mask_mov_epi32(offrange_tags, upd, h);
+      __mmask16 win = v::ScatterWinners(h_tagged) & upd;
+      const __m512i zero = _mm512_setzero_si512();
+      __m512i cnt = v::MaskGather(zero, win, counts_.data(), h);
+      v::MaskScatter(counts_.data(), win, h, _mm512_add_epi32(cnt, one));
+      __m512i mn = v::MaskGather(zero, win, mins_.data(), h);
+      v::MaskScatter(mins_.data(), win, h, _mm512_min_epu32(mn, val));
+      __m512i mx = v::MaskGather(zero, win, maxs_.data(), h);
+      v::MaskScatter(maxs_.data(), win, h, _mm512_max_epu32(mx, val));
+      AddToSums(sums_.data(), win, h, val);
+      need = win;
+    } else {
+      need = 0;
+    }
+    // Only true probers (bucket held a different key) advance; claim losers
+    // and update losers retry the same bucket.
+    __mmask16 prober = static_cast<__mmask16>(~(match | at_empty));
+    off = _mm512_mask_add_epi32(off, prober, off, one);
+  }
+  // Scalar drain: in-flight lanes, then the input tail.
+  alignas(64) uint32_t lk[16], lv[16];
+  _mm512_store_si512(lk, key);
+  _mm512_store_si512(lv, val);
+  for (int lane = 0; lane < 16; ++lane) {
+    if (need & (1u << lane)) continue;
+    FoldScalar(lk[lane], lv[lane]);
+  }
+  for (; i < n; ++i) FoldScalar(keys[i], vals[i]);
+}
+
+size_t GroupByAggregator::ExtractAvx512(uint32_t* out_keys,
+                                        uint64_t* out_sums,
+                                        uint32_t* out_counts,
+                                        uint32_t* out_mins,
+                                        uint32_t* out_maxs) const {
+  const __m512i empty = _mm512_set1_epi32(static_cast<int>(kEmptyKey));
+  size_t j = 0;
+  size_t h = 0;
+  for (; h + 16 <= n_buckets_; h += 16) {
+    __m512i gk = _mm512_load_si512(gkeys_.data() + h);
+    __mmask16 m = _mm512_cmpneq_epi32_mask(gk, empty);
+    if (m == 0) continue;
+    if (out_keys != nullptr) v::SelectiveStore(out_keys + j, m, gk);
+    if (out_counts != nullptr) {
+      v::SelectiveStore(out_counts + j, m,
+                        _mm512_load_si512(counts_.data() + h));
+    }
+    if (out_mins != nullptr) {
+      v::SelectiveStore(out_mins + j, m,
+                        _mm512_load_si512(mins_.data() + h));
+    }
+    if (out_maxs != nullptr) {
+      v::SelectiveStore(out_maxs + j, m,
+                        _mm512_load_si512(maxs_.data() + h));
+    }
+    if (out_sums != nullptr) {
+      __mmask8 m_lo = static_cast<__mmask8>(m & 0xFF);
+      __mmask8 m_hi = static_cast<__mmask8>(m >> 8);
+      size_t jj = j;
+      _mm512_mask_compressstoreu_epi64(
+          out_sums + jj, m_lo,
+          _mm512_load_si512(reinterpret_cast<const __m512i*>(sums_.data() + h)));
+      jj += __builtin_popcount(m_lo);
+      _mm512_mask_compressstoreu_epi64(
+          out_sums + jj, m_hi,
+          _mm512_load_si512(
+              reinterpret_cast<const __m512i*>(sums_.data() + h + 8)));
+    }
+    j += __builtin_popcount(m);
+  }
+  // Tail buckets (n_buckets_ is a power of two >= 64, so none in practice).
+  for (; h < n_buckets_; ++h) {
+    if (gkeys_[h] == kEmptyKey) continue;
+    if (out_keys != nullptr) out_keys[j] = gkeys_[h];
+    if (out_sums != nullptr) out_sums[j] = sums_[h];
+    if (out_counts != nullptr) out_counts[j] = counts_[h];
+    if (out_mins != nullptr) out_mins[j] = mins_[h];
+    if (out_maxs != nullptr) out_maxs[j] = maxs_[h];
+    ++j;
+  }
+  return j;
+}
+
+}  // namespace simddb

@@ -1,0 +1,77 @@
+// AVX2 vertically vectorized Bloom filter probing — the configuration of
+// [27] on mainstream CPUs: native gathers, permutation-table selective
+// loads/stores.
+
+#include "bloom/bloom_filter.h"
+#include "core/avx2_ops.h"
+
+namespace simddb {
+
+size_t BloomFilter::ProbeAvx2(const uint32_t* keys, const uint32_t* pays,
+                              size_t n, uint32_t* out_keys,
+                              uint32_t* out_pays) const {
+  namespace v = simddb::avx2;
+  const __m256i nbits = _mm256_set1_epi32(static_cast<int>(n_bits_));
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i k_minus_1 = _mm256_set1_epi32(k_ - 1);
+  const __m256i mask31 = _mm256_set1_epi32(31);
+  alignas(32) uint32_t factor_table[kMaxFunctions];
+  for (int i = 0; i < kMaxFunctions; ++i) factor_table[i] = factors_[i];
+
+  __m256i key = _mm256_setzero_si256();
+  __m256i pay = _mm256_setzero_si256();
+  __m256i fidx = _mm256_setzero_si256();
+  uint32_t need = 0xFF;
+  size_t i = 0;
+  size_t j = 0;
+  while (i + 8 <= n) {
+    key = v::SelectiveLoad(key, need, keys + i);
+    pay = v::SelectiveLoad(pay, need, pays + i);
+    i += __builtin_popcount(need);
+    // fidx = need ? 0 : fidx.
+    alignas(32) int32_t nl[8];
+    for (int t = 0; t < 8; ++t) nl[t] = (need >> t) & 1 ? -1 : 0;
+    __m256i need_v = _mm256_load_si256(reinterpret_cast<const __m256i*>(nl));
+    fidx = _mm256_andnot_si256(need_v, fidx);
+    __m256i factor = v::Gather(factor_table, fidx);
+    __m256i b = v::MultHash(key, factor, nbits);
+    __m256i word = v::Gather(words_.data(), _mm256_srli_epi32(b, 5));
+    __m256i shifted = _mm256_srlv_epi32(word, _mm256_and_si256(b, mask31));
+    __m256i bit = _mm256_and_si256(shifted, one);
+    uint32_t pass = v::MoveMask(_mm256_cmpeq_epi32(bit, one));
+    uint32_t last =
+        v::MoveMask(_mm256_cmpeq_epi32(fidx, k_minus_1));
+    uint32_t qualify = pass & last;
+    if (qualify != 0) {
+      v::SelectiveStore(out_keys + j, qualify, key);
+      v::SelectiveStore(out_pays + j, qualify, pay);
+      j += __builtin_popcount(qualify);
+    }
+    fidx = _mm256_add_epi32(fidx, one);
+    need = (~pass | qualify) & 0xFF;
+  }
+  alignas(32) uint32_t lk[8], lv[8], lf[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lk), key);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lv), pay);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lf), fidx);
+  for (int lane = 0; lane < 8; ++lane) {
+    if (need & (1u << lane)) continue;
+    bool ok = true;
+    for (int fi = static_cast<int>(lf[lane]); fi < k_; ++fi) {
+      uint32_t b = BitFor(lk[lane], fi);
+      if ((words_[b >> 5] & (1u << (b & 31))) == 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      out_keys[j] = lk[lane];
+      out_pays[j] = lv[lane];
+      ++j;
+    }
+  }
+  j += ProbeScalar(keys + i, pays + i, n - i, out_keys + j, out_pays + j);
+  return j;
+}
+
+}  // namespace simddb

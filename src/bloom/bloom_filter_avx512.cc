@@ -1,0 +1,75 @@
+// AVX-512 vertically vectorized Bloom filter probing ([27], §6): one probe
+// key per lane; a lane advances through the k hash functions while its bit
+// tests pass, and is refilled from the input the moment a test fails or all
+// k tests have passed (early abort preserved in vector form).
+
+#include "bloom/bloom_filter.h"
+#include "core/avx512_ops.h"
+
+namespace simddb {
+
+size_t BloomFilter::ProbeAvx512(const uint32_t* keys, const uint32_t* pays,
+                                size_t n, uint32_t* out_keys,
+                                uint32_t* out_pays) const {
+  namespace v = simddb::avx512;
+  const __m512i nbits = _mm512_set1_epi32(static_cast<int>(n_bits_));
+  const __m512i one = _mm512_set1_epi32(1);
+  const __m512i k_minus_1 = _mm512_set1_epi32(k_ - 1);
+  const __m512i mask31 = _mm512_set1_epi32(31);
+  alignas(64) uint32_t factor_table[kMaxFunctions];
+  for (int i = 0; i < kMaxFunctions; ++i) factor_table[i] = factors_[i];
+
+  __m512i key = _mm512_setzero_si512();
+  __m512i pay = _mm512_setzero_si512();
+  __m512i fidx = _mm512_setzero_si512();
+  __mmask16 need = 0xFFFF;
+  size_t i = 0;
+  size_t j = 0;
+  while (i + 16 <= n) {
+    key = v::SelectiveLoad(key, need, keys + i);
+    pay = v::SelectiveLoad(pay, need, pays + i);
+    i += __builtin_popcount(need);
+    fidx = _mm512_maskz_mov_epi32(static_cast<__mmask16>(~need), fidx);
+    // Per-lane factor lookup, then the bit index for this (key, function).
+    __m512i factor = v::Gather(factor_table, fidx);
+    __m512i b = v::MultHash(key, factor, nbits);
+    __m512i word = v::Gather(words_.data(), _mm512_srli_epi32(b, 5));
+    __m512i shifted = _mm512_srlv_epi32(word, _mm512_and_si512(b, mask31));
+    __mmask16 pass = _mm512_test_epi32_mask(shifted, one);
+    __mmask16 qualify =
+        _mm512_mask_cmpeq_epi32_mask(pass, fidx, k_minus_1);
+    if (qualify != 0) {
+      v::SelectiveStore(out_keys + j, qualify, key);
+      v::SelectiveStore(out_pays + j, qualify, pay);
+      j += __builtin_popcount(qualify);
+    }
+    fidx = _mm512_add_epi32(fidx, one);
+    // Reload lanes that failed a test or just emitted a qualifier.
+    need = static_cast<__mmask16>(~pass | qualify);
+  }
+  // Drain in-flight lanes: each has passed tests [0, fidx) already.
+  alignas(64) uint32_t lk[16], lv[16], lf[16];
+  _mm512_store_si512(lk, key);
+  _mm512_store_si512(lv, pay);
+  _mm512_store_si512(lf, fidx);
+  for (int lane = 0; lane < 16; ++lane) {
+    if (need & (1u << lane)) continue;
+    bool ok = true;
+    for (int fi = static_cast<int>(lf[lane]); fi < k_; ++fi) {
+      uint32_t b = BitFor(lk[lane], fi);
+      if ((words_[b >> 5] & (1u << (b & 31))) == 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      out_keys[j] = lk[lane];
+      out_pays[j] = lv[lane];
+      ++j;
+    }
+  }
+  j += ProbeScalar(keys + i, pays + i, n - i, out_keys + j, out_pays + j);
+  return j;
+}
+
+}  // namespace simddb

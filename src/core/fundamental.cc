@@ -1,0 +1,99 @@
+#include "core/fundamental.h"
+
+#include "core/scalar_ops.h"
+
+namespace simddb::fundamental {
+
+size_t SelectiveLoad16(Isa isa, uint32_t v[16], uint32_t mask,
+                       const uint32_t* src) {
+  switch (isa) {
+    case Isa::kAvx512:
+      return detail::SelectiveLoad16Avx512(v, mask, src);
+    case Isa::kAvx2:
+      return detail::SelectiveLoad16Avx2(v, mask, src);
+    case Isa::kScalar:
+      break;
+  }
+  return scalar::SelectiveLoad(v, 16, mask, src);
+}
+
+size_t SelectiveStore16(Isa isa, uint32_t* dst, uint32_t mask,
+                        const uint32_t v[16]) {
+  switch (isa) {
+    case Isa::kAvx512:
+      return detail::SelectiveStore16Avx512(dst, mask, v);
+    case Isa::kAvx2:
+      return detail::SelectiveStore16Avx2(dst, mask, v);
+    case Isa::kScalar:
+      break;
+  }
+  return scalar::SelectiveStore(dst, 16, mask, v);
+}
+
+void Gather16(Isa isa, uint32_t v[16], uint32_t mask, const uint32_t* base,
+              const uint32_t idx[16]) {
+  switch (isa) {
+    case Isa::kAvx512:
+      detail::Gather16Avx512(v, mask, base, idx);
+      return;
+    case Isa::kAvx2:
+      detail::Gather16Avx2(v, mask, base, idx);
+      return;
+    case Isa::kScalar:
+      break;
+  }
+  scalar::Gather(v, 16, mask, base, idx);
+}
+
+void Scatter16(Isa isa, uint32_t* base, uint32_t mask, const uint32_t idx[16],
+               const uint32_t v[16]) {
+  if (isa == Isa::kAvx512) {
+    detail::Scatter16Avx512(base, mask, idx, v);
+    return;
+  }
+  // AVX2 has no scatter instruction; the scalar semantics are the emulation.
+  scalar::Scatter(base, 16, mask, idx, v);
+}
+
+void SerializeConflicts16(Isa isa, uint32_t out[16], const uint32_t idx[16]) {
+  if (isa == Isa::kAvx512) {
+    detail::SerializeConflicts16Avx512(out, idx);
+    return;
+  }
+  scalar::SerializeConflicts(out, 16, idx);
+}
+
+void SerializeConflictsIterative16(Isa isa, uint32_t out[16],
+                                   const uint32_t idx[16], uint32_t* scratch) {
+  if (isa == Isa::kAvx512) {
+    detail::SerializeConflictsIterative16Avx512(out, idx, scratch);
+    return;
+  }
+  scalar::SerializeConflicts(out, 16, idx);
+}
+
+uint32_t ScatterWinners16(Isa isa, const uint32_t idx[16]) {
+  if (isa == Isa::kAvx512) {
+    return detail::ScatterWinners16Avx512(idx);
+  }
+  return scalar::ScatterWinners(16, idx);
+}
+
+void MultHashBatch(Isa isa, uint32_t* out, const uint32_t* keys, size_t n,
+                   uint32_t factor, uint32_t buckets) {
+  switch (isa) {
+    case Isa::kAvx512:
+      detail::MultHashBatchAvx512(out, keys, n, factor, buckets);
+      return;
+    case Isa::kAvx2:
+      detail::MultHashBatchAvx2(out, keys, n, factor, buckets);
+      return;
+    case Isa::kScalar:
+      break;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = scalar::MultHash(keys[i], factor, buckets);
+  }
+}
+
+}  // namespace simddb::fundamental

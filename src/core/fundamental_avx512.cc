@@ -1,0 +1,73 @@
+#include <cstring>
+
+#include "core/avx512_ops.h"
+#include "core/fundamental.h"
+
+namespace simddb::fundamental::detail {
+
+namespace v = simddb::avx512;
+
+size_t SelectiveLoad16Avx512(uint32_t v16[16], uint32_t mask,
+                             const uint32_t* src) {
+  __m512i old = _mm512_loadu_si512(v16);
+  __m512i r = v::SelectiveLoad(old, static_cast<__mmask16>(mask), src);
+  _mm512_storeu_si512(v16, r);
+  return __builtin_popcount(mask & 0xFFFF);
+}
+
+size_t SelectiveStore16Avx512(uint32_t* dst, uint32_t mask,
+                              const uint32_t v16[16]) {
+  __m512i v = _mm512_loadu_si512(v16);
+  v::SelectiveStore(dst, static_cast<__mmask16>(mask), v);
+  return __builtin_popcount(mask & 0xFFFF);
+}
+
+void Gather16Avx512(uint32_t v16[16], uint32_t mask, const uint32_t* base,
+                    const uint32_t idx[16]) {
+  __m512i old = _mm512_loadu_si512(v16);
+  __m512i vi = _mm512_loadu_si512(idx);
+  __m512i r = v::MaskGather(old, static_cast<__mmask16>(mask), base, vi);
+  _mm512_storeu_si512(v16, r);
+}
+
+void Scatter16Avx512(uint32_t* base, uint32_t mask, const uint32_t idx[16],
+                     const uint32_t v16[16]) {
+  __m512i vi = _mm512_loadu_si512(idx);
+  __m512i vv = _mm512_loadu_si512(v16);
+  v::MaskScatter(base, static_cast<__mmask16>(mask), vi, vv);
+}
+
+void SerializeConflicts16Avx512(uint32_t out[16], const uint32_t idx[16]) {
+  __m512i vi = _mm512_loadu_si512(idx);
+  _mm512_storeu_si512(out, v::SerializeConflicts(vi));
+}
+
+void SerializeConflictsIterative16Avx512(uint32_t out[16],
+                                         const uint32_t idx[16],
+                                         uint32_t* scratch) {
+  __m512i vi = _mm512_loadu_si512(idx);
+  _mm512_storeu_si512(out, v::SerializeConflictsIterative(vi, scratch));
+}
+
+uint32_t ScatterWinners16Avx512(const uint32_t idx[16]) {
+  __m512i vi = _mm512_loadu_si512(idx);
+  return v::ScatterWinners(vi);
+}
+
+void MultHashBatchAvx512(uint32_t* out, const uint32_t* keys, size_t n,
+                         uint32_t factor, uint32_t buckets) {
+  const __m512i vf = _mm512_set1_epi32(static_cast<int>(factor));
+  const __m512i vb = _mm512_set1_epi32(static_cast<int>(buckets));
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512i k = _mm512_loadu_si512(keys + i);
+    _mm512_storeu_si512(out + i, v::MultHash(k, vf, vb));
+  }
+  if (i < n) {
+    __mmask16 m = static_cast<__mmask16>((1u << (n - i)) - 1);
+    __m512i k = _mm512_maskz_loadu_epi32(m, keys + i);
+    _mm512_mask_storeu_epi32(out + i, m, v::MultHash(k, vf, vb));
+  }
+}
+
+}  // namespace simddb::fundamental::detail

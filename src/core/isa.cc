@@ -1,0 +1,38 @@
+#include "core/isa.h"
+
+#include "util/cpu_info.h"
+
+namespace simddb {
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool IsaSupported(Isa isa) {
+  const CpuInfo& info = GetCpuInfo();
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+      return info.avx2;
+    case Isa::kAvx512:
+      return info.HasAvx512() && info.avx512vpopcntdq;
+  }
+  return false;
+}
+
+Isa BestIsa() {
+  if (IsaSupported(Isa::kAvx512)) return Isa::kAvx512;
+  if (IsaSupported(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+}  // namespace simddb

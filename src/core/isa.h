@@ -1,0 +1,31 @@
+#ifndef SIMDDB_CORE_ISA_H_
+#define SIMDDB_CORE_ISA_H_
+
+namespace simddb {
+
+/// Instruction-set backends implemented by simddb.
+///
+/// kScalar is the paper's baseline ("the most straightforward scalar
+/// implementation", §1) and the ground truth for all tests. kAvx2 models the
+/// paper's Haswell configuration: native gathers, but selective loads/stores
+/// emulated with permutation tables and no scatters (App. B-D). kAvx512
+/// models the paper's Xeon Phi / "AVX 3" configuration: 512-bit vectors with
+/// native gathers, scatters, compress/expand and conflict detection.
+enum class Isa {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// Human-readable backend name ("scalar", "avx2", "avx512").
+const char* IsaName(Isa isa);
+
+/// True when the host CPU can execute the given backend.
+bool IsaSupported(Isa isa);
+
+/// The widest backend the host CPU supports.
+Isa BestIsa();
+
+}  // namespace simddb
+
+#endif  // SIMDDB_CORE_ISA_H_

@@ -1,0 +1,208 @@
+#include "hash/bucketized.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/bits.h"
+
+namespace simddb {
+
+namespace {
+constexpr int kMaxKicks = 500;
+constexpr int kMaxRebuilds = 8;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BucketizedTable
+// ---------------------------------------------------------------------------
+
+BucketizedTable::BucketizedTable(size_t num_slots, BucketScheme scheme,
+                                 uint64_t seed)
+    : scheme_(scheme),
+      factor1_(HashFactor(seed, 0)),
+      factor2_(HashFactor(seed, 1)) {
+  size_t buckets = (num_slots + 15) / 16;
+  if (buckets < 2) buckets = 2;
+  if (scheme == BucketScheme::kDouble) buckets = NextPowerOfTwo(buckets);
+  n_buckets_ = buckets;
+  keys_.Reset(n_buckets_ * 16);
+  pays_.Reset(n_buckets_ * 16);
+  Clear();
+}
+
+void BucketizedTable::Clear() {
+  std::memset(keys_.data(), 0xFF, keys_.size() * sizeof(uint32_t));
+  std::memset(pays_.data(), 0, pays_.size() * sizeof(uint32_t));
+  count_ = 0;
+}
+
+void BucketizedTable::BuildScalar(const uint32_t* keys, const uint32_t* pays,
+                                  size_t n) {
+  assert(count_ + n < num_slots());
+  const uint32_t nb = static_cast<uint32_t>(n_buckets_);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t k = keys[i];
+    uint32_t b = BucketFor(k);
+    uint32_t step = StepFor(k);
+    for (;;) {
+      uint32_t* bk = keys_.data() + static_cast<size_t>(b) * 16;
+      bool placed = false;
+      for (int s = 0; s < 16; ++s) {
+        if (bk[s] == kEmptyKey) {
+          bk[s] = k;
+          pays_[static_cast<size_t>(b) * 16 + s] = pays[i];
+          placed = true;
+          break;
+        }
+      }
+      if (placed) break;
+      b += step;
+      if (b >= nb) b -= nb;
+    }
+  }
+  count_ += n;
+}
+
+size_t BucketizedTable::ProbeScalar(const uint32_t* keys,
+                                    const uint32_t* pays, size_t n,
+                                    uint32_t* out_keys, uint32_t* out_spays,
+                                    uint32_t* out_rpays) const {
+  const uint32_t nb = static_cast<uint32_t>(n_buckets_);
+  size_t j = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t k = keys[i];
+    uint32_t b = BucketFor(k);
+    uint32_t step = StepFor(k);
+    for (;;) {
+      const uint32_t* bk = keys_.data() + static_cast<size_t>(b) * 16;
+      bool has_empty = false;
+      for (int s = 0; s < 16; ++s) {
+        if (bk[s] == k) {
+          out_rpays[j] = pays_[static_cast<size_t>(b) * 16 + s];
+          out_spays[j] = pays[i];
+          out_keys[j] = k;
+          ++j;
+        } else if (bk[s] == kEmptyKey) {
+          has_empty = true;
+          break;  // buckets fill front to back; chain ends here
+        }
+      }
+      if (has_empty) break;
+      b += step;
+      if (b >= nb) b -= nb;
+    }
+  }
+  return j;
+}
+
+// ---------------------------------------------------------------------------
+// BucketizedCuckooTable
+// ---------------------------------------------------------------------------
+
+BucketizedCuckooTable::BucketizedCuckooTable(size_t num_slots, uint64_t seed)
+    : seed_(seed),
+      factor1_(HashFactor(seed, 0)),
+      factor2_(HashFactor(seed, 1)) {
+  n_buckets_ = (num_slots + 15) / 16;
+  if (n_buckets_ < 2) n_buckets_ = 2;
+  keys_.Reset(n_buckets_ * 16);
+  pays_.Reset(n_buckets_ * 16);
+  Clear();
+}
+
+void BucketizedCuckooTable::Clear() {
+  std::memset(keys_.data(), 0xFF, keys_.size() * sizeof(uint32_t));
+  std::memset(pays_.data(), 0, pays_.size() * sizeof(uint32_t));
+  count_ = 0;
+}
+
+void BucketizedCuckooTable::Reseed() {
+  ++reseed_count_;
+  factor1_ = HashFactor(seed_ + 104729u * reseed_count_, 0);
+  factor2_ = HashFactor(seed_ + 104729u * reseed_count_, 1);
+}
+
+bool BucketizedCuckooTable::Insert(uint32_t k, uint32_t v,
+                                   uint32_t* rng_state) {
+  uint32_t b = Bucket1(k);
+  for (int kick = 0; kick < kMaxKicks; ++kick) {
+    // Try to place in the current bucket.
+    uint32_t* bk = keys_.data() + static_cast<size_t>(b) * 16;
+    for (int s = 0; s < 16; ++s) {
+      if (bk[s] == kEmptyKey) {
+        bk[s] = k;
+        pays_[static_cast<size_t>(b) * 16 + s] = v;
+        return true;
+      }
+    }
+    // Try the alternate bucket.
+    uint32_t b1 = Bucket1(k);
+    uint32_t alt = (b == b1) ? Bucket2(k) : b1;
+    uint32_t* ak = keys_.data() + static_cast<size_t>(alt) * 16;
+    for (int s = 0; s < 16; ++s) {
+      if (ak[s] == kEmptyKey) {
+        ak[s] = k;
+        pays_[static_cast<size_t>(alt) * 16 + s] = v;
+        return true;
+      }
+    }
+    // Both full: evict a pseudo-random victim from the alternate bucket.
+    *rng_state = *rng_state * 1664525u + 1013904223u;
+    int s = static_cast<int>(*rng_state >> 28);
+    uint32_t vk = ak[s];
+    uint32_t vv = pays_[static_cast<size_t>(alt) * 16 + s];
+    ak[s] = k;
+    pays_[static_cast<size_t>(alt) * 16 + s] = v;
+    k = vk;
+    v = vv;
+    b = (alt == Bucket1(k)) ? Bucket2(k) : Bucket1(k);
+  }
+  return false;
+}
+
+bool BucketizedCuckooTable::BuildScalar(const uint32_t* keys,
+                                        const uint32_t* pays, size_t n) {
+  for (int attempt = 0; attempt < kMaxRebuilds; ++attempt) {
+    uint32_t rng_state = static_cast<uint32_t>(seed_) + 1;
+    size_t i = 0;
+    for (; i < n; ++i) {
+      if (!Insert(keys[i], pays[i], &rng_state)) break;
+    }
+    if (i == n) {
+      count_ += n;
+      return true;
+    }
+    Clear();
+    Reseed();
+  }
+  return false;
+}
+
+size_t BucketizedCuckooTable::ProbeScalar(const uint32_t* keys,
+                                          const uint32_t* pays, size_t n,
+                                          uint32_t* out_keys,
+                                          uint32_t* out_spays,
+                                          uint32_t* out_rpays) const {
+  size_t j = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t k = keys[i];
+    for (uint32_t b : {Bucket1(k), Bucket2(k)}) {
+      const uint32_t* bk = keys_.data() + static_cast<size_t>(b) * 16;
+      bool found = false;
+      for (int s = 0; s < 16; ++s) {
+        if (bk[s] == k) {
+          out_rpays[j] = pays_[static_cast<size_t>(b) * 16 + s];
+          out_spays[j] = pays[i];
+          out_keys[j] = k;
+          ++j;
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+  }
+  return j;
+}
+
+}  // namespace simddb

@@ -1,0 +1,72 @@
+// Horizontal SIMD probing for bucketized tables: broadcast one probe key,
+// compare against a 16-slot bucket with one vector comparison [30].
+
+#include "core/avx512_ops.h"
+#include "hash/bucketized.h"
+
+namespace simddb {
+
+size_t BucketizedTable::ProbeHorizontalAvx512(
+    const uint32_t* keys, const uint32_t* pays, size_t n, uint32_t* out_keys,
+    uint32_t* out_spays, uint32_t* out_rpays) const {
+  const uint32_t nb = static_cast<uint32_t>(n_buckets_);
+  const __m512i empty = _mm512_set1_epi32(static_cast<int>(kEmptyKey));
+  size_t j = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t k = keys[i];
+    uint32_t s_pay = pays[i];
+    const __m512i kv = _mm512_set1_epi32(static_cast<int>(k));
+    uint32_t b = BucketFor(k);
+    uint32_t step = StepFor(k);
+    for (;;) {
+      const uint32_t* bk = keys_.data() + static_cast<size_t>(b) * 16;
+      __m512i w = _mm512_load_si512(bk);
+      uint32_t match = _mm512_cmpeq_epi32_mask(w, kv);
+      uint32_t at_empty = _mm512_cmpeq_epi32_mask(w, empty);
+      if (at_empty != 0) {
+        // Buckets fill front to back: slots past the first empty are unused.
+        match &= (1u << __builtin_ctz(at_empty)) - 1;
+      }
+      while (match != 0) {
+        uint32_t s = static_cast<uint32_t>(__builtin_ctz(match));
+        out_rpays[j] = pays_[static_cast<size_t>(b) * 16 + s];
+        out_spays[j] = s_pay;
+        out_keys[j] = k;
+        ++j;
+        match &= match - 1;
+      }
+      if (at_empty != 0) break;
+      b += step;
+      if (b >= nb) b -= nb;
+    }
+  }
+  return j;
+}
+
+size_t BucketizedCuckooTable::ProbeHorizontalAvx512(
+    const uint32_t* keys, const uint32_t* pays, size_t n, uint32_t* out_keys,
+    uint32_t* out_spays, uint32_t* out_rpays) const {
+  size_t j = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t k = keys[i];
+    const __m512i kv = _mm512_set1_epi32(static_cast<int>(k));
+    uint32_t b = Bucket1(k);
+    const uint32_t* bk = keys_.data() + static_cast<size_t>(b) * 16;
+    uint32_t match = _mm512_cmpeq_epi32_mask(_mm512_load_si512(bk), kv);
+    if (match == 0) {
+      b = Bucket2(k);
+      bk = keys_.data() + static_cast<size_t>(b) * 16;
+      match = _mm512_cmpeq_epi32_mask(_mm512_load_si512(bk), kv);
+    }
+    if (match != 0) {
+      uint32_t s = static_cast<uint32_t>(__builtin_ctz(match));
+      out_rpays[j] = pays_[static_cast<size_t>(b) * 16 + s];
+      out_spays[j] = pays[i];
+      out_keys[j] = k;
+      ++j;
+    }
+  }
+  return j;
+}
+
+}  // namespace simddb

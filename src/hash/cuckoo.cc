@@ -1,0 +1,130 @@
+#include "hash/cuckoo.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace simddb {
+
+namespace {
+// Displacement bound per scalar insert before declaring the attempt failed.
+constexpr int kMaxKicks = 500;
+// Whole-build retries (with fresh hash factors) before giving up.
+constexpr int kMaxRebuilds = 8;
+}  // namespace
+
+CuckooTable::CuckooTable(size_t num_buckets, uint64_t seed)
+    : keys_(num_buckets),
+      pays_(num_buckets),
+      n_buckets_(num_buckets),
+      seed_(seed),
+      factor1_(HashFactor(seed, 0)),
+      factor2_(HashFactor(seed, 1)) {
+  assert(num_buckets >= 32);
+  Clear();
+}
+
+void CuckooTable::Clear() {
+  std::memset(keys_.data(), 0xFF, keys_.size() * sizeof(uint32_t));
+  std::memset(pays_.data(), 0, pays_.size() * sizeof(uint32_t));
+  count_ = 0;
+}
+
+void CuckooTable::Reseed() {
+  ++reseed_count_;
+  factor1_ = HashFactor(seed_ + 7919u * reseed_count_, 0);
+  factor2_ = HashFactor(seed_ + 7919u * reseed_count_, 1);
+}
+
+bool CuckooTable::InsertScalar(uint32_t k, uint32_t v) {
+  uint32_t h = Hash1(k);
+  for (int kick = 0; kick < kMaxKicks; ++kick) {
+    if (keys_[h] == kEmptyKey) {
+      keys_[h] = k;
+      pays_[h] = v;
+      return true;
+    }
+    // Displace the occupant and continue with it at its alternate bucket.
+    uint32_t ok = keys_[h];
+    uint32_t ov = pays_[h];
+    keys_[h] = k;
+    pays_[h] = v;
+    k = ok;
+    v = ov;
+    uint32_t h1 = Hash1(k);
+    h = (h == h1) ? Hash2(k) : h1;
+  }
+  return false;
+}
+
+bool CuckooTable::BuildScalar(const uint32_t* keys, const uint32_t* pays,
+                              size_t n) {
+  for (int attempt = 0; attempt < kMaxRebuilds; ++attempt) {
+    size_t i = 0;
+    for (; i < n; ++i) {
+      if (!InsertScalar(keys[i], pays[i])) break;
+    }
+    if (i == n) {
+      count_ += n;
+      return true;
+    }
+    Clear();
+    Reseed();
+  }
+  return false;
+}
+
+bool CuckooTable::Build(Isa isa, const uint32_t* keys, const uint32_t* pays,
+                        size_t n) {
+  if (isa == Isa::kAvx512 && IsaSupported(Isa::kAvx512)) {
+    return BuildAvx512(keys, pays, n);
+  }
+  return BuildScalar(keys, pays, n);
+}
+
+size_t CuckooTable::ProbeScalarBranching(const uint32_t* keys,
+                                         const uint32_t* pays, size_t n,
+                                         uint32_t* out_keys,
+                                         uint32_t* out_spays,
+                                         uint32_t* out_rpays) const {
+  size_t j = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t k = keys[i];
+    uint32_t h = Hash1(k);
+    if (keys_[h] != k) {
+      h = Hash2(k);
+      if (keys_[h] != k) continue;
+    }
+    out_rpays[j] = pays_[h];
+    out_spays[j] = pays[i];
+    out_keys[j] = k;
+    ++j;
+  }
+  return j;
+}
+
+// Branch-free variant [42]: always read both buckets and blend the result
+// with comparison masks; advance the output cursor by the match bit.
+size_t CuckooTable::ProbeScalarBranchless(const uint32_t* keys,
+                                          const uint32_t* pays, size_t n,
+                                          uint32_t* out_keys,
+                                          uint32_t* out_spays,
+                                          uint32_t* out_rpays) const {
+  size_t j = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t k = keys[i];
+    uint32_t h1 = Hash1(k);
+    uint32_t h2 = Hash2(k);
+    uint32_t k1 = keys_[h1];
+    uint32_t k2 = keys_[h2];
+    uint32_t m1 = (k1 == k) ? 0xFFFFFFFFu : 0;
+    uint32_t m2 = (k2 == k) ? 0xFFFFFFFFu : 0;
+    uint32_t rpay = (pays_[h1] & m1) | (pays_[h2] & m2);
+    out_rpays[j] = rpay;
+    out_spays[j] = pays[i];
+    out_keys[j] = k;
+    j += (m1 | m2) & 1u;
+  }
+  return j;
+}
+
+}  // namespace simddb

@@ -1,0 +1,51 @@
+// AVX2 vertical cuckoo probe (select flavour): native gathers, emulated
+// selective stores, 8 probe keys per vector.
+
+#include "core/avx2_ops.h"
+#include "hash/cuckoo.h"
+
+namespace simddb {
+
+size_t CuckooTable::ProbeAvx2(const uint32_t* keys, const uint32_t* pays,
+                              size_t n, uint32_t* out_keys,
+                              uint32_t* out_spays, uint32_t* out_rpays) const {
+  namespace v = simddb::avx2;
+  const __m256i f1 = _mm256_set1_epi32(static_cast<int>(factor1_));
+  const __m256i f2 = _mm256_set1_epi32(static_cast<int>(factor2_));
+  const __m256i nb = _mm256_set1_epi32(static_cast<int>(n_buckets_));
+  size_t i = 0;
+  size_t j = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i key =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    __m256i pay =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pays + i));
+    __m256i h1 = v::MultHash(key, f1, nb);
+    __m256i table_key = v::Gather(keys_.data(), h1);
+    uint32_t miss =
+        v::MoveMask(_mm256_cmpeq_epi32(table_key, key)) ^ 0xFFu;
+    __m256i h2 = v::MultHash(key, f2, nb);
+    __m256i h = h1;
+    if (miss != 0) {
+      alignas(32) int32_t miss_lanes[8];
+      for (int t = 0; t < 8; ++t) miss_lanes[t] = (miss >> t) & 1 ? -1 : 0;
+      __m256i mv =
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(miss_lanes));
+      h = _mm256_blendv_epi8(h1, h2, mv);
+      table_key = v::MaskGather(table_key, miss, keys_.data(), h);
+    }
+    uint32_t match = v::MoveMask(_mm256_cmpeq_epi32(table_key, key));
+    if (match != 0) {
+      __m256i table_pay = v::MaskGather(table_key, match, pays_.data(), h);
+      v::SelectiveStore(out_keys + j, match, key);
+      v::SelectiveStore(out_spays + j, match, pay);
+      v::SelectiveStore(out_rpays + j, match, table_pay);
+      j += __builtin_popcount(match);
+    }
+  }
+  j += ProbeScalarBranching(keys + i, pays + i, n - i, out_keys + j,
+                            out_spays + j, out_rpays + j);
+  return j;
+}
+
+}  // namespace simddb

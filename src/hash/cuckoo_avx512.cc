@@ -1,0 +1,163 @@
+// AVX-512 cuckoo kernels: vertical probes (Alg. 9) and the fully
+// vectorized build with displacement (Alg. 10).
+
+#include "core/avx512_ops.h"
+#include "hash/cuckoo.h"
+
+namespace simddb {
+namespace {
+
+namespace v = simddb::avx512;
+
+constexpr int kMaxStalledIterations = 500;
+
+}  // namespace
+
+// Alg. 9, "select" flavour: gather the first bucket, and the second bucket
+// only for the lanes that missed. Probing is stable (reads input in order).
+size_t CuckooTable::ProbeVerticalSelectAvx512(
+    const uint32_t* keys, const uint32_t* pays, size_t n, uint32_t* out_keys,
+    uint32_t* out_spays, uint32_t* out_rpays) const {
+  const __m512i f1 = _mm512_set1_epi32(static_cast<int>(factor1_));
+  const __m512i f2 = _mm512_set1_epi32(static_cast<int>(factor2_));
+  const __m512i nb = _mm512_set1_epi32(static_cast<int>(n_buckets_));
+  size_t i = 0;
+  size_t j = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512i key = _mm512_loadu_si512(keys + i);
+    __m512i pay = _mm512_loadu_si512(pays + i);
+    __m512i h1 = v::MultHash(key, f1, nb);
+    __m512i table_key = v::Gather(keys_.data(), h1);
+    __mmask16 miss = _mm512_cmpneq_epi32_mask(table_key, key);
+    __m512i h2 = v::MultHash(key, f2, nb);
+    __m512i h = _mm512_mask_mov_epi32(h1, miss, h2);
+    table_key = v::MaskGather(table_key, miss, keys_.data(), h);
+    __mmask16 match = _mm512_cmpeq_epi32_mask(table_key, key);
+    if (match != 0) {
+      __m512i table_pay = v::MaskGather(table_key, match, pays_.data(), h);
+      v::SelectiveStore(out_keys + j, match, key);
+      v::SelectiveStore(out_spays + j, match, pay);
+      v::SelectiveStore(out_rpays + j, match, table_pay);
+      j += __builtin_popcount(match);
+    }
+  }
+  j += ProbeScalarBranching(keys + i, pays + i, n - i, out_keys + j,
+                            out_spays + j, out_rpays + j);
+  return j;
+}
+
+// Alg. 9, "blend" flavour [42]: always gather both candidate buckets (keys
+// and payloads) and combine them with bitwise blends — no dependent gather.
+size_t CuckooTable::ProbeVerticalBlendAvx512(
+    const uint32_t* keys, const uint32_t* pays, size_t n, uint32_t* out_keys,
+    uint32_t* out_spays, uint32_t* out_rpays) const {
+  const __m512i f1 = _mm512_set1_epi32(static_cast<int>(factor1_));
+  const __m512i f2 = _mm512_set1_epi32(static_cast<int>(factor2_));
+  const __m512i nb = _mm512_set1_epi32(static_cast<int>(n_buckets_));
+  size_t i = 0;
+  size_t j = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512i key = _mm512_loadu_si512(keys + i);
+    __m512i pay = _mm512_loadu_si512(pays + i);
+    __m512i h1 = v::MultHash(key, f1, nb);
+    __m512i h2 = v::MultHash(key, f2, nb);
+    __m512i k1 = v::Gather(keys_.data(), h1);
+    __m512i k2 = v::Gather(keys_.data(), h2);
+    __m512i p1 = v::Gather(pays_.data(), h1);
+    __m512i p2 = v::Gather(pays_.data(), h2);
+    __mmask16 m1 = _mm512_cmpeq_epi32_mask(k1, key);
+    __mmask16 m2 = _mm512_cmpeq_epi32_mask(k2, key);
+    __mmask16 match = m1 | m2;
+    if (match != 0) {
+      __m512i table_pay = _mm512_mask_mov_epi32(p2, m1, p1);
+      v::SelectiveStore(out_keys + j, match, key);
+      v::SelectiveStore(out_spays + j, match, pay);
+      v::SelectiveStore(out_rpays + j, match, table_pay);
+      j += __builtin_popcount(match);
+    }
+  }
+  j += ProbeScalarBranchless(keys + i, pays + i, n - i, out_keys + j,
+                             out_spays + j, out_rpays + j);
+  return j;
+}
+
+// Alg. 10: fully vectorized cuckoo build. Each lane carries either a newly
+// loaded tuple, a tuple displaced in the previous iteration, or a tuple
+// whose scatter conflicted. New tuples try bucket 1 then bucket 2; carried
+// tuples use the alternate of the bucket they last touched; every lane
+// scatters unconditionally (store-or-swap), and a gather-back identifies
+// conflicting lanes.
+bool CuckooTable::BuildAvx512(const uint32_t* keys, const uint32_t* pays,
+                              size_t n) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const __m512i f1 = _mm512_set1_epi32(static_cast<int>(factor1_));
+    const __m512i f2 = _mm512_set1_epi32(static_cast<int>(factor2_));
+    const __m512i nb = _mm512_set1_epi32(static_cast<int>(n_buckets_));
+    const __m512i empty = _mm512_set1_epi32(static_cast<int>(kEmptyKey));
+    __m512i key = empty;  // lanes start "done": all reload immediately
+    __m512i pay = _mm512_setzero_si512();
+    __m512i h = _mm512_setzero_si512();
+    __mmask16 need = 0xFFFF;
+    size_t i = 0;
+    int stalled = 0;
+    bool failed = false;
+    while (i + 16 <= n) {
+      if (need == 0) {
+        if (++stalled > kMaxStalledIterations) {
+          failed = true;
+          break;
+        }
+      } else {
+        stalled = 0;
+      }
+      key = v::SelectiveLoad(key, need, keys + i);
+      pay = v::SelectiveLoad(pay, need, pays + i);
+      i += __builtin_popcount(need);
+      __m512i h1 = v::MultHash(key, f1, nb);
+      __m512i h2 = v::MultHash(key, f2, nb);
+      // Carried tuples flip to their alternate bucket; new tuples start at
+      // bucket 1.
+      __m512i h_other =
+          _mm512_sub_epi32(_mm512_add_epi32(h1, h2), h);
+      h = _mm512_mask_mov_epi32(h_other, need, h1);
+      __m512i table_key = v::Gather(keys_.data(), h);
+      __m512i table_pay = v::Gather(pays_.data(), h);
+      // New tuples whose first bucket is occupied try bucket 2 instead.
+      __mmask16 second = _mm512_mask_cmpneq_epi32_mask(need, table_key, empty);
+      h = _mm512_mask_mov_epi32(h, second, h2);
+      table_key = v::MaskGather(table_key, second, keys_.data(), h);
+      table_pay = v::MaskGather(table_pay, second, pays_.data(), h);
+      // Store-or-swap: every lane scatters its tuple.
+      v::Scatter(keys_.data(), h, key);
+      v::Scatter(pays_.data(), h, pay);
+      __m512i back = v::Gather(keys_.data(), h);
+      __mmask16 conflict = _mm512_cmpneq_epi32_mask(back, key);
+      // Winners take the displaced occupant (or empty); losers retry.
+      key = _mm512_mask_mov_epi32(table_key, conflict, key);
+      pay = _mm512_mask_mov_epi32(table_pay, conflict, pay);
+      need = _mm512_cmpeq_epi32_mask(key, empty);
+    }
+    if (!failed) {
+      // Drain in-flight lanes and the input tail with scalar inserts.
+      alignas(64) uint32_t lk[16], lv[16];
+      _mm512_store_si512(lk, key);
+      _mm512_store_si512(lv, pay);
+      for (int lane = 0; lane < 16 && !failed; ++lane) {
+        if (need & (1u << lane)) continue;
+        if (!InsertScalar(lk[lane], lv[lane])) failed = true;
+      }
+      for (size_t t = i; t < n && !failed; ++t) {
+        if (!InsertScalar(keys[t], pays[t])) failed = true;
+      }
+    }
+    if (!failed) {
+      count_ += n;
+      return true;
+    }
+    Clear();
+    Reseed();
+  }
+  return false;
+}
+
+}  // namespace simddb

@@ -1,0 +1,98 @@
+#include "hash/double_hashing.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/bits.h"
+
+namespace simddb {
+
+DoubleHashingTable::DoubleHashingTable(size_t num_buckets, uint64_t seed)
+    : n_buckets_(NextPowerOfTwo(num_buckets < 16 ? 16 : num_buckets)),
+      factor1_(HashFactor(seed, 0)),
+      factor2_(HashFactor(seed, 1)) {
+  keys_.Reset(n_buckets_);
+  pays_.Reset(n_buckets_);
+  Clear();
+}
+
+void DoubleHashingTable::Clear() {
+  std::memset(keys_.data(), 0xFF, keys_.size() * sizeof(uint32_t));
+  std::memset(pays_.data(), 0, pays_.size() * sizeof(uint32_t));
+  count_ = 0;
+}
+
+void DoubleHashingTable::Build(Isa isa, const uint32_t* keys,
+                               const uint32_t* pays, size_t n) {
+  if (isa == Isa::kAvx512 && IsaSupported(Isa::kAvx512)) {
+    BuildAvx512(keys, pays, n);
+    return;
+  }
+  BuildScalar(keys, pays, n);
+}
+
+void DoubleHashingTable::BuildScalar(const uint32_t* keys,
+                                     const uint32_t* pays, size_t n) {
+  assert(count_ + n < n_buckets_);
+  const uint32_t nb = static_cast<uint32_t>(n_buckets_);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t k = keys[i];
+    uint32_t h = HashFor(k);
+    uint32_t step = StepFor(k);
+    while (keys_[h] != kEmptyKey) {
+      h += step;
+      if (h >= nb) h -= nb;
+    }
+    keys_[h] = k;
+    pays_[h] = pays[i];
+  }
+  count_ += n;
+}
+
+size_t DoubleHashingTable::ProbeScalar(const uint32_t* keys,
+                                       const uint32_t* pays, size_t n,
+                                       uint32_t* out_keys, uint32_t* out_spays,
+                                       uint32_t* out_rpays) const {
+  const uint32_t nb = static_cast<uint32_t>(n_buckets_);
+  size_t j = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t k = keys[i];
+    uint32_t v = pays[i];
+    uint32_t h = HashFor(k);
+    uint32_t step = StepFor(k);
+    while (keys_[h] != kEmptyKey) {
+      if (keys_[h] == k) {
+        out_rpays[j] = pays_[h];
+        out_spays[j] = v;
+        out_keys[j] = k;
+        ++j;
+      }
+      h += step;
+      if (h >= nb) h -= nb;
+    }
+  }
+  return j;
+}
+
+size_t DoubleHashingTable::Probe(Isa isa, const uint32_t* keys,
+                                 const uint32_t* pays, size_t n,
+                                 uint32_t* out_keys, uint32_t* out_spays,
+                                 uint32_t* out_rpays) const {
+  switch (isa) {
+    case Isa::kAvx512:
+      if (IsaSupported(Isa::kAvx512)) {
+        return ProbeAvx512(keys, pays, n, out_keys, out_spays, out_rpays);
+      }
+      break;
+    case Isa::kAvx2:
+      if (IsaSupported(Isa::kAvx2)) {
+        return ProbeAvx2(keys, pays, n, out_keys, out_spays, out_rpays);
+      }
+      break;
+    case Isa::kScalar:
+      break;
+  }
+  return ProbeScalar(keys, pays, n, out_keys, out_spays, out_rpays);
+}
+
+}  // namespace simddb

@@ -1,0 +1,82 @@
+// AVX2 vertical double-hashing probe: 8 lanes, native gathers, emulated
+// selective loads/stores (the paper's Haswell configuration).
+
+#include "core/avx2_ops.h"
+#include "hash/double_hashing.h"
+
+namespace simddb {
+
+size_t DoubleHashingTable::ProbeAvx2(const uint32_t* keys,
+                                     const uint32_t* pays, size_t n,
+                                     uint32_t* out_keys, uint32_t* out_spays,
+                                     uint32_t* out_rpays) const {
+  namespace v = simddb::avx2;
+  const __m256i f1 = _mm256_set1_epi32(static_cast<int>(factor1_));
+  const __m256i f2 = _mm256_set1_epi32(static_cast<int>(factor2_));
+  const __m256i nb = _mm256_set1_epi32(static_cast<int>(n_buckets_));
+  const __m256i nb1 = _mm256_set1_epi32(static_cast<int>(n_buckets_ - 1));
+  const __m256i empty = _mm256_set1_epi32(static_cast<int>(kEmptyKey));
+  const __m256i one = _mm256_set1_epi32(1);
+  __m256i key = _mm256_setzero_si256();
+  __m256i pay = _mm256_setzero_si256();
+  __m256i h = _mm256_setzero_si256();
+  __m256i step = _mm256_setzero_si256();
+  uint32_t need = 0xFF;
+  size_t i = 0;
+  size_t j = 0;
+  while (i + 8 <= n) {
+    __m256i need_v = _mm256_setr_epi32(
+        (need >> 0 & 1) ? -1 : 0, (need >> 1 & 1) ? -1 : 0,
+        (need >> 2 & 1) ? -1 : 0, (need >> 3 & 1) ? -1 : 0,
+        (need >> 4 & 1) ? -1 : 0, (need >> 5 & 1) ? -1 : 0,
+        (need >> 6 & 1) ? -1 : 0, (need >> 7 & 1) ? -1 : 0);
+    key = v::SelectiveLoad(key, need, keys + i);
+    pay = v::SelectiveLoad(pay, need, pays + i);
+    i += __builtin_popcount(need);
+    __m256i h0 = v::MultHash(key, f1, nb);
+    __m256i new_step = _mm256_or_si256(
+        _mm256_add_epi32(v::MultHash(key, f2, nb1), one), one);
+    step = _mm256_blendv_epi8(step, new_step, need_v);
+    __m256i advanced = _mm256_add_epi32(h, step);
+    __m256i in_range = _mm256_cmpgt_epi32(nb, advanced);
+    advanced = _mm256_sub_epi32(advanced, _mm256_andnot_si256(in_range, nb));
+    h = _mm256_blendv_epi8(advanced, h0, need_v);
+    __m256i table_key = v::Gather(keys_.data(), h);
+    uint32_t match = v::MoveMask(_mm256_cmpeq_epi32(table_key, key));
+    if (match != 0) {
+      __m256i table_pay = v::MaskGather(table_key, match, pays_.data(), h);
+      v::SelectiveStore(out_keys + j, match, key);
+      v::SelectiveStore(out_spays + j, match, pay);
+      v::SelectiveStore(out_rpays + j, match, table_pay);
+      j += __builtin_popcount(match);
+    }
+    need = v::MoveMask(_mm256_cmpeq_epi32(table_key, empty));
+  }
+  alignas(32) uint32_t lk[8], lv[8], lh[8], ls[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lk), key);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lv), pay);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lh), h);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(ls), step);
+  const uint32_t nb_s = static_cast<uint32_t>(n_buckets_);
+  for (int lane = 0; lane < 8; ++lane) {
+    if (need & (1u << lane)) continue;
+    uint32_t k = lk[lane];
+    uint32_t bucket = lh[lane] + ls[lane];
+    if (bucket >= nb_s) bucket -= nb_s;
+    while (keys_[bucket] != kEmptyKey) {
+      if (keys_[bucket] == k) {
+        out_rpays[j] = pays_[bucket];
+        out_spays[j] = lv[lane];
+        out_keys[j] = k;
+        ++j;
+      }
+      bucket += ls[lane];
+      if (bucket >= nb_s) bucket -= nb_s;
+    }
+  }
+  j += ProbeScalar(keys + i, pays + i, n - i, out_keys + j, out_spays + j,
+                   out_rpays + j);
+  return j;
+}
+
+}  // namespace simddb

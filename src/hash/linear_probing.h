@@ -1,0 +1,90 @@
+#ifndef SIMDDB_HASH_LINEAR_PROBING_H_
+#define SIMDDB_HASH_LINEAR_PROBING_H_
+
+// Linear-probing hash table (§5.1): open addressing, no pointers, traverse
+// linearly until an empty bucket. Build and probe exist in three forms:
+//
+//   scalar       Alg. 4 / Alg. 6 — the paper's baseline.
+//   vertical     Alg. 5 / Alg. 7 — one input key per vector lane, gathers
+//                into the table, lane refill via selective loads, conflict
+//                detection on build via scatter + gather-back.
+//   horizontal   one probe key compared against W consecutive buckets with
+//                one vector comparison (the prior state of the art [30];
+//                see also bucketized.h for the bucket-aligned variant).
+//
+// Duplicate keys are allowed; Probe* returns every match. The table must
+// keep at least one empty bucket (load factor < 1) or probing of an absent
+// key would not terminate.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/isa.h"
+#include "hash/hash_table.h"
+#include "util/aligned_buffer.h"
+
+namespace simddb {
+
+class LinearProbingTable {
+ public:
+  /// Creates a table with `num_buckets` buckets (must be >= 16). The seed
+  /// determines the hash factor.
+  explicit LinearProbingTable(size_t num_buckets, uint64_t seed = 42);
+
+  /// Empties the table.
+  void Clear();
+
+  /// Inserts n (key, payload) tuples. Keys must differ from kEmptyKey and
+  /// total occupancy must stay below num_buckets().
+  void Build(Isa isa, const uint32_t* keys, const uint32_t* pays, size_t n);
+  void BuildScalar(const uint32_t* keys, const uint32_t* pays, size_t n);
+  /// Alg. 7. If assume_unique_keys is true, uses the paper's optimization of
+  /// scattering the keys themselves to detect conflicts (saves one scatter).
+  void BuildAvx512(const uint32_t* keys, const uint32_t* pays, size_t n,
+                   bool assume_unique_keys = false);
+
+  /// Probes n (key, payload) tuples; writes one output tuple
+  /// (key, probe payload, table payload) per match and returns the match
+  /// count. Output buffers must have room for all matches. Vertical
+  /// variants emit matches out of input order (the paper's "unstable"
+  /// probing); the scalar and horizontal variants are stable.
+  size_t Probe(Isa isa, const uint32_t* keys, const uint32_t* pays, size_t n,
+               uint32_t* out_keys, uint32_t* out_spays,
+               uint32_t* out_rpays) const;
+  size_t ProbeScalar(const uint32_t* keys, const uint32_t* pays, size_t n,
+                     uint32_t* out_keys, uint32_t* out_spays,
+                     uint32_t* out_rpays) const;
+  size_t ProbeAvx512(const uint32_t* keys, const uint32_t* pays, size_t n,
+                     uint32_t* out_keys, uint32_t* out_spays,
+                     uint32_t* out_rpays) const;
+  size_t ProbeAvx2(const uint32_t* keys, const uint32_t* pays, size_t n,
+                   uint32_t* out_keys, uint32_t* out_spays,
+                   uint32_t* out_rpays) const;
+  /// Horizontal vectorization: each probe key is compared against 16
+  /// consecutive buckets per step (wrap-around handled via a 16-bucket
+  /// mirror pad).
+  size_t ProbeHorizontalAvx512(const uint32_t* keys, const uint32_t* pays,
+                               size_t n, uint32_t* out_keys,
+                               uint32_t* out_spays, uint32_t* out_rpays) const;
+
+  size_t num_buckets() const { return n_buckets_; }
+  size_t size() const { return count_; }
+  uint32_t factor() const { return factor_; }
+  const uint32_t* bucket_keys() const { return keys_.data(); }
+  const uint32_t* bucket_pays() const { return pays_.data(); }
+
+ private:
+  // Mirrors buckets [0, 16) after the end of the arrays so horizontal
+  // probing can read a full window at any starting bucket.
+  void SyncWrapPad();
+
+  AlignedBuffer<uint32_t> keys_;
+  AlignedBuffer<uint32_t> pays_;
+  size_t n_buckets_;
+  size_t count_ = 0;
+  uint32_t factor_;
+};
+
+}  // namespace simddb
+
+#endif  // SIMDDB_HASH_LINEAR_PROBING_H_

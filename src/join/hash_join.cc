@@ -1,0 +1,432 @@
+#include "join/hash_join.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "hash/hash_table.h"
+#include "partition/parallel_partition.h"
+#include "partition/partition_fn.h"
+#include "util/aligned_buffer.h"
+#include "util/bits.h"
+#include "util/prefix_sum.h"
+#include "util/thread_team.h"
+#include "util/timer.h"
+
+namespace simddb {
+namespace detail {
+
+// Declared here, defined in hash_join_avx512.cc.
+void BuildFlatAvx512(uint32_t* table_keys, uint32_t* table_pays, uint32_t nb,
+                     uint32_t hash_factor, const uint32_t* keys,
+                     const uint32_t* pays, size_t n);
+
+// Scalar LP build into a flat (pre-cleared) table region of nb buckets.
+void BuildFlatScalar(uint32_t* table_keys, uint32_t* table_pays, uint32_t nb,
+                     uint32_t hash_factor, const uint32_t* keys,
+                     const uint32_t* pays, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t k = keys[i];
+    uint32_t h = MultHash32(k, hash_factor, nb);
+    while (table_keys[h] != kEmptyKey) {
+      if (++h == nb) h = 0;
+    }
+    table_keys[h] = k;
+    table_pays[h] = pays[i];
+  }
+}
+
+size_t ProbeTableBankScalar(const uint32_t* table_keys,
+                            const uint32_t* table_pays, const uint32_t* base,
+                            const uint32_t* size, uint32_t hash_factor,
+                            uint32_t part_factor, uint32_t part_count,
+                            const uint32_t* keys, const uint32_t* pays,
+                            size_t n, uint32_t* out_keys, uint32_t* out_spays,
+                            uint32_t* out_rpays) {
+  size_t j = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t k = keys[i];
+    uint32_t part =
+        part_count == 1 ? 0 : MultHash32(k, part_factor, part_count);
+    uint32_t nb = size[part];
+    uint32_t b = base[part];
+    uint32_t h = MultHash32(k, hash_factor, nb);
+    while (table_keys[b + h] != kEmptyKey) {
+      if (table_keys[b + h] == k) {
+        out_rpays[j] = table_pays[b + h];
+        out_spays[j] = pays[i];
+        out_keys[j] = k;
+        ++j;
+      }
+      if (++h == nb) h = 0;
+    }
+  }
+  return j;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::BuildFlatAvx512;
+using detail::BuildFlatScalar;
+using detail::ProbeTableBankAvx512;
+using detail::ProbeTableBankScalar;
+
+// Compacts per-thread (or per-part) output segments written at seg_begin[i]
+// with seg_count[i] tuples into a contiguous prefix. Returns the total.
+size_t CompactSegments(size_t n_segs, const uint64_t* seg_begin,
+                       const uint64_t* seg_count, uint32_t* out_keys,
+                       uint32_t* out_rpays, uint32_t* out_spays) {
+  size_t cursor = 0;
+  for (size_t i = 0; i < n_segs; ++i) {
+    size_t b = seg_begin[i];
+    size_t c = seg_count[i];
+    if (c > 0 && b != cursor) {
+      std::memmove(out_keys + cursor, out_keys + b, c * sizeof(uint32_t));
+      std::memmove(out_rpays + cursor, out_rpays + b, c * sizeof(uint32_t));
+      std::memmove(out_spays + cursor, out_spays + b, c * sizeof(uint32_t));
+    }
+    cursor += c;
+  }
+  return cursor;
+}
+
+size_t ProbeDispatch(bool vec, const uint32_t* tk, const uint32_t* tp,
+                     const uint32_t* base, const uint32_t* size,
+                     uint32_t hash_factor, uint32_t part_factor,
+                     uint32_t part_count, const uint32_t* keys,
+                     const uint32_t* pays, size_t n, uint32_t* ok,
+                     uint32_t* os, uint32_t* orp) {
+  if (vec) {
+    return ProbeTableBankAvx512(tk, tp, base, size, hash_factor, part_factor,
+                                part_count, keys, pays, n, ok, os, orp);
+  }
+  return ProbeTableBankScalar(tk, tp, base, size, hash_factor, part_factor,
+                              part_count, keys, pays, n, ok, os, orp);
+}
+
+}  // namespace
+
+size_t HashJoinNoPartition(const JoinRelation& r, const JoinRelation& s,
+                           const JoinConfig& cfg, uint32_t* out_keys,
+                           uint32_t* out_rpays, uint32_t* out_spays,
+                           JoinTimings* timings) {
+  const int t_count = cfg.threads < 1 ? 1 : cfg.threads;
+  const bool vec = cfg.isa == Isa::kAvx512 && IsaSupported(Isa::kAvx512);
+  const uint32_t nb =
+      static_cast<uint32_t>(NextPowerOfTwo(r.n * 2 + 32));
+  const uint32_t factor = HashFactor(cfg.seed, 0);
+  AlignedBuffer<uint32_t> tk(nb), tp(nb);
+  std::memset(tk.data(), 0xFF, nb * sizeof(uint32_t));
+
+  // Build a shared table with atomic compare-and-swap claims on the key
+  // slot; scatters cannot be atomic, so this phase is scalar by necessity.
+  Timer timer;
+  ThreadTeam::Run(t_count, [&](int t) {
+    size_t b = ThreadTeam::ChunkBegin(r.n, t_count, t);
+    size_t e = ThreadTeam::ChunkBegin(r.n, t_count, t + 1);
+    for (size_t i = b; i < e; ++i) {
+      uint32_t k = r.keys[i];
+      uint32_t h = MultHash32(k, factor, nb);
+      for (;;) {
+        uint32_t expected = kEmptyKey;
+        std::atomic_ref<uint32_t> slot(tk[h]);
+        if (slot.load(std::memory_order_relaxed) == kEmptyKey &&
+            slot.compare_exchange_strong(expected, k,
+                                         std::memory_order_acq_rel)) {
+          tp[h] = r.pays[i];
+          break;
+        }
+        if (++h == nb) h = 0;
+      }
+    }
+  });
+  if (timings != nullptr) timings->build_s = timer.Seconds();
+
+  // Read-only probe: no synchronization needed; vectorized.
+  timer.Reset();
+  const uint32_t base0 = 0;
+  std::vector<uint64_t> seg_begin(t_count), seg_count(t_count);
+  ThreadTeam::Run(t_count, [&](int t) {
+    size_t b = ThreadTeam::ChunkBegin(s.n, t_count, t);
+    size_t e = ThreadTeam::ChunkBegin(s.n, t_count, t + 1);
+    seg_begin[t] = b;
+    seg_count[t] = ProbeDispatch(vec, tk.data(), tp.data(), &base0, &nb,
+                                 factor, 1, 1, s.keys + b, s.pays + b, e - b,
+                                 out_keys + b, out_spays + b, out_rpays + b);
+  });
+  size_t total = CompactSegments(t_count, seg_begin.data(), seg_count.data(),
+                                 out_keys, out_rpays, out_spays);
+  if (timings != nullptr) timings->probe_s = timer.Seconds();
+  return total;
+}
+
+size_t HashJoinMinPartition(const JoinRelation& r, const JoinRelation& s,
+                            const JoinConfig& cfg, uint32_t* out_keys,
+                            uint32_t* out_rpays, uint32_t* out_spays,
+                            JoinTimings* timings) {
+  const int t_count = cfg.threads < 1 ? 1 : cfg.threads;
+  const bool vec = cfg.isa == Isa::kAvx512 && IsaSupported(Isa::kAvx512);
+  const uint32_t parts = static_cast<uint32_t>(t_count);
+  PartitionFn part_fn = PartitionFn::Hash(parts, cfg.seed + 1);
+  const uint32_t table_factor = HashFactor(cfg.seed, 0);
+
+  // Phase 1: hash-partition R so each thread owns one part (no atomics).
+  Timer timer;
+  AlignedBuffer<uint32_t> rp_keys(r.n + 16), rp_pays(r.n + 16);
+  std::vector<uint32_t> r_starts(parts + 1);
+  ParallelPartitionResources res;
+  ParallelPartitionPass(part_fn, r.keys, r.pays, r.n, rp_keys.data(),
+                        rp_pays.data(), cfg.isa, t_count, &res,
+                        r_starts.data());
+  if (timings != nullptr) timings->partition_s = timer.Seconds();
+
+  // Phase 2: per-part table builds, laid out in one flat bank so the
+  // vectorized probe can address any part's buckets.
+  timer.Reset();
+  std::vector<uint32_t> bank_base(parts), bank_size(parts);
+  uint64_t bank_total = 0;
+  for (uint32_t p = 0; p < parts; ++p) {
+    uint32_t part_n = r_starts[p + 1] - r_starts[p];
+    bank_size[p] =
+        static_cast<uint32_t>(NextPowerOfTwo(part_n * 2 + 32));
+    bank_base[p] = static_cast<uint32_t>(bank_total);
+    bank_total += bank_size[p];
+  }
+  AlignedBuffer<uint32_t> tk(bank_total), tp(bank_total);
+  std::memset(tk.data(), 0xFF, bank_total * sizeof(uint32_t));
+  ThreadTeam::Run(t_count, [&](int t) {
+    uint32_t p = static_cast<uint32_t>(t);
+    uint32_t b = r_starts[p];
+    uint32_t n_part = r_starts[p + 1] - b;
+    if (vec) {
+      BuildFlatAvx512(tk.data() + bank_base[p], tp.data() + bank_base[p],
+                      bank_size[p], table_factor, rp_keys.data() + b,
+                      rp_pays.data() + b, n_part);
+    } else {
+      BuildFlatScalar(tk.data() + bank_base[p], tp.data() + bank_base[p],
+                      bank_size[p], table_factor, rp_keys.data() + b,
+                      rp_pays.data() + b, n_part);
+    }
+  });
+  if (timings != nullptr) timings->build_s = timer.Seconds();
+
+  // Phase 3: probe across the bank (part chosen per key by the hash).
+  timer.Reset();
+  std::vector<uint64_t> seg_begin(t_count), seg_count(t_count);
+  ThreadTeam::Run(t_count, [&](int t) {
+    size_t b = ThreadTeam::ChunkBegin(s.n, t_count, t);
+    size_t e = ThreadTeam::ChunkBegin(s.n, t_count, t + 1);
+    seg_begin[t] = b;
+    seg_count[t] =
+        ProbeDispatch(vec, tk.data(), tp.data(), bank_base.data(),
+                      bank_size.data(), table_factor, part_fn.factor, parts,
+                      s.keys + b, s.pays + b, e - b, out_keys + b,
+                      out_spays + b, out_rpays + b);
+  });
+  size_t total = CompactSegments(t_count, seg_begin.data(), seg_count.data(),
+                                 out_keys, out_rpays, out_spays);
+  if (timings != nullptr) timings->probe_s = timer.Seconds();
+  return total;
+}
+
+namespace {
+
+// Second partitioning pass for the max-partition join: refine every
+// first-pass part by the low hash bits, in parallel over parts, with the
+// buffered-shuffle cleanup deferred behind a barrier so chunk-aligned
+// flushes cannot race with a neighbour part's final tuples.
+void SecondPass(const PartitionFn& fn2, uint32_t p1, uint32_t p2,
+                const uint32_t* in_keys, const uint32_t* in_pays,
+                const uint32_t* starts1, uint32_t* out_keys,
+                uint32_t* out_pays, uint32_t* bounds /* p1*p2 + 1 */,
+                bool vec, int t_count) {
+  std::vector<ShuffleBuffers> bufs(p1);
+  std::vector<uint32_t> all_offsets(static_cast<size_t>(p1) * p2);
+  std::atomic<uint32_t> next_part{0};
+  ThreadTeam::Run(t_count, [&](int) {
+    HistogramWorkspace ws;
+    for (;;) {
+      uint32_t p = next_part.fetch_add(1);
+      if (p >= p1) break;
+      uint32_t b = starts1[p];
+      uint32_t n_part = starts1[p + 1] - b;
+      uint32_t* offsets = all_offsets.data() + static_cast<size_t>(p) * p2;
+      if (vec) {
+        HistogramReplicatedAvx512(fn2, in_keys + b, n_part, offsets, &ws);
+      } else {
+        HistogramScalar(fn2, in_keys + b, n_part, offsets);
+      }
+      uint32_t sum = b;
+      for (uint32_t q = 0; q < p2; ++q) {
+        uint32_t c = offsets[q];
+        offsets[q] = sum;
+        bounds[static_cast<size_t>(p) * p2 + q] = sum;
+        sum += c;
+      }
+      if (vec) {
+        ShuffleVectorBufferedMainAvx512(fn2, in_keys + b, in_pays + b,
+                                        n_part, offsets, out_keys, out_pays,
+                                        &bufs[p]);
+      } else {
+        ShuffleScalarBufferedMain(fn2, in_keys + b, in_pays + b, n_part,
+                                  offsets, out_keys, out_pays, &bufs[p]);
+      }
+    }
+  });
+  // Barrier: all Main calls done; now repair buffered tails.
+  std::atomic<uint32_t> next_cleanup{0};
+  ThreadTeam::Run(t_count, [&](int) {
+    for (;;) {
+      uint32_t p = next_cleanup.fetch_add(1);
+      if (p >= p1) break;
+      ShuffleBufferedCleanup(
+          p2, all_offsets.data() + static_cast<size_t>(p) * p2, bufs[p],
+          out_keys, out_pays);
+    }
+  });
+}
+
+}  // namespace
+
+size_t HashJoinMaxPartition(const JoinRelation& r, const JoinRelation& s,
+                            const JoinConfig& cfg, uint32_t* out_keys,
+                            uint32_t* out_rpays, uint32_t* out_spays,
+                            JoinTimings* timings) {
+  const int t_count = cfg.threads < 1 ? 1 : cfg.threads;
+  const bool vec = cfg.isa == Isa::kAvx512 && IsaSupported(Isa::kAvx512);
+  const uint32_t target =
+      cfg.target_part_tuples < 64 ? 64 : cfg.target_part_tuples;
+  uint32_t p_total = static_cast<uint32_t>(
+      NextPowerOfTwo(r.n / target + 1));
+  if (p_total > (1u << 16)) p_total = 1u << 16;
+  const uint32_t total_bits = Log2Floor(p_total);
+  const uint32_t table_factor = HashFactor(cfg.seed, 0);
+
+  Timer timer;
+  AlignedBuffer<uint32_t> r_keys_a(r.n + 16), r_pays_a(r.n + 16);
+  AlignedBuffer<uint32_t> s_keys_a(s.n + 16), s_pays_a(s.n + 16);
+  std::vector<uint32_t> r_bounds(p_total + 1), s_bounds(p_total + 1);
+  ParallelPartitionResources res;
+
+  const uint32_t* rk;
+  const uint32_t* rp;
+  const uint32_t* sk;
+  const uint32_t* sp;
+  if (total_bits == 0) {
+    // Degenerate single partition: no movement.
+    rk = r.keys;
+    rp = r.pays;
+    sk = s.keys;
+    sp = s.pays;
+    r_bounds[0] = 0;
+    r_bounds[1] = static_cast<uint32_t>(r.n);
+    s_bounds[0] = 0;
+    s_bounds[1] = static_cast<uint32_t>(s.n);
+  } else if (total_bits <= 8) {
+    PartitionFn fn = PartitionFn::HashRadix(total_bits, 0, p_total,
+                                            cfg.seed + 1);
+    ParallelPartitionPass(fn, r.keys, r.pays, r.n, r_keys_a.data(),
+                          r_pays_a.data(), cfg.isa, t_count, &res,
+                          r_bounds.data());
+    ParallelPartitionPass(fn, s.keys, s.pays, s.n, s_keys_a.data(),
+                          s_pays_a.data(), cfg.isa, t_count, &res,
+                          s_bounds.data());
+    rk = r_keys_a.data();
+    rp = r_pays_a.data();
+    sk = s_keys_a.data();
+    sp = s_pays_a.data();
+  } else {
+    // Two passes: high bits across threads, low bits per part.
+    const uint32_t b1 = total_bits / 2;
+    const uint32_t b2 = total_bits - b1;
+    const uint32_t p1 = 1u << b1;
+    const uint32_t p2 = 1u << b2;
+    PartitionFn fn1 = PartitionFn::HashRadix(b1, b2, p_total, cfg.seed + 1);
+    PartitionFn fn2 = PartitionFn::HashRadix(b2, 0, p_total, cfg.seed + 1);
+    AlignedBuffer<uint32_t> mid_keys(std::max(r.n, s.n) + 16);
+    AlignedBuffer<uint32_t> mid_pays(std::max(r.n, s.n) + 16);
+    std::vector<uint32_t> starts1(p1 + 1);
+
+    ParallelPartitionPass(fn1, r.keys, r.pays, r.n, mid_keys.data(),
+                          mid_pays.data(), cfg.isa, t_count, &res,
+                          starts1.data());
+    SecondPass(fn2, p1, p2, mid_keys.data(), mid_pays.data(), starts1.data(),
+               r_keys_a.data(), r_pays_a.data(), r_bounds.data(), vec,
+               t_count);
+    r_bounds[p_total] = static_cast<uint32_t>(r.n);
+
+    ParallelPartitionPass(fn1, s.keys, s.pays, s.n, mid_keys.data(),
+                          mid_pays.data(), cfg.isa, t_count, &res,
+                          starts1.data());
+    SecondPass(fn2, p1, p2, mid_keys.data(), mid_pays.data(), starts1.data(),
+               s_keys_a.data(), s_pays_a.data(), s_bounds.data(), vec,
+               t_count);
+    s_bounds[p_total] = static_cast<uint32_t>(s.n);
+
+    rk = r_keys_a.data();
+    rp = r_pays_a.data();
+    sk = s_keys_a.data();
+    sp = s_pays_a.data();
+  }
+  if (timings != nullptr) timings->partition_s = timer.Seconds();
+
+  // Per-part cache-resident build + probe, parts distributed across threads.
+  timer.Reset();
+  uint32_t max_part = 0;
+  for (uint32_t q = 0; q < p_total; ++q) {
+    uint32_t c = r_bounds[q + 1] - r_bounds[q];
+    if (c > max_part) max_part = c;
+  }
+  const uint32_t nb_max =
+      static_cast<uint32_t>(NextPowerOfTwo(max_part * 2 + 32));
+  std::vector<uint64_t> seg_begin(p_total), seg_count(p_total);
+  std::atomic<uint32_t> next_q{0};
+  ThreadTeam::Run(t_count, [&](int) {
+    AlignedBuffer<uint32_t> tk(nb_max), tp(nb_max);
+    for (;;) {
+      uint32_t q = next_q.fetch_add(1);
+      if (q >= p_total) break;
+      uint32_t rb = r_bounds[q];
+      uint32_t rn = r_bounds[q + 1] - rb;
+      uint32_t sb = s_bounds[q];
+      uint32_t sn = s_bounds[q + 1] - sb;
+      seg_begin[q] = sb;
+      if (sn == 0) {
+        seg_count[q] = 0;
+        continue;
+      }
+      uint32_t nb = static_cast<uint32_t>(NextPowerOfTwo(rn * 2 + 32));
+      std::memset(tk.data(), 0xFF, nb * sizeof(uint32_t));
+      if (vec) {
+        BuildFlatAvx512(tk.data(), tp.data(), nb, table_factor, rk + rb,
+                        rp + rb, rn);
+      } else {
+        BuildFlatScalar(tk.data(), tp.data(), nb, table_factor, rk + rb,
+                        rp + rb, rn);
+      }
+      const uint32_t base0 = 0;
+      seg_count[q] = ProbeDispatch(
+          vec, tk.data(), tp.data(), &base0, &nb, table_factor, 1, 1,
+          sk + sb, sp + sb, sn, out_keys + sb, out_spays + sb,
+          out_rpays + sb);
+    }
+  });
+  size_t total = CompactSegments(p_total, seg_begin.data(), seg_count.data(),
+                                 out_keys, out_rpays, out_spays);
+  if (timings != nullptr) {
+    // The paper reports build and probe separately; per-part interleaving
+    // makes an exact split impossible, so attribute the whole phase to
+    // build+probe proportionally by |R| vs |S|.
+    double phase = timer.Seconds();
+    double frac =
+        r.n + s.n == 0 ? 0.5 : static_cast<double>(r.n) / (r.n + s.n);
+    timings->build_s = phase * frac;
+    timings->probe_s = phase * (1 - frac);
+  }
+  return total;
+}
+
+}  // namespace simddb

@@ -1,0 +1,94 @@
+#ifndef SIMDDB_JOIN_HASH_JOIN_H_
+#define SIMDDB_JOIN_HASH_JOIN_H_
+
+// Hash join variants with different degrees of partitioning (§9, Fig. 15):
+//
+//   No partition   one shared linear-probing table built with atomic CAS
+//                  (SIMD has no atomics, so the build stays scalar — the
+//                  paper's point); the read-only probe is fully vectorized.
+//   Min partition  the inner relation is hash-partitioned T ways (T =
+//                  threads) so each thread builds a private table without
+//                  atomics; probing selects table by the partition hash.
+//                  Fully vectorizable.
+//   Max partition  both relations are hash-partitioned (buffered, possibly
+//                  two passes) until each inner part fits an L1-resident
+//                  table; per-part build+probe runs entirely in cache.
+//                  Fully vectorized and the paper's overall winner.
+//
+// All variants emit (key, R payload, S payload) per match and return the
+// match count. R keys must be unique (key/foreign-key join, as in the
+// paper's evaluation) — this bounds every thread's match count by its probe
+// chunk and lets outputs be compacted deterministically. Payloads are
+// arbitrary 32-bit values (row ids for late materialization, §10.5.3).
+//
+// Output buffers need capacity s.n + 16.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/isa.h"
+
+namespace simddb {
+
+struct JoinRelation {
+  const uint32_t* keys;
+  const uint32_t* pays;
+  size_t n;
+};
+
+/// Wall-clock seconds per phase (Fig. 15's stacked bars).
+struct JoinTimings {
+  double partition_s = 0;
+  double build_s = 0;
+  double probe_s = 0;
+  double Total() const { return partition_s + build_s + probe_s; }
+};
+
+struct JoinConfig {
+  Isa isa = Isa::kScalar;
+  int threads = 1;
+  uint64_t seed = 42;
+  /// Max-partition: target inner tuples per final partition (table is sized
+  /// 2x this, power of two; default keeps the table well inside L1).
+  uint32_t target_part_tuples = 1024;
+};
+
+size_t HashJoinNoPartition(const JoinRelation& r, const JoinRelation& s,
+                           const JoinConfig& cfg, uint32_t* out_keys,
+                           uint32_t* out_rpays, uint32_t* out_spays,
+                           JoinTimings* timings = nullptr);
+
+size_t HashJoinMinPartition(const JoinRelation& r, const JoinRelation& s,
+                            const JoinConfig& cfg, uint32_t* out_keys,
+                            uint32_t* out_rpays, uint32_t* out_spays,
+                            JoinTimings* timings = nullptr);
+
+size_t HashJoinMaxPartition(const JoinRelation& r, const JoinRelation& s,
+                            const JoinConfig& cfg, uint32_t* out_keys,
+                            uint32_t* out_rpays, uint32_t* out_spays,
+                            JoinTimings* timings = nullptr);
+
+namespace detail {
+/// Vertical vectorized probe of a bank of linear-probing tables laid out in
+/// one flat (keys, pays) area: probe key k goes to table part_fn(k), whose
+/// buckets live at [base[part], base[part] + size[part]). With one part this
+/// degenerates to a plain LP probe. Returns matches written.
+size_t ProbeTableBankAvx512(const uint32_t* table_keys,
+                            const uint32_t* table_pays, const uint32_t* base,
+                            const uint32_t* size, uint32_t hash_factor,
+                            uint32_t part_factor, uint32_t part_count,
+                            const uint32_t* keys, const uint32_t* pays,
+                            size_t n, uint32_t* out_keys, uint32_t* out_spays,
+                            uint32_t* out_rpays);
+size_t ProbeTableBankScalar(const uint32_t* table_keys,
+                            const uint32_t* table_pays, const uint32_t* base,
+                            const uint32_t* size, uint32_t hash_factor,
+                            uint32_t part_factor, uint32_t part_count,
+                            const uint32_t* keys, const uint32_t* pays,
+                            size_t n, uint32_t* out_keys, uint32_t* out_spays,
+                            uint32_t* out_rpays);
+}  // namespace detail
+
+}  // namespace simddb
+
+#endif  // SIMDDB_JOIN_HASH_JOIN_H_

@@ -1,0 +1,64 @@
+#include "join/sort_merge_join.h"
+
+#include <cstring>
+
+#include "sort/radix_sort.h"
+#include "util/aligned_buffer.h"
+#include "util/timer.h"
+
+namespace simddb {
+
+size_t SortMergeJoin(const JoinRelation& r, const JoinRelation& s,
+                     const JoinConfig& cfg, uint32_t* out_keys,
+                     uint32_t* out_rpays, uint32_t* out_spays,
+                     JoinTimings* timings) {
+  Timer timer;
+  AlignedBuffer<uint32_t> rk(r.n + 16), rp(r.n + 16);
+  AlignedBuffer<uint32_t> sk(s.n + 16), sp(s.n + 16);
+  AlignedBuffer<uint32_t> scratch_k(std::max(r.n, s.n) + 16);
+  AlignedBuffer<uint32_t> scratch_p(std::max(r.n, s.n) + 16);
+  std::memcpy(rk.data(), r.keys, r.n * sizeof(uint32_t));
+  std::memcpy(rp.data(), r.pays, r.n * sizeof(uint32_t));
+  std::memcpy(sk.data(), s.keys, s.n * sizeof(uint32_t));
+  std::memcpy(sp.data(), s.pays, s.n * sizeof(uint32_t));
+  RadixSortConfig sort_cfg;
+  sort_cfg.isa = cfg.isa;
+  sort_cfg.threads = cfg.threads;
+  RadixSortPairs(rk.data(), rp.data(), scratch_k.data(), scratch_p.data(),
+                 r.n, sort_cfg);
+  RadixSortPairs(sk.data(), sp.data(), scratch_k.data(), scratch_p.data(),
+                 s.n, sort_cfg);
+  if (timings != nullptr) timings->partition_s = timer.Seconds();
+
+  // Run-based merge: emit the cross product of equal-key runs.
+  timer.Reset();
+  size_t i = 0, j = 0, out = 0;
+  while (i < r.n && j < s.n) {
+    uint32_t kr = rk[i];
+    uint32_t ks = sk[j];
+    if (kr < ks) {
+      ++i;
+    } else if (kr > ks) {
+      ++j;
+    } else {
+      size_t ri_end = i;
+      while (ri_end < r.n && rk[ri_end] == kr) ++ri_end;
+      size_t sj_end = j;
+      while (sj_end < s.n && sk[sj_end] == kr) ++sj_end;
+      for (size_t a = i; a < ri_end; ++a) {
+        for (size_t b = j; b < sj_end; ++b) {
+          out_keys[out] = kr;
+          out_rpays[out] = rp[a];
+          out_spays[out] = sp[b];
+          ++out;
+        }
+      }
+      i = ri_end;
+      j = sj_end;
+    }
+  }
+  if (timings != nullptr) timings->probe_s = timer.Seconds();
+  return out;
+}
+
+}  // namespace simddb

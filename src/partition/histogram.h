@@ -1,0 +1,65 @@
+#ifndef SIMDDB_PARTITION_HISTOGRAM_H_
+#define SIMDDB_PARTITION_HISTOGRAM_H_
+
+// Histogram generation (§7.1): count keys per partition before any data
+// moves. The vectorized variants correspond to the Fig. 11 series:
+//
+//   HistogramScalar              one count increment per key.
+//   HistogramReplicatedAvx512    Alg. 11 — each vector lane owns a private
+//                                replica of the histogram (P×16 counts), so
+//                                gather/increment/scatter never conflicts.
+//   HistogramSerializedAvx512    a single histogram; within-vector conflicts
+//                                are serialized so a count is incremented by
+//                                the true number of colliding lanes.
+//   HistogramCompressedAvx512    Alg. 11 with 8-bit replicated counts that
+//                                are flushed to the 32-bit histogram on
+//                                overflow, quadrupling the fanout that fits
+//                                in L1.
+//
+// All variants write `fn.fanout` 32-bit counts to hist (zeroed by callee).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "partition/partition_fn.h"
+#include "util/aligned_buffer.h"
+
+namespace simddb {
+
+/// Scratch space reused across vectorized histogram calls.
+struct HistogramWorkspace {
+  AlignedBuffer<uint32_t> replicated;  ///< P*16 lane-private counts
+  AlignedBuffer<uint8_t> compressed;   ///< 16 lane regions of (P+4) bytes
+
+  /// Ensures capacity for fanout p.
+  void Reserve(uint32_t p) {
+    if (replicated.size() < static_cast<size_t>(p) * 16) {
+      replicated.Reset(static_cast<size_t>(p) * 16);
+    }
+    if (compressed.size() < static_cast<size_t>(p + 4) * 16) {
+      compressed.Reset(static_cast<size_t>(p + 4) * 16);
+    }
+  }
+};
+
+/// Scalar histogram (radix or hash function).
+void HistogramScalar(const PartitionFn& fn, const uint32_t* keys, size_t n,
+                     uint32_t* hist);
+
+/// Alg. 11: lane-replicated counts, reduced into hist at the end.
+void HistogramReplicatedAvx512(const PartitionFn& fn, const uint32_t* keys,
+                               size_t n, uint32_t* hist,
+                               HistogramWorkspace* ws);
+
+/// Single histogram with conflict serialization (vpconflictd).
+void HistogramSerializedAvx512(const PartitionFn& fn, const uint32_t* keys,
+                               size_t n, uint32_t* hist);
+
+/// Lane-replicated 8-bit counts flushed on overflow.
+void HistogramCompressedAvx512(const PartitionFn& fn, const uint32_t* keys,
+                               size_t n, uint32_t* hist,
+                               HistogramWorkspace* ws);
+
+}  // namespace simddb
+
+#endif  // SIMDDB_PARTITION_HISTOGRAM_H_

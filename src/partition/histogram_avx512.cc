@@ -1,0 +1,127 @@
+// AVX-512 histogram kernels (§7.1, Fig. 11 variants).
+
+#include <cstring>
+
+#include "core/avx512_ops.h"
+#include "partition/histogram.h"
+#include "partition/partition_vec_avx512.h"
+
+namespace simddb {
+namespace {
+
+namespace v = simddb::avx512;
+
+using internal::PartitionVecCtx;
+
+}  // namespace
+
+// Alg. 11: lane j increments replicated[p*16 + j]; a final pass reduces the
+// 16 replicas into the caller's histogram.
+void HistogramReplicatedAvx512(const PartitionFn& fn, const uint32_t* keys,
+                               size_t n, uint32_t* hist,
+                               HistogramWorkspace* ws) {
+  const uint32_t p_count = fn.fanout;
+  ws->Reserve(p_count);
+  uint32_t* repl = ws->replicated.data();
+  std::memset(repl, 0, static_cast<size_t>(p_count) * 16 * sizeof(uint32_t));
+
+  const __m512i lane =
+      _mm512_set_epi32(15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0);
+  const __m512i sixteen = _mm512_set1_epi32(16);
+  const __m512i one = _mm512_set1_epi32(1);
+  const PartitionVecCtx part(fn);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512i k = _mm512_loadu_si512(keys + i);
+    __m512i p = part(k);
+    __m512i idx = _mm512_add_epi32(_mm512_mullo_epi32(p, sixteen), lane);
+    __m512i c = v::Gather(repl, idx);
+    v::Scatter(repl, idx, _mm512_add_epi32(c, one));
+  }
+  // Reduce replicas; fold the scalar tail in as lane 0 increments.
+  for (; i < n; ++i) {
+    repl[static_cast<size_t>(fn(keys[i])) * 16] += 1;
+  }
+  for (uint32_t p = 0; p < p_count; ++p) {
+    __m512i c = _mm512_load_si512(repl + static_cast<size_t>(p) * 16);
+    hist[p] = static_cast<uint32_t>(_mm512_reduce_add_epi32(c));
+  }
+}
+
+// Single-copy histogram: gather counts once, add each lane's serialization
+// offset + 1, scatter back (the rightmost lane of each conflicting group
+// writes the fully incremented count).
+void HistogramSerializedAvx512(const PartitionFn& fn, const uint32_t* keys,
+                               size_t n, uint32_t* hist) {
+  const uint32_t p_count = fn.fanout;
+  std::memset(hist, 0, p_count * sizeof(uint32_t));
+  const __m512i one = _mm512_set1_epi32(1);
+  const PartitionVecCtx part(fn);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512i k = _mm512_loadu_si512(keys + i);
+    __m512i p = part(k);
+    __m512i c = v::Gather(hist, p);
+    __m512i ser = v::SerializeConflicts(p);
+    c = _mm512_add_epi32(c, _mm512_add_epi32(ser, one));
+    v::Scatter(hist, p, c);
+  }
+  for (; i < n; ++i) ++hist[fn(keys[i])];
+}
+
+// Alg. 11 with 1-byte counts: lane j owns a (P+4)-byte region; a count is
+// the low byte of an unaligned 32-bit gather at byte offset
+// j*(P+4) + p (scale 1). When any lane's count would wrap past 255 the
+// whole scratch area is flushed into the 32-bit histogram.
+void HistogramCompressedAvx512(const PartitionFn& fn, const uint32_t* keys,
+                               size_t n, uint32_t* hist,
+                               HistogramWorkspace* ws) {
+  const uint32_t p_count = fn.fanout;
+  ws->Reserve(p_count);
+  uint8_t* counts = ws->compressed.data();
+  const size_t region = p_count + 4;
+  std::memset(counts, 0, region * 16);
+  std::memset(hist, 0, p_count * sizeof(uint32_t));
+
+  auto flush = [&] {
+    for (int lane = 0; lane < 16; ++lane) {
+      const uint8_t* r = counts + static_cast<size_t>(lane) * region;
+      for (uint32_t p = 0; p < p_count; ++p) hist[p] += r[p];
+    }
+    std::memset(counts, 0, region * 16);
+  };
+
+  // lane_base[j] = j * region.
+  alignas(64) uint32_t lane_base_arr[16];
+  for (uint32_t j = 0; j < 16; ++j) {
+    lane_base_arr[j] = j * static_cast<uint32_t>(region);
+  }
+  const __m512i lane_base = _mm512_load_si512(lane_base_arr);
+  const __m512i one = _mm512_set1_epi32(1);
+  const __m512i low_byte = _mm512_set1_epi32(0xFF);
+  const PartitionVecCtx part(fn);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512i k = _mm512_loadu_si512(keys + i);
+    __m512i p = part(k);
+    __m512i idx = _mm512_add_epi32(lane_base, p);
+    for (;;) {
+      // 32-bit gather at byte granularity: low byte is this lane's count,
+      // upper bytes belong to this lane's own region (disjoint across
+      // lanes), so writing them back unchanged is safe.
+      __m512i word = _mm512_i32gather_epi32(idx, counts, 1);
+      __mmask16 overflow = _mm512_cmpeq_epi32_mask(
+          _mm512_and_si512(word, low_byte), low_byte);
+      if (overflow != 0) {
+        flush();
+        continue;  // re-gather against the zeroed scratch
+      }
+      _mm512_i32scatter_epi32(counts, idx, _mm512_add_epi32(word, one), 1);
+      break;
+    }
+  }
+  flush();
+  for (; i < n; ++i) ++hist[fn(keys[i])];
+}
+
+}  // namespace simddb

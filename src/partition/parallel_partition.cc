@@ -1,0 +1,72 @@
+#include "partition/parallel_partition.h"
+
+#include "util/prefix_sum.h"
+#include "util/thread_team.h"
+
+namespace simddb {
+
+void ParallelPartitionPass(const PartitionFn& fn, const uint32_t* keys,
+                           const uint32_t* pays, size_t n, uint32_t* out_keys,
+                           uint32_t* out_pays, Isa isa, int threads,
+                           ParallelPartitionResources* res, uint32_t* starts) {
+  const int t_count = threads < 1 ? 1 : threads;
+  const uint32_t p_count = fn.fanout;
+  const bool vec = isa == Isa::kAvx512 && IsaSupported(Isa::kAvx512);
+  res->Reserve(t_count, p_count);
+  uint32_t* hists = res->hists.data();
+
+  ThreadTeam::Run(t_count, [&](int t) {
+    size_t b = ThreadTeam::ChunkBegin(n, t_count, t);
+    size_t e = ThreadTeam::ChunkBegin(n, t_count, t + 1);
+    uint32_t* h = hists + static_cast<size_t>(t) * p_count;
+    if (vec) {
+      HistogramReplicatedAvx512(fn, keys + b, e - b, h, &res->hist_ws[t]);
+    } else {
+      HistogramScalar(fn, keys + b, e - b, h);
+    }
+  });
+
+  InterleavedPrefixSum(hists, t_count, p_count);
+  if (starts != nullptr) {
+    // Thread 0's offsets are the global partition begin positions.
+    for (uint32_t p = 0; p < p_count; ++p) starts[p] = hists[p];
+    starts[p_count] = static_cast<uint32_t>(n);
+  }
+
+  ThreadTeam::Run(t_count, [&](int t) {
+    size_t b = ThreadTeam::ChunkBegin(n, t_count, t);
+    size_t e = ThreadTeam::ChunkBegin(n, t_count, t + 1);
+    uint32_t* offsets = hists + static_cast<size_t>(t) * p_count;
+    if (pays != nullptr) {
+      if (vec) {
+        ShuffleVectorBufferedMainAvx512(fn, keys + b, pays + b, e - b,
+                                        offsets, out_keys, out_pays,
+                                        &res->bufs[t]);
+      } else {
+        ShuffleScalarBufferedMain(fn, keys + b, pays + b, e - b, offsets,
+                                  out_keys, out_pays, &res->bufs[t]);
+      }
+    } else {
+      if (vec) {
+        ShuffleKeysVectorBufferedMainAvx512(fn, keys + b, e - b, offsets,
+                                            out_keys, &res->bufs[t]);
+      } else {
+        ShuffleKeysScalarBufferedMain(fn, keys + b, e - b, offsets, out_keys,
+                                      &res->bufs[t]);
+      }
+    }
+  });
+
+  // Barrier (Run joins) before repairing the chunk-aligned flush overshoot.
+  ThreadTeam::Run(t_count, [&](int t) {
+    uint32_t* offsets = hists + static_cast<size_t>(t) * p_count;
+    if (pays != nullptr) {
+      ShuffleBufferedCleanup(p_count, offsets, res->bufs[t], out_keys,
+                             out_pays);
+    } else {
+      ShuffleKeysBufferedCleanup(p_count, offsets, res->bufs[t], out_keys);
+    }
+  });
+}
+
+}  // namespace simddb

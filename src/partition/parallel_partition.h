@@ -1,0 +1,50 @@
+#ifndef SIMDDB_PARTITION_PARALLEL_PARTITION_H_
+#define SIMDDB_PARTITION_PARALLEL_PARTITION_H_
+
+// One parallel, stable, buffered partitioning pass (§7.4 + §8): the input is
+// split among threads, each thread histograms its chunk, a cross-thread
+// interleaved prefix sum assigns disjoint output sub-ranges (thread order
+// preserved within every partition, so the pass is globally stable), each
+// thread runs a buffered shuffle of its chunk, and after a barrier the
+// buffered tails are flushed (App. F). Used by LSB radixsort and by the
+// partitioning phases of the max-partition hash join.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/isa.h"
+#include "partition/histogram.h"
+#include "partition/partition_fn.h"
+#include "partition/shuffle.h"
+#include "util/aligned_buffer.h"
+
+namespace simddb {
+
+/// Reusable per-thread scratch for ParallelPartitionPass.
+struct ParallelPartitionResources {
+  std::vector<ShuffleBuffers> bufs;
+  std::vector<HistogramWorkspace> hist_ws;
+  AlignedBuffer<uint32_t> hists;  ///< threads x fanout
+
+  void Reserve(int threads, uint32_t fanout) {
+    bufs.resize(threads);
+    hist_ws.resize(threads);
+    if (hists.size() < static_cast<size_t>(threads) * fanout) {
+      hists.Reset(static_cast<size_t>(threads) * fanout);
+    }
+  }
+};
+
+/// Partitions (keys[, pays]) of size n into (out_keys[, out_pays]); pays and
+/// out_pays may be null for a key-only pass. Output arrays need capacity
+/// n + 16 (streaming flush overshoot). If `starts` is non-null it receives
+/// fanout+1 entries: global begin offset of each partition plus n.
+void ParallelPartitionPass(const PartitionFn& fn, const uint32_t* keys,
+                           const uint32_t* pays, size_t n, uint32_t* out_keys,
+                           uint32_t* out_pays, Isa isa, int threads,
+                           ParallelPartitionResources* res, uint32_t* starts);
+
+}  // namespace simddb
+
+#endif  // SIMDDB_PARTITION_PARALLEL_PARTITION_H_

@@ -1,0 +1,46 @@
+#ifndef SIMDDB_PARTITION_PARTITION_VEC_AVX512_H_
+#define SIMDDB_PARTITION_PARTITION_VEC_AVX512_H_
+
+// Vectorized evaluation of PartitionFn (radix / hash / hash-radix) on 16
+// keys. Internal header for AVX-512 translation units only.
+
+#if defined(__AVX512F__)
+
+#include "core/avx512_ops.h"
+#include "partition/partition_fn.h"
+
+namespace simddb::internal {
+
+class PartitionVecCtx {
+ public:
+  explicit PartitionVecCtx(const PartitionFn& fn)
+      : factor_(_mm512_set1_epi32(static_cast<int>(fn.factor))),
+        total_(_mm512_set1_epi32(static_cast<int>(fn.total))),
+        mask_(_mm512_set1_epi32(static_cast<int>(fn.fanout - 1))),
+        shift_(static_cast<int>(fn.shift)),
+        radix_(fn.kind == PartitionFn::Kind::kRadix),
+        plain_hash_(fn.shift == 0 && fn.total == fn.fanout) {}
+
+  __m512i operator()(__m512i keys) const {
+    const __m128i count = _mm_cvtsi32_si128(shift_);
+    if (radix_) {
+      return _mm512_and_si512(_mm512_srl_epi32(keys, count), mask_);
+    }
+    __m512i h = simddb::avx512::MultHash(keys, factor_, total_);
+    if (plain_hash_) return h;
+    return _mm512_and_si512(_mm512_srl_epi32(h, count), mask_);
+  }
+
+ private:
+  __m512i factor_;
+  __m512i total_;
+  __m512i mask_;
+  int shift_;
+  bool radix_;
+  bool plain_hash_;
+};
+
+}  // namespace simddb::internal
+
+#endif  // __AVX512F__
+#endif  // SIMDDB_PARTITION_PARTITION_VEC_AVX512_H_

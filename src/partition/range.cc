@@ -1,0 +1,122 @@
+#include "partition/range.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/bits.h"
+
+namespace simddb {
+
+RangeFunction::RangeFunction(const std::vector<uint32_t>& splitters) {
+  fanout_ = static_cast<uint32_t>(splitters.size()) + 1;
+  levels_ = Log2Ceil(fanout_ < 2 ? 2 : fanout_);
+  size_t p2 = size_t{1} << levels_;
+  padded_.Reset(p2);
+  padded_[0] = 0;  // unused
+  for (size_t i = 0; i + 1 < p2; ++i) {
+    padded_[i + 1] = i < splitters.size() ? splitters[i] : 0xFFFFFFFFu;
+  }
+}
+
+void RangeFunction::ScalarBranching(const uint32_t* keys, size_t n,
+                                    uint32_t* out) const {
+  // Binary search over the real splitters: partition = count of splitters
+  // strictly below the key.
+  const uint32_t* d = padded_.data() + 1;
+  const uint32_t p_real = fanout_ - 1;  // number of real splitters
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t k = keys[i];
+    uint32_t lo = 0;
+    uint32_t hi = p_real;
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) >> 1;
+      if (k > d[mid]) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    out[i] = lo;
+  }
+}
+
+void RangeFunction::ScalarBranchless(const uint32_t* keys, size_t n,
+                                     uint32_t* out) const {
+  // Fixed-iteration search over the power-of-two padded array: every key
+  // executes exactly levels_ conditional moves.
+  const uint32_t* d = padded_.data() + 1;
+  const uint32_t start_half = 1u << (levels_ - 1);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t k = keys[i];
+    uint32_t lo = 0;
+    for (uint32_t half = start_half; half > 0; half >>= 1) {
+      uint32_t probe = d[lo + half - 1];
+      lo += (k > probe) ? half : 0;
+    }
+    out[i] = lo;
+  }
+}
+
+RangeIndex::RangeIndex(const std::vector<uint32_t>& splitters, int node_width)
+    : node_width_(node_width) {
+  assert(node_width == 8 || node_width == 16);
+  fanout_ = static_cast<uint32_t>(splitters.size()) + 1;
+  const uint32_t node_fanout = static_cast<uint32_t>(node_width) + 1;
+  levels_ = 1;
+  uint64_t tf = node_fanout;
+  while (tf < fanout_) {
+    tf *= node_fanout;
+    ++levels_;
+  }
+  tree_fanout_ = static_cast<uint32_t>(tf);
+
+  // Conceptual padded splitter array S[0 .. tree_fanout_-2].
+  auto padded = [&](uint64_t i) -> uint32_t {
+    return i < splitters.size() ? splitters[i] : 0xFFFFFFFFu;
+  };
+
+  // Node (l, q), splitter j = S[(q*F + j + 1) * F^(levels-1-l) - 1].
+  level_offset_.resize(levels_ + 1);
+  size_t total = 0;
+  uint64_t nodes = 1;
+  for (int l = 0; l < levels_; ++l) {
+    level_offset_[l] = total;
+    total += static_cast<size_t>(nodes) * node_width;
+    nodes *= node_fanout;
+  }
+  level_offset_[levels_] = total;
+  level_data_.Reset(total);
+
+  nodes = 1;
+  uint64_t stride = tree_fanout_ / node_fanout;  // F^(levels-1-l)
+  for (int l = 0; l < levels_; ++l) {
+    for (uint64_t q = 0; q < nodes; ++q) {
+      for (int j = 0; j < node_width; ++j) {
+        uint64_t s_index =
+            (q * node_fanout + static_cast<uint64_t>(j) + 1) * stride - 1;
+        level_data_[level_offset_[l] + q * node_width + j] = padded(s_index);
+      }
+    }
+    nodes *= node_fanout;
+    stride /= node_fanout;
+  }
+}
+
+void RangeIndex::LookupScalar(const uint32_t* keys, size_t n,
+                              uint32_t* out) const {
+  const uint32_t node_fanout = static_cast<uint32_t>(node_width_) + 1;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t k = keys[i];
+    uint32_t pos = 0;
+    for (int l = 0; l < levels_; ++l) {
+      const uint32_t* node = level_data_.data() + level_offset_[l] +
+                             static_cast<size_t>(pos) * node_width_;
+      uint32_t c = 0;
+      for (int j = 0; j < node_width_; ++j) c += (k > node[j]) ? 1u : 0u;
+      pos = pos * node_fanout + c;
+    }
+    out[i] = pos;
+  }
+}
+
+}  // namespace simddb

@@ -1,0 +1,80 @@
+#ifndef SIMDDB_PARTITION_RANGE_H_
+#define SIMDDB_PARTITION_RANGE_H_
+
+// Range partition functions (§7.2, Fig. 12): map each key to the index of
+// its range partition, defined as |{splitters s : s < key}| over a sorted
+// splitter array. Four implementations:
+//
+//   RangeFunction::ScalarBranching    textbook binary search with branches.
+//   RangeFunction::ScalarBranchless   fixed log2(P) iterations, conditional
+//                                     moves only.
+//   RangeFunction::VectorAvx512       Alg. 12 — W keys at a time; the search
+//                                     path is followed with gathers and
+//                                     vector blends of lo/hi pointers.
+//   RangeIndex::Lookup*               horizontal SIMD range-index tree [26]:
+//                                     nodes of `node_width` splitters, one
+//                                     vector comparison per level, scalar
+//                                     index arithmetic (no gathers).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+
+namespace simddb {
+
+class RangeFunction {
+ public:
+  /// Builds the function from sorted splitters; fanout = splitters.size()+1.
+  /// Internally pads to a power-of-two array for the branch-free searches.
+  explicit RangeFunction(const std::vector<uint32_t>& splitters);
+
+  uint32_t fanout() const { return fanout_; }
+
+  /// out[i] = partition of keys[i], for all three implementations.
+  void ScalarBranching(const uint32_t* keys, size_t n, uint32_t* out) const;
+  void ScalarBranchless(const uint32_t* keys, size_t n, uint32_t* out) const;
+  void VectorAvx512(const uint32_t* keys, size_t n, uint32_t* out) const;
+  void VectorAvx2(const uint32_t* keys, size_t n, uint32_t* out) const;
+
+ private:
+  // padded_[1..2^levels_-1] holds splitters padded with UINT32_MAX;
+  // padded_[0] is an unused slot so Alg. 12 can gather D[a-1] as
+  // padded_[a].
+  AlignedBuffer<uint32_t> padded_;
+  uint32_t levels_;
+  uint32_t fanout_;
+};
+
+/// Horizontal SIMD range index [26]: a (node_width+1)-ary tree of splitter
+/// nodes compared against one broadcast key per step.
+class RangeIndex {
+ public:
+  /// node_width must be 8 (256-bit nodes, fanout 9) or 16 (512-bit nodes,
+  /// fanout 17). Splitters must be sorted; fanout = splitters.size()+1.
+  RangeIndex(const std::vector<uint32_t>& splitters, int node_width);
+
+  uint32_t fanout() const { return fanout_; }
+  int levels() const { return levels_; }
+  int node_width() const { return node_width_; }
+
+  /// Scalar reference lookup (used by tests).
+  void LookupScalar(const uint32_t* keys, size_t n, uint32_t* out) const;
+  /// Horizontal SIMD lookup (one vector comparison per level).
+  void LookupAvx512(const uint32_t* keys, size_t n, uint32_t* out) const;
+
+ private:
+  // level_data_[level_offset_[l] + node*node_width_ + j] = j-th splitter of
+  // node `node` at level l.
+  AlignedBuffer<uint32_t> level_data_;
+  std::vector<size_t> level_offset_;
+  int node_width_;
+  int levels_;
+  uint32_t tree_fanout_;  ///< (node_width+1)^levels
+  uint32_t fanout_;
+};
+
+}  // namespace simddb
+
+#endif  // SIMDDB_PARTITION_RANGE_H_

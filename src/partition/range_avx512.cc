@@ -1,0 +1,96 @@
+// Vectorized range partition functions: Alg. 12 (vertical binary search
+// with gathers) and the horizontal SIMD range-index lookup [26].
+
+#include "core/avx2_ops.h"
+#include "core/avx512_ops.h"
+#include "partition/range.h"
+
+namespace simddb {
+
+// Alg. 12: 16 keys per iteration; lo/hi pointers are blended by the
+// comparison mask and the middle splitters are fetched with a gather.
+void RangeFunction::VectorAvx512(const uint32_t* keys, size_t n,
+                                 uint32_t* out) const {
+  namespace v = simddb::avx512;
+  const __m512i p2 = _mm512_set1_epi32(1 << levels_);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512i k = _mm512_loadu_si512(keys + i);
+    __m512i lo = _mm512_setzero_si512();
+    __m512i hi = p2;
+    for (uint32_t l = 0; l < levels_; ++l) {
+      __m512i a = _mm512_srli_epi32(_mm512_add_epi32(lo, hi), 1);
+      // padded_[a] == D[a-1].
+      __m512i d = v::Gather(padded_.data(), a);
+      __mmask16 m = _mm512_cmpgt_epu32_mask(k, d);
+      lo = _mm512_mask_mov_epi32(lo, m, a);
+      hi = _mm512_mask_mov_epi32(a, m, hi);
+    }
+    _mm512_storeu_si512(out + i, lo);
+  }
+  ScalarBranchless(keys + i, n - i, out + i);
+}
+
+void RangeFunction::VectorAvx2(const uint32_t* keys, size_t n,
+                               uint32_t* out) const {
+  namespace v = simddb::avx2;
+  const __m256i p2 = _mm256_set1_epi32(1 << levels_);
+  const __m256i sign = _mm256_set1_epi32(INT32_MIN);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    __m256i kb = _mm256_xor_si256(k, sign);  // unsigned compare via bias
+    __m256i lo = _mm256_setzero_si256();
+    __m256i hi = p2;
+    for (uint32_t l = 0; l < levels_; ++l) {
+      __m256i a = _mm256_srli_epi32(_mm256_add_epi32(lo, hi), 1);
+      __m256i d = v::Gather(padded_.data(), a);
+      __m256i m = _mm256_cmpgt_epi32(kb, _mm256_xor_si256(d, sign));
+      lo = _mm256_blendv_epi8(lo, a, m);
+      hi = _mm256_blendv_epi8(a, hi, m);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), lo);
+  }
+  ScalarBranchless(keys + i, n - i, out + i);
+}
+
+// Horizontal SIMD index lookup [26]: one vector comparison per level; all
+// index arithmetic stays scalar (no gathers on the search path).
+void RangeIndex::LookupAvx512(const uint32_t* keys, size_t n,
+                              uint32_t* out) const {
+  const uint32_t node_fanout = static_cast<uint32_t>(node_width_) + 1;
+  if (node_width_ == 16) {
+    for (size_t i = 0; i < n; ++i) {
+      const __m512i k = _mm512_set1_epi32(static_cast<int>(keys[i]));
+      uint32_t pos = 0;
+      for (int l = 0; l < levels_; ++l) {
+        const uint32_t* node = level_data_.data() + level_offset_[l] +
+                               static_cast<size_t>(pos) * 16;
+        __m512i s = _mm512_load_si512(node);
+        uint32_t m = _mm512_cmpgt_epu32_mask(k, s);
+        pos = pos * node_fanout + static_cast<uint32_t>(__builtin_popcount(m));
+      }
+      out[i] = pos;
+    }
+  } else {
+    const __m256i sign = _mm256_set1_epi32(INT32_MIN);
+    for (size_t i = 0; i < n; ++i) {
+      const __m256i k = _mm256_xor_si256(
+          _mm256_set1_epi32(static_cast<int>(keys[i])), sign);
+      uint32_t pos = 0;
+      for (int l = 0; l < levels_; ++l) {
+        const uint32_t* node = level_data_.data() + level_offset_[l] +
+                               static_cast<size_t>(pos) * 8;
+        __m256i s = _mm256_load_si256(reinterpret_cast<const __m256i*>(node));
+        __m256i gt = _mm256_cmpgt_epi32(k, _mm256_xor_si256(s, sign));
+        uint32_t m = static_cast<uint32_t>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(gt)));
+        pos = pos * node_fanout + static_cast<uint32_t>(__builtin_popcount(m));
+      }
+      out[i] = pos;
+    }
+  }
+}
+
+}  // namespace simddb

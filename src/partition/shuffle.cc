@@ -1,0 +1,192 @@
+#include "partition/shuffle.h"
+
+#include <emmintrin.h>  // SSE2 streaming stores (baseline on x86-64)
+
+#include <cstring>
+
+namespace simddb {
+namespace {
+
+// Flushes one full 16-tuple chunk of partition p from the buffers to the
+// output at (aligned) position base, using non-temporal stores when the
+// destination is 16-byte aligned.
+inline void FlushChunk(const uint32_t* buf, uint32_t* out, uint32_t base) {
+  uint32_t* dst = out + base;
+  if ((reinterpret_cast<uintptr_t>(dst) & 15u) == 0) {
+    const __m128i* src = reinterpret_cast<const __m128i*>(buf);
+    __m128i* d = reinterpret_cast<__m128i*>(dst);
+    for (int t = 0; t < 4; ++t) {
+      _mm_stream_si128(d + t, _mm_load_si128(src + t));
+    }
+  } else {
+    std::memcpy(dst, buf, 16 * sizeof(uint32_t));
+  }
+}
+
+}  // namespace
+
+void ShuffleScalarUnbuffered(const PartitionFn& fn, const uint32_t* keys,
+                             const uint32_t* pays, size_t n, uint32_t* offsets,
+                             uint32_t* out_keys, uint32_t* out_pays) {
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t p = fn(keys[i]);
+    uint32_t o = offsets[p]++;
+    out_keys[o] = keys[i];
+    out_pays[o] = pays[i];
+  }
+}
+
+void ShuffleScalarBufferedMain(const PartitionFn& fn, const uint32_t* keys,
+                               const uint32_t* pays, size_t n,
+                               uint32_t* offsets, uint32_t* out_keys,
+                               uint32_t* out_pays, ShuffleBuffers* bufs) {
+  bufs->Reserve(fn.fanout);
+  std::memcpy(bufs->starts.data(), offsets, fn.fanout * sizeof(uint32_t));
+  uint32_t* bk = bufs->keys.data();
+  uint32_t* bp = bufs->pays.data();
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t p = fn(keys[i]);
+    uint32_t o = offsets[p]++;
+    uint32_t slot = o & 15u;
+    bk[p * 16 + slot] = keys[i];
+    bp[p * 16 + slot] = pays[i];
+    if (slot == 15u) {
+      uint32_t base = o & ~15u;
+      FlushChunk(bk + p * 16, out_keys, base);
+      FlushChunk(bp + p * 16, out_pays, base);
+    }
+  }
+  _mm_sfence();
+}
+
+void ShuffleBufferedCleanup(uint32_t p_count, const uint32_t* offsets,
+                            const ShuffleBuffers& bufs, uint32_t* out_keys,
+                            uint32_t* out_pays) {
+  const uint32_t* bk = bufs.keys.data();
+  const uint32_t* bp = bufs.pays.data();
+  for (uint32_t p = 0; p < p_count; ++p) {
+    uint32_t start = bufs.starts[p];
+    uint32_t end = offsets[p];
+    uint32_t from = end & ~15u;
+    if (from < start) from = start;
+    for (uint32_t q = from; q < end; ++q) {
+      out_keys[q] = bk[p * 16 + (q & 15u)];
+      out_pays[q] = bp[p * 16 + (q & 15u)];
+    }
+  }
+}
+
+void ShuffleScalarBuffered(const PartitionFn& fn, const uint32_t* keys,
+                           const uint32_t* pays, size_t n, uint32_t* offsets,
+                           uint32_t* out_keys, uint32_t* out_pays,
+                           ShuffleBuffers* bufs) {
+  ShuffleScalarBufferedMain(fn, keys, pays, n, offsets, out_keys, out_pays,
+                            bufs);
+  ShuffleBufferedCleanup(fn.fanout, offsets, *bufs, out_keys, out_pays);
+}
+
+void ShuffleKeysScalarBufferedMain(const PartitionFn& fn, const uint32_t* keys,
+                                   size_t n, uint32_t* offsets,
+                                   uint32_t* out_keys, ShuffleBuffers* bufs) {
+  bufs->Reserve(fn.fanout);
+  std::memcpy(bufs->starts.data(), offsets, fn.fanout * sizeof(uint32_t));
+  uint32_t* bk = bufs->keys.data();
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t p = fn(keys[i]);
+    uint32_t o = offsets[p]++;
+    uint32_t slot = o & 15u;
+    bk[p * 16 + slot] = keys[i];
+    if (slot == 15u) {
+      FlushChunk(bk + p * 16, out_keys, o & ~15u);
+    }
+  }
+  _mm_sfence();
+}
+
+void ShuffleKeysBufferedCleanup(uint32_t p_count, const uint32_t* offsets,
+                                const ShuffleBuffers& bufs,
+                                uint32_t* out_keys) {
+  const uint32_t* bk = bufs.keys.data();
+  for (uint32_t p = 0; p < p_count; ++p) {
+    uint32_t start = bufs.starts[p];
+    uint32_t end = offsets[p];
+    uint32_t from = end & ~15u;
+    if (from < start) from = start;
+    for (uint32_t q = from; q < end; ++q) {
+      out_keys[q] = bk[p * 16 + (q & 15u)];
+    }
+  }
+}
+
+void GatherColumnScalar(const void* col, size_t n, const uint32_t* rids,
+                        void* out, int elem_bytes) {
+  switch (elem_bytes) {
+    case 1: {
+      const uint8_t* c = static_cast<const uint8_t*>(col);
+      uint8_t* o = static_cast<uint8_t*>(out);
+      for (size_t i = 0; i < n; ++i) o[i] = c[rids[i]];
+      break;
+    }
+    case 2: {
+      const uint16_t* c = static_cast<const uint16_t*>(col);
+      uint16_t* o = static_cast<uint16_t*>(out);
+      for (size_t i = 0; i < n; ++i) o[i] = c[rids[i]];
+      break;
+    }
+    case 4: {
+      const uint32_t* c = static_cast<const uint32_t*>(col);
+      uint32_t* o = static_cast<uint32_t*>(out);
+      for (size_t i = 0; i < n; ++i) o[i] = c[rids[i]];
+      break;
+    }
+    case 8: {
+      const uint64_t* c = static_cast<const uint64_t*>(col);
+      uint64_t* o = static_cast<uint64_t*>(out);
+      for (size_t i = 0; i < n; ++i) o[i] = c[rids[i]];
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ComputeDestinationsScalar(const PartitionFn& fn, const uint32_t* keys,
+                               size_t n, uint32_t* offsets, uint32_t* dest) {
+  for (size_t i = 0; i < n; ++i) {
+    dest[i] = offsets[fn(keys[i])]++;
+  }
+}
+
+void ScatterColumnScalar(const void* col, size_t n, const uint32_t* dest,
+                         void* out, int elem_bytes) {
+  switch (elem_bytes) {
+    case 1: {
+      const uint8_t* c = static_cast<const uint8_t*>(col);
+      uint8_t* o = static_cast<uint8_t*>(out);
+      for (size_t i = 0; i < n; ++i) o[dest[i]] = c[i];
+      break;
+    }
+    case 2: {
+      const uint16_t* c = static_cast<const uint16_t*>(col);
+      uint16_t* o = static_cast<uint16_t*>(out);
+      for (size_t i = 0; i < n; ++i) o[dest[i]] = c[i];
+      break;
+    }
+    case 4: {
+      const uint32_t* c = static_cast<const uint32_t*>(col);
+      uint32_t* o = static_cast<uint32_t*>(out);
+      for (size_t i = 0; i < n; ++i) o[dest[i]] = c[i];
+      break;
+    }
+    case 8: {
+      const uint64_t* c = static_cast<const uint64_t*>(col);
+      uint64_t* o = static_cast<uint64_t*>(out);
+      for (size_t i = 0; i < n; ++i) o[dest[i]] = c[i];
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace simddb

@@ -1,0 +1,154 @@
+#ifndef SIMDDB_PARTITION_SHUFFLE_H_
+#define SIMDDB_PARTITION_SHUFFLE_H_
+
+// Data shuffling (§7.3-7.4): move (key, payload) tuples to their partition's
+// contiguous output range. Variants match Fig. 13:
+//
+//   ShuffleScalarUnbuffered      one store pair per tuple, direct to output.
+//   ShuffleScalarBuffered        W-slot cache-resident buffer per partition,
+//                                flushed with streaming stores [31, 38].
+//   ShuffleVectorUnbuffered      Alg. 14 — gathers/scatters + conflict
+//                                serialization, direct to output.
+//   ShuffleVectorBuffered        Alg. 15 — vectorized buffering; the fastest.
+//   ShuffleVectorBufferedUnstable  hash partitioning variant: conflicting
+//                                lanes retry next iteration instead of being
+//                                serialized (unstable but slightly faster).
+//
+// Protocol: `offsets` holds the exclusive prefix sum of the partition
+// histogram on entry and the partition end positions on return. The
+// buffered variants write their streaming flushes at 16-tuple-aligned
+// positions, which can momentarily clobber up to 15 tuples *before* a
+// partition's start; those positions always belong to tuples that are still
+// buffered and are repaired by the cleanup pass. Single-threaded callers use
+// the all-in-one entry points; parallel radixsort calls *Main on every
+// thread, barriers, then *Cleanup (App. F's "fix the first cache line of
+// each partition after synchronizing").
+//
+// Output buffers need capacity total+16 (aligned flushes may overshoot the
+// last partition's end). Stable variants preserve input order within each
+// partition (required by LSB radixsort).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "partition/partition_fn.h"
+#include "util/aligned_buffer.h"
+
+namespace simddb {
+
+/// Per-thread scratch for buffered shuffles: 16 (key, payload) slots per
+/// partition, plus the snapshot of partition start offsets that the cleanup
+/// pass needs.
+struct ShuffleBuffers {
+  AlignedBuffer<uint32_t> keys;
+  AlignedBuffer<uint32_t> pays;
+  AlignedBuffer<uint32_t> starts;
+
+  void Reserve(uint32_t p) {
+    if (keys.size() < static_cast<size_t>(p) * 16) {
+      keys.Reset(static_cast<size_t>(p) * 16);
+      pays.Reset(static_cast<size_t>(p) * 16);
+      starts.Reset(p);
+    }
+  }
+};
+
+void ShuffleScalarUnbuffered(const PartitionFn& fn, const uint32_t* keys,
+                             const uint32_t* pays, size_t n, uint32_t* offsets,
+                             uint32_t* out_keys, uint32_t* out_pays);
+
+void ShuffleScalarBufferedMain(const PartitionFn& fn, const uint32_t* keys,
+                               const uint32_t* pays, size_t n,
+                               uint32_t* offsets, uint32_t* out_keys,
+                               uint32_t* out_pays, ShuffleBuffers* bufs);
+
+void ShuffleVectorUnbufferedAvx512(const PartitionFn& fn,
+                                   const uint32_t* keys, const uint32_t* pays,
+                                   size_t n, uint32_t* offsets,
+                                   uint32_t* out_keys, uint32_t* out_pays);
+
+void ShuffleVectorBufferedMainAvx512(const PartitionFn& fn,
+                                     const uint32_t* keys,
+                                     const uint32_t* pays, size_t n,
+                                     uint32_t* offsets, uint32_t* out_keys,
+                                     uint32_t* out_pays,
+                                     ShuffleBuffers* bufs);
+
+void ShuffleVectorBufferedUnstableMainAvx512(
+    const PartitionFn& fn, const uint32_t* keys, const uint32_t* pays,
+    size_t n, uint32_t* offsets, uint32_t* out_keys, uint32_t* out_pays,
+    ShuffleBuffers* bufs);
+
+/// Writes the still-buffered tail tuples of every partition (must run after
+/// *Main on all threads of a parallel shuffle).
+void ShuffleBufferedCleanup(uint32_t p_count, const uint32_t* offsets,
+                            const ShuffleBuffers& bufs, uint32_t* out_keys,
+                            uint32_t* out_pays);
+
+/// Single-threaded conveniences: Main + Cleanup.
+void ShuffleScalarBuffered(const PartitionFn& fn, const uint32_t* keys,
+                           const uint32_t* pays, size_t n, uint32_t* offsets,
+                           uint32_t* out_keys, uint32_t* out_pays,
+                           ShuffleBuffers* bufs);
+void ShuffleVectorBufferedAvx512(const PartitionFn& fn, const uint32_t* keys,
+                                 const uint32_t* pays, size_t n,
+                                 uint32_t* offsets, uint32_t* out_keys,
+                                 uint32_t* out_pays, ShuffleBuffers* bufs);
+void ShuffleVectorBufferedUnstableAvx512(const PartitionFn& fn,
+                                         const uint32_t* keys,
+                                         const uint32_t* pays, size_t n,
+                                         uint32_t* offsets,
+                                         uint32_t* out_keys,
+                                         uint32_t* out_pays,
+                                         ShuffleBuffers* bufs);
+
+// ---------------------------------------------------------------------------
+// Key-only shuffles (for key-only radixsort, Fig. 14 left)
+// ---------------------------------------------------------------------------
+
+void ShuffleKeysScalarBufferedMain(const PartitionFn& fn, const uint32_t* keys,
+                                   size_t n, uint32_t* offsets,
+                                   uint32_t* out_keys, ShuffleBuffers* bufs);
+void ShuffleKeysVectorBufferedMainAvx512(const PartitionFn& fn,
+                                         const uint32_t* keys, size_t n,
+                                         uint32_t* offsets, uint32_t* out_keys,
+                                         ShuffleBuffers* bufs);
+void ShuffleKeysBufferedCleanup(uint32_t p_count, const uint32_t* offsets,
+                                const ShuffleBuffers& bufs,
+                                uint32_t* out_keys);
+
+// ---------------------------------------------------------------------------
+// Multi-column (type-specialized) shuffling (§7.4 last part, Figs. 18-19)
+// ---------------------------------------------------------------------------
+
+/// Computes each tuple's final output position into dest[0..n) (stable) and
+/// advances offsets to partition ends. The destinations are then replayed
+/// over any number of payload columns without re-partitioning (the paper's
+/// temporary-array scheme).
+void ComputeDestinationsScalar(const PartitionFn& fn, const uint32_t* keys,
+                               size_t n, uint32_t* offsets, uint32_t* dest);
+void ComputeDestinationsAvx512(const PartitionFn& fn, const uint32_t* keys,
+                               size_t n, uint32_t* offsets, uint32_t* dest);
+
+/// out[dest[i]] = col[i] for a column of elem_bytes-wide values
+/// (1, 2, 4, or 8). The scalar form works for every width.
+void ScatterColumnScalar(const void* col, size_t n, const uint32_t* dest,
+                         void* out, int elem_bytes);
+/// Vectorized for 4- and 8-byte elements (hardware scatters); 1- and 2-byte
+/// columns fall back to scalar stores (AVX-512 has no byte/word scatter —
+/// Xeon Phi's up-converting scatters have no AVX-512 equivalent; documented
+/// substitution).
+void ScatterColumnAvx512(const void* col, size_t n, const uint32_t* dest,
+                         void* out, int elem_bytes);
+
+/// out[i] = col[rids[i]] — rid-based column dereference, used when joins
+/// carry row ids instead of wide payloads and materialize columns late
+/// (§10.5.3).
+void GatherColumnScalar(const void* col, size_t n, const uint32_t* rids,
+                        void* out, int elem_bytes);
+void GatherColumnAvx512(const void* col, size_t n, const uint32_t* rids,
+                        void* out, int elem_bytes);
+
+}  // namespace simddb
+
+#endif  // SIMDDB_PARTITION_SHUFFLE_H_

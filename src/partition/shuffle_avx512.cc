@@ -1,0 +1,358 @@
+// AVX-512 shuffling kernels: Alg. 14 (unbuffered), Alg. 15 (buffered), the
+// unstable retry-on-conflict variant for hash partitioning, and vectorized
+// destination/column scatter helpers for multi-column shuffling.
+
+#include <cstring>
+
+#include "core/avx512_ops.h"
+#include "partition/partition_vec_avx512.h"
+#include "partition/shuffle.h"
+
+namespace simddb {
+namespace {
+
+namespace v = simddb::avx512;
+
+using internal::PartitionVecCtx;
+
+// Streams one full 16-tuple buffer chunk to out + base (base is 16-aligned;
+// non-temporal when the output array itself is 64-byte aligned).
+inline void FlushChunk512(const uint32_t* buf, uint32_t* out, uint32_t base,
+                          bool streamable) {
+  __m512i w = _mm512_load_si512(buf);
+  if (streamable) {
+    v::StreamStore(out + base, w);
+  } else {
+    _mm512_storeu_si512(out + base, w);
+  }
+}
+
+}  // namespace
+
+// Alg. 14: conflict-serialized scatter straight to the output.
+void ShuffleVectorUnbufferedAvx512(const PartitionFn& fn,
+                                   const uint32_t* keys, const uint32_t* pays,
+                                   size_t n, uint32_t* offsets,
+                                   uint32_t* out_keys, uint32_t* out_pays) {
+  const __m512i one = _mm512_set1_epi32(1);
+  const PartitionVecCtx part(fn);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512i k = _mm512_loadu_si512(keys + i);
+    __m512i val = _mm512_loadu_si512(pays + i);
+    __m512i p = part(k);
+    __m512i o = v::Gather(offsets, p);
+    __m512i ser = v::SerializeConflicts(p);
+    o = _mm512_add_epi32(o, ser);
+    v::Scatter(offsets, p, _mm512_add_epi32(o, one));
+    v::Scatter(out_keys, o, k);
+    v::Scatter(out_pays, o, val);
+  }
+  ShuffleScalarUnbuffered(fn, keys + i, pays + i, n - i, offsets,
+                          out_keys, out_pays);
+}
+
+// Alg. 15: tuples are scattered into 16-slot per-partition buffers; filled
+// chunks are flushed horizontally (one partition at a time) with streaming
+// stores; lanes whose slot overflowed the chunk are scattered after the
+// flush.
+void ShuffleVectorBufferedMainAvx512(const PartitionFn& fn,
+                                     const uint32_t* keys,
+                                     const uint32_t* pays, size_t n,
+                                     uint32_t* offsets, uint32_t* out_keys,
+                                     uint32_t* out_pays,
+                                     ShuffleBuffers* bufs) {
+  bufs->Reserve(fn.fanout);
+  std::memcpy(bufs->starts.data(), offsets, fn.fanout * sizeof(uint32_t));
+  uint32_t* bk = bufs->keys.data();
+  uint32_t* bp = bufs->pays.data();
+  const bool streamable =
+      v::IsStreamAligned(out_keys) && v::IsStreamAligned(out_pays);
+  const __m512i one = _mm512_set1_epi32(1);
+  const __m512i fifteen = _mm512_set1_epi32(15);
+  const __m512i sixteen = _mm512_set1_epi32(16);
+  const PartitionVecCtx part(fn);
+  alignas(64) uint32_t flush_part[16];
+  alignas(64) uint32_t flush_base[16];
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512i k = _mm512_loadu_si512(keys + i);
+    __m512i val = _mm512_loadu_si512(pays + i);
+    __m512i p = part(k);
+    __m512i o = v::Gather(offsets, p);
+    __m512i ser = v::SerializeConflicts(p);
+    o = _mm512_add_epi32(o, ser);
+    v::Scatter(offsets, p, _mm512_add_epi32(o, one));
+    // Buffer slot: (global position) mod 16, which may exceed 15 for lanes
+    // of a partition whose chunk fills mid-vector.
+    __m512i slot = _mm512_add_epi32(
+        _mm512_and_si512(_mm512_sub_epi32(o, ser), fifteen), ser);
+    __m512i buf_idx =
+        _mm512_add_epi32(_mm512_mullo_epi32(p, sixteen), slot);
+    __mmask16 fits = _mm512_cmple_epu32_mask(slot, fifteen);
+    v::MaskScatter(bk, fits, buf_idx, k);
+    v::MaskScatter(bp, fits, buf_idx, val);
+    __mmask16 full = _mm512_cmpeq_epi32_mask(slot, fifteen);
+    if (full != 0) {
+      // At most one lane per partition can sit at slot 15, so the flush
+      // list has no duplicates.
+      v::SelectiveStore(flush_part, full, p);
+      v::SelectiveStore(flush_base, full,
+                        _mm512_and_si512(o, _mm512_set1_epi32(~15)));
+      int n_flush = __builtin_popcount(full);
+      for (int f = 0; f < n_flush; ++f) {
+        uint32_t part = flush_part[f];
+        uint32_t base = flush_base[f];
+        FlushChunk512(bk + part * 16, out_keys, base, streamable);
+        FlushChunk512(bp + part * 16, out_pays, base, streamable);
+      }
+      __mmask16 overflow = static_cast<__mmask16>(~fits);
+      if (overflow != 0) {
+        __m512i of_idx = _mm512_sub_epi32(buf_idx, sixteen);
+        v::MaskScatter(bk, overflow, of_idx, k);
+        v::MaskScatter(bp, overflow, of_idx, val);
+      }
+    }
+  }
+  if (streamable) _mm_sfence();
+  // Scalar tail re-uses the same buffers and flush protocol.
+  for (; i < n; ++i) {
+    uint32_t p = fn(keys[i]);
+    uint32_t o = offsets[p]++;
+    uint32_t slot = o & 15u;
+    bk[p * 16 + slot] = keys[i];
+    bp[p * 16 + slot] = pays[i];
+    if (slot == 15u) {
+      uint32_t base = o & ~15u;
+      FlushChunk512(bk + p * 16, out_keys, base, streamable);
+      FlushChunk512(bp + p * 16, out_pays, base, streamable);
+    }
+  }
+  if (streamable) _mm_sfence();
+}
+
+// Unstable variant for hash partitioning: conflicting lanes are not
+// serialized; they retry on the next iteration while finished lanes refill
+// from the input (§7.4: "instead of conflict serialization, we detect and
+// process conflicting lanes during the next loop").
+void ShuffleVectorBufferedUnstableMainAvx512(
+    const PartitionFn& fn, const uint32_t* keys, const uint32_t* pays,
+    size_t n, uint32_t* offsets, uint32_t* out_keys, uint32_t* out_pays,
+    ShuffleBuffers* bufs) {
+  bufs->Reserve(fn.fanout);
+  std::memcpy(bufs->starts.data(), offsets, fn.fanout * sizeof(uint32_t));
+  uint32_t* bk = bufs->keys.data();
+  uint32_t* bp = bufs->pays.data();
+  const bool streamable =
+      v::IsStreamAligned(out_keys) && v::IsStreamAligned(out_pays);
+  const __m512i one = _mm512_set1_epi32(1);
+  const __m512i fifteen = _mm512_set1_epi32(15);
+  const __m512i sixteen = _mm512_set1_epi32(16);
+  const PartitionVecCtx part(fn);
+  alignas(64) uint32_t flush_part[16];
+  alignas(64) uint32_t flush_base[16];
+  __m512i k = _mm512_setzero_si512();
+  __m512i val = _mm512_setzero_si512();
+  __mmask16 need = 0xFFFF;
+  size_t i = 0;
+  while (i + 16 <= n) {
+    k = v::SelectiveLoad(k, need, keys + i);
+    val = v::SelectiveLoad(val, need, pays + i);
+    i += __builtin_popcount(need);
+    __m512i p = part(k);
+    // Winner lanes (no later duplicate partition) proceed; losers retry.
+    __mmask16 win = v::ScatterWinners(p);
+    __m512i o = v::MaskGather(p, win, offsets, p);
+    v::MaskScatter(offsets, win, p, _mm512_add_epi32(o, one));
+    __m512i slot = _mm512_and_si512(o, fifteen);
+    __m512i buf_idx =
+        _mm512_add_epi32(_mm512_mullo_epi32(p, sixteen), slot);
+    v::MaskScatter(bk, win, buf_idx, k);
+    v::MaskScatter(bp, win, buf_idx, val);
+    __mmask16 full =
+        _mm512_mask_cmpeq_epi32_mask(win, slot, fifteen);
+    if (full != 0) {
+      v::SelectiveStore(flush_part, full, p);
+      v::SelectiveStore(flush_base, full,
+                        _mm512_and_si512(o, _mm512_set1_epi32(~15)));
+      int n_flush = __builtin_popcount(full);
+      for (int f = 0; f < n_flush; ++f) {
+        FlushChunk512(bk + flush_part[f] * 16, out_keys, flush_base[f],
+                      streamable);
+        FlushChunk512(bp + flush_part[f] * 16, out_pays, flush_base[f],
+                      streamable);
+      }
+    }
+    need = win;
+  }
+  if (streamable) _mm_sfence();
+  // Drain in-flight lanes, then the input tail.
+  alignas(64) uint32_t lk[16], lv[16];
+  _mm512_store_si512(lk, k);
+  _mm512_store_si512(lv, val);
+  auto put = [&](uint32_t key, uint32_t pay) {
+    uint32_t p = fn(key);
+    uint32_t o = offsets[p]++;
+    uint32_t slot = o & 15u;
+    bk[p * 16 + slot] = key;
+    bp[p * 16 + slot] = pay;
+    if (slot == 15u) {
+      uint32_t base = o & ~15u;
+      FlushChunk512(bk + p * 16, out_keys, base, streamable);
+      FlushChunk512(bp + p * 16, out_pays, base, streamable);
+    }
+  };
+  for (int lane = 0; lane < 16; ++lane) {
+    if (need & (1u << lane)) continue;
+    put(lk[lane], lv[lane]);
+  }
+  for (; i < n; ++i) put(keys[i], pays[i]);
+  if (streamable) _mm_sfence();
+}
+
+void ShuffleVectorBufferedAvx512(const PartitionFn& fn, const uint32_t* keys,
+                                 const uint32_t* pays, size_t n,
+                                 uint32_t* offsets, uint32_t* out_keys,
+                                 uint32_t* out_pays, ShuffleBuffers* bufs) {
+  ShuffleVectorBufferedMainAvx512(fn, keys, pays, n, offsets, out_keys,
+                                  out_pays, bufs);
+  ShuffleBufferedCleanup(fn.fanout, offsets, *bufs, out_keys, out_pays);
+}
+
+void ShuffleVectorBufferedUnstableAvx512(const PartitionFn& fn,
+                                         const uint32_t* keys,
+                                         const uint32_t* pays, size_t n,
+                                         uint32_t* offsets,
+                                         uint32_t* out_keys,
+                                         uint32_t* out_pays,
+                                         ShuffleBuffers* bufs) {
+  ShuffleVectorBufferedUnstableMainAvx512(fn, keys, pays, n, offsets,
+                                          out_keys, out_pays, bufs);
+  ShuffleBufferedCleanup(fn.fanout, offsets, *bufs, out_keys, out_pays);
+}
+
+// Key-only Alg. 15 (for key-only radixsort passes).
+void ShuffleKeysVectorBufferedMainAvx512(const PartitionFn& fn,
+                                         const uint32_t* keys, size_t n,
+                                         uint32_t* offsets, uint32_t* out_keys,
+                                         ShuffleBuffers* bufs) {
+  bufs->Reserve(fn.fanout);
+  std::memcpy(bufs->starts.data(), offsets, fn.fanout * sizeof(uint32_t));
+  uint32_t* bk = bufs->keys.data();
+  const bool streamable = v::IsStreamAligned(out_keys);
+  const __m512i one = _mm512_set1_epi32(1);
+  const __m512i fifteen = _mm512_set1_epi32(15);
+  const __m512i sixteen = _mm512_set1_epi32(16);
+  const PartitionVecCtx part(fn);
+  alignas(64) uint32_t flush_part[16];
+  alignas(64) uint32_t flush_base[16];
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512i k = _mm512_loadu_si512(keys + i);
+    __m512i p = part(k);
+    __m512i o = v::Gather(offsets, p);
+    __m512i ser = v::SerializeConflicts(p);
+    o = _mm512_add_epi32(o, ser);
+    v::Scatter(offsets, p, _mm512_add_epi32(o, one));
+    __m512i slot = _mm512_add_epi32(
+        _mm512_and_si512(_mm512_sub_epi32(o, ser), fifteen), ser);
+    __m512i buf_idx = _mm512_add_epi32(_mm512_mullo_epi32(p, sixteen), slot);
+    __mmask16 fits = _mm512_cmple_epu32_mask(slot, fifteen);
+    v::MaskScatter(bk, fits, buf_idx, k);
+    __mmask16 full = _mm512_cmpeq_epi32_mask(slot, fifteen);
+    if (full != 0) {
+      v::SelectiveStore(flush_part, full, p);
+      v::SelectiveStore(flush_base, full,
+                        _mm512_and_si512(o, _mm512_set1_epi32(~15)));
+      int n_flush = __builtin_popcount(full);
+      for (int f = 0; f < n_flush; ++f) {
+        FlushChunk512(bk + flush_part[f] * 16, out_keys, flush_base[f],
+                      streamable);
+      }
+      __mmask16 overflow = static_cast<__mmask16>(~fits);
+      if (overflow != 0) {
+        v::MaskScatter(bk, overflow, _mm512_sub_epi32(buf_idx, sixteen), k);
+      }
+    }
+  }
+  if (streamable) _mm_sfence();
+  for (; i < n; ++i) {
+    uint32_t p = fn(keys[i]);
+    uint32_t o = offsets[p]++;
+    uint32_t slot = o & 15u;
+    bk[p * 16 + slot] = keys[i];
+    if (slot == 15u) {
+      FlushChunk512(bk + p * 16, out_keys, o & ~15u, streamable);
+    }
+  }
+  if (streamable) _mm_sfence();
+}
+
+void GatherColumnAvx512(const void* col, size_t n, const uint32_t* rids,
+                        void* out, int elem_bytes) {
+  size_t i = 0;
+  if (elem_bytes == 4) {
+    const uint32_t* c = static_cast<const uint32_t*>(col);
+    uint32_t* o = static_cast<uint32_t*>(out);
+    for (; i + 16 <= n; i += 16) {
+      __m512i r = _mm512_loadu_si512(rids + i);
+      _mm512_storeu_si512(o + i, v::Gather(c, r));
+    }
+  } else if (elem_bytes == 8) {
+    const long long* c = static_cast<const long long*>(col);
+    long long* o = static_cast<long long*>(out);
+    for (; i + 8 <= n; i += 8) {
+      __m256i r =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rids + i));
+      __m512i val = _mm512_i32gather_epi64(r, c, 8);
+      _mm512_storeu_si512(reinterpret_cast<__m512i*>(o + i), val);
+    }
+  }
+  GatherColumnScalar(col, n - i, rids + i,
+                     static_cast<uint8_t*>(out) + i * elem_bytes, elem_bytes);
+}
+
+void ComputeDestinationsAvx512(const PartitionFn& fn, const uint32_t* keys,
+                               size_t n, uint32_t* offsets, uint32_t* dest) {
+  const __m512i one = _mm512_set1_epi32(1);
+  const PartitionVecCtx part(fn);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512i k = _mm512_loadu_si512(keys + i);
+    __m512i p = part(k);
+    __m512i o = v::Gather(offsets, p);
+    __m512i ser = v::SerializeConflicts(p);
+    o = _mm512_add_epi32(o, ser);
+    v::Scatter(offsets, p, _mm512_add_epi32(o, one));
+    _mm512_storeu_si512(dest + i, o);
+  }
+  ComputeDestinationsScalar(fn, keys + i, n - i, offsets, dest + i);
+}
+
+void ScatterColumnAvx512(const void* col, size_t n, const uint32_t* dest,
+                         void* out, int elem_bytes) {
+  size_t i = 0;
+  if (elem_bytes == 4) {
+    const uint32_t* c = static_cast<const uint32_t*>(col);
+    uint32_t* o = static_cast<uint32_t*>(out);
+    for (; i + 16 <= n; i += 16) {
+      __m512i d = _mm512_loadu_si512(dest + i);
+      __m512i val = _mm512_loadu_si512(c + i);
+      v::Scatter(o, d, val);
+    }
+  } else if (elem_bytes == 8) {
+    const long long* c = static_cast<const long long*>(col);
+    long long* o = static_cast<long long*>(out);
+    for (; i + 8 <= n; i += 8) {
+      __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dest + i));
+      __m512i val =
+          _mm512_loadu_si512(reinterpret_cast<const __m512i*>(c + i));
+      _mm512_i32scatter_epi64(o, d, val, 8);
+    }
+  }
+  ScatterColumnScalar(static_cast<const uint8_t*>(col) + i * elem_bytes,
+                      n - i, dest + i, out, elem_bytes);
+}
+
+}  // namespace simddb

@@ -1,0 +1,165 @@
+// AVX2 (Haswell-style) selection scans: permutation-table selective stores
+// as in App. D; gathers are native, streaming via _mm256_stream_si256.
+
+#include "core/avx2_ops.h"
+#include "scan/selection_scan.h"
+
+namespace simddb::detail {
+namespace {
+
+namespace v = simddb::avx2;
+
+constexpr size_t kBufSize = 1024;
+
+inline uint32_t Predicate8(__m256i k, __m256i lo_m1, __m256i hi_p1) {
+  // Unsigned range check with signed compares: flip the sign bit.
+  // Callers pre-bias lo/hi; here k is pre-biased too.
+  __m256i gt_lo = _mm256_cmpgt_epi32(k, lo_m1);
+  __m256i lt_hi = _mm256_cmpgt_epi32(hi_p1, k);
+  return v::MoveMask(_mm256_and_si256(gt_lo, lt_hi));
+}
+
+inline __m256i BiasSign(__m256i x) {
+  return _mm256_xor_si256(x, _mm256_set1_epi32(INT32_MIN));
+}
+
+size_t SelectAvx2Direct(const uint32_t* keys, const uint32_t* pays, size_t n,
+                        uint32_t k_lo, uint32_t k_hi, uint32_t* out_keys,
+                        uint32_t* out_pays) {
+  const __m256i lo_m1 =
+      BiasSign(_mm256_set1_epi32(static_cast<int>(k_lo - 1)));
+  const __m256i hi_p1 =
+      BiasSign(_mm256_set1_epi32(static_cast<int>(k_hi + 1)));
+  size_t i = 0, j = 0;
+  // Predicate is evaluated on biased keys; k_lo==0 / k_hi==UINT32_MAX wrap
+  // is handled by the scalar pre-check below.
+  if (k_lo == 0 && k_hi == 0xFFFFFFFFu) {
+    for (; i < n; ++i) {
+      out_keys[j] = keys[i];
+      out_pays[j] = pays[i];
+      ++j;
+    }
+    return j;
+  }
+  const bool lo_zero = (k_lo == 0);
+  const bool hi_max = (k_hi == 0xFFFFFFFFu);
+  for (; i + 8 <= n; i += 8) {
+    __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    __m256i kb = BiasSign(k);
+    uint32_t m;
+    if (lo_zero) {
+      m = v::MoveMask(_mm256_cmpgt_epi32(hi_p1, kb));
+    } else if (hi_max) {
+      m = v::MoveMask(_mm256_cmpgt_epi32(kb, lo_m1));
+    } else {
+      m = Predicate8(kb, lo_m1, hi_p1);
+    }
+    if (m == 0) continue;
+    __m256i val =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pays + i));
+    v::SelectiveStore(out_keys + j, m, k);
+    v::SelectiveStore(out_pays + j, m, val);
+    j += __builtin_popcount(m);
+  }
+  for (; i < n; ++i) {
+    uint32_t k = keys[i];
+    out_pays[j] = pays[i];
+    out_keys[j] = k;
+    j += static_cast<size_t>(k >= k_lo) & static_cast<size_t>(k <= k_hi);
+  }
+  return j;
+}
+
+size_t SelectAvx2Indirect(const uint32_t* keys, const uint32_t* pays,
+                          size_t n, uint32_t k_lo, uint32_t k_hi,
+                          uint32_t* out_keys, uint32_t* out_pays) {
+  alignas(32) uint32_t rid_buf[kBufSize + 8];
+  const bool streamable = ((reinterpret_cast<uintptr_t>(out_keys) |
+                            reinterpret_cast<uintptr_t>(out_pays)) &
+                           31u) == 0;
+  size_t i = 0, j = 0, l = 0;
+  const __m256i lo_m1 =
+      BiasSign(_mm256_set1_epi32(static_cast<int>(k_lo - 1)));
+  const __m256i hi_p1 =
+      BiasSign(_mm256_set1_epi32(static_cast<int>(k_hi + 1)));
+  const bool lo_zero = (k_lo == 0);
+  const bool hi_max = (k_hi == 0xFFFFFFFFu);
+  __m256i rid = _mm256_set_epi32(7, 6, 5, 4, 3, 2, 1, 0);
+  const __m256i step = _mm256_set1_epi32(8);
+  if (lo_zero && hi_max) {
+    for (; i < n; ++i) {
+      out_keys[j] = keys[i];
+      out_pays[j] = pays[i];
+      ++j;
+    }
+    return j;
+  }
+  for (; i + 8 <= n; i += 8) {
+    __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    __m256i kb = BiasSign(k);
+    uint32_t m;
+    if (lo_zero) {
+      m = v::MoveMask(_mm256_cmpgt_epi32(hi_p1, kb));
+    } else if (hi_max) {
+      m = v::MoveMask(_mm256_cmpgt_epi32(kb, lo_m1));
+    } else {
+      m = Predicate8(kb, lo_m1, hi_p1);
+    }
+    if (m != 0) {
+      v::SelectiveStore(rid_buf + l, m, rid);
+      l += __builtin_popcount(m);
+      if (l > kBufSize - 8) {
+        for (size_t b = 0; b < kBufSize - 8; b += 8) {
+          __m256i p = _mm256_load_si256(
+              reinterpret_cast<const __m256i*>(rid_buf + b));
+          __m256i kk = v::Gather(keys, p);
+          __m256i vv = v::Gather(pays, p);
+          if (streamable) {
+            _mm256_stream_si256(reinterpret_cast<__m256i*>(out_keys + j + b),
+                                kk);
+            _mm256_stream_si256(reinterpret_cast<__m256i*>(out_pays + j + b),
+                                vv);
+          } else {
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_keys + j + b),
+                                kk);
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_pays + j + b),
+                                vv);
+          }
+        }
+        __m256i overflow = _mm256_load_si256(
+            reinterpret_cast<const __m256i*>(rid_buf + (kBufSize - 8)));
+        _mm256_store_si256(reinterpret_cast<__m256i*>(rid_buf), overflow);
+        j += kBufSize - 8;
+        l -= kBufSize - 8;
+      }
+    }
+    rid = _mm256_add_epi32(rid, step);
+  }
+  for (; i < n; ++i) {
+    uint32_t k = keys[i];
+    if (k >= k_lo && k <= k_hi) rid_buf[l++] = static_cast<uint32_t>(i);
+  }
+  for (size_t b = 0; b < l; ++b) {
+    uint32_t p = rid_buf[b];
+    out_keys[j] = keys[p];
+    out_pays[j] = pays[p];
+    ++j;
+  }
+  if (streamable) _mm_sfence();
+  return j;
+}
+
+}  // namespace
+
+size_t SelectAvx2(ScanVariant variant, const uint32_t* keys,
+                  const uint32_t* pays, size_t n, uint32_t k_lo, uint32_t k_hi,
+                  uint32_t* out_keys, uint32_t* out_pays) {
+  if (variant == ScanVariant::kAvx2Direct) {
+    return SelectAvx2Direct(keys, pays, n, k_lo, k_hi, out_keys, out_pays);
+  }
+  return SelectAvx2Indirect(keys, pays, n, k_lo, k_hi, out_keys, out_pays);
+}
+
+}  // namespace simddb::detail

@@ -1,0 +1,166 @@
+// AVX-512 selection scans (§4, Alg. 3 and App. D for the idioms).
+
+#include "core/avx512_ops.h"
+#include "scan/selection_scan.h"
+
+namespace simddb::detail {
+namespace {
+
+namespace v = simddb::avx512;
+
+// In-cache index buffer for the indirect variants (Alg. 3): 4 KB of rids,
+// small enough to stay L1 resident beside the streamed output lines.
+constexpr size_t kBufSize = 1024;
+
+// Evaluates the range predicate on 16 keys.
+inline __mmask16 Predicate(__m512i k, __m512i lo, __m512i hi) {
+  __mmask16 m = _mm512_cmpge_epu32_mask(k, lo);
+  return _mm512_mask_cmple_epu32_mask(m, k, hi);
+}
+
+// Flushes `count` buffered rids: gathers keys/payloads at those rids and
+// writes them to the output with streaming stores when aligned. count must
+// be a multiple of 16.
+inline void FlushRids(const uint32_t* rids, size_t count, const uint32_t* keys,
+                      const uint32_t* pays, uint32_t* out_keys,
+                      uint32_t* out_pays, bool streamable) {
+  for (size_t b = 0; b < count; b += 16) {
+    __m512i p = _mm512_load_si512(rids + b);
+    __m512i k = v::Gather(keys, p);
+    __m512i val = v::Gather(pays, p);
+    if (streamable) {
+      v::StreamStore(out_keys + b, k);
+      v::StreamStore(out_pays + b, val);
+    } else {
+      _mm512_storeu_si512(out_keys + b, k);
+      _mm512_storeu_si512(out_pays + b, val);
+    }
+  }
+}
+
+// Direct variants: qualifying tuples materialized as soon as the predicate
+// is evaluated; payload column is touched for every vector.
+size_t SelectDirect(bool bit_extract, const uint32_t* keys,
+                    const uint32_t* pays, size_t n, uint32_t k_lo,
+                    uint32_t k_hi, uint32_t* out_keys, uint32_t* out_pays) {
+  const __m512i lo = _mm512_set1_epi32(static_cast<int>(k_lo));
+  const __m512i hi = _mm512_set1_epi32(static_cast<int>(k_hi));
+  size_t i = 0;
+  size_t j = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512i k = _mm512_loadu_si512(keys + i);
+    __mmask16 m = Predicate(k, lo, hi);
+    if (m == 0) continue;
+    __m512i val = _mm512_loadu_si512(pays + i);
+    if (bit_extract) {
+      // Partially vectorized: extract one qualifying lane per mask bit.
+      alignas(64) uint32_t ak[16], av[16];
+      _mm512_store_si512(ak, k);
+      _mm512_store_si512(av, val);
+      uint32_t bits = m;
+      while (bits != 0) {
+        uint32_t lane = static_cast<uint32_t>(__builtin_ctz(bits));
+        out_keys[j] = ak[lane];
+        out_pays[j] = av[lane];
+        ++j;
+        bits &= bits - 1;
+      }
+    } else {
+      v::SelectiveStore(out_keys + j, m, k);
+      v::SelectiveStore(out_pays + j, m, val);
+      j += __builtin_popcount(m);
+    }
+  }
+  for (; i < n; ++i) {
+    uint32_t k = keys[i];
+    out_pays[j] = pays[i];
+    out_keys[j] = k;
+    j += static_cast<size_t>(k >= k_lo) & static_cast<size_t>(k <= k_hi);
+  }
+  return j;
+}
+
+// Indirect variants (Alg. 3): only the key column is read during predicate
+// evaluation; qualifying rids are buffered in cache and dereferenced in
+// batches, so low selectivities never touch the payload column bandwidth.
+size_t SelectIndirect(bool bit_extract, const uint32_t* keys,
+                      const uint32_t* pays, size_t n, uint32_t k_lo,
+                      uint32_t k_hi, uint32_t* out_keys, uint32_t* out_pays) {
+  const __m512i lo = _mm512_set1_epi32(static_cast<int>(k_lo));
+  const __m512i hi = _mm512_set1_epi32(static_cast<int>(k_hi));
+  const bool streamable =
+      v::IsStreamAligned(out_keys) && v::IsStreamAligned(out_pays);
+  alignas(64) uint32_t rid_buf[kBufSize + 16];
+  __m512i rid = _mm512_set_epi32(15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3,
+                                 2, 1, 0);
+  const __m512i step = _mm512_set1_epi32(16);
+  size_t i = 0;
+  size_t j = 0;  // output index (count of flushed tuples)
+  size_t l = 0;  // buffer fill
+  for (; i + 16 <= n; i += 16) {
+    __m512i k = _mm512_loadu_si512(keys + i);
+    __mmask16 m = Predicate(k, lo, hi);
+    if (m != 0) {
+      if (bit_extract) {
+        uint32_t bits = m;
+        uint32_t base = static_cast<uint32_t>(i);
+        while (bits != 0) {
+          rid_buf[l++] = base + static_cast<uint32_t>(__builtin_ctz(bits));
+          bits &= bits - 1;
+        }
+      } else {
+        v::SelectiveStore(rid_buf + l, m, rid);
+        l += __builtin_popcount(m);
+      }
+      if (l > kBufSize - 16) {
+        FlushRids(rid_buf, kBufSize - 16, keys, pays, out_keys + j,
+                  out_pays + j, streamable);
+        // Move the overflow rids to the front of the buffer.
+        __m512i overflow = _mm512_load_si512(rid_buf + (kBufSize - 16));
+        _mm512_store_si512(rid_buf, overflow);
+        j += kBufSize - 16;
+        l -= kBufSize - 16;
+      }
+    }
+    rid = _mm512_add_epi32(rid, step);
+  }
+  // Scalar tail of the input.
+  for (; i < n; ++i) {
+    uint32_t k = keys[i];
+    if (k >= k_lo && k <= k_hi) rid_buf[l++] = static_cast<uint32_t>(i);
+  }
+  // Drain the buffer.
+  for (size_t b = 0; b < l; ++b) {
+    uint32_t p = rid_buf[b];
+    out_keys[j] = keys[p];
+    out_pays[j] = pays[p];
+    ++j;
+  }
+  if (streamable) _mm_sfence();
+  return j;
+}
+
+}  // namespace
+
+size_t SelectAvx512(ScanVariant variant, const uint32_t* keys,
+                    const uint32_t* pays, size_t n, uint32_t k_lo,
+                    uint32_t k_hi, uint32_t* out_keys, uint32_t* out_pays) {
+  switch (variant) {
+    case ScanVariant::kVectorBitExtractDirect:
+      return SelectDirect(true, keys, pays, n, k_lo, k_hi, out_keys,
+                          out_pays);
+    case ScanVariant::kVectorStoreDirect:
+      return SelectDirect(false, keys, pays, n, k_lo, k_hi, out_keys,
+                          out_pays);
+    case ScanVariant::kVectorBitExtractIndirect:
+      return SelectIndirect(true, keys, pays, n, k_lo, k_hi, out_keys,
+                            out_pays);
+    case ScanVariant::kVectorStoreIndirect:
+      return SelectIndirect(false, keys, pays, n, k_lo, k_hi, out_keys,
+                            out_pays);
+    default:
+      return 0;
+  }
+}
+
+}  // namespace simddb::detail

@@ -1,0 +1,119 @@
+#include "sort/radix_sort.h"
+
+#include <cstring>
+#include <vector>
+
+#include "partition/histogram.h"
+#include "partition/parallel_partition.h"
+#include "partition/partition_fn.h"
+#include "partition/shuffle.h"
+#include "util/aligned_buffer.h"
+#include "util/prefix_sum.h"
+
+namespace simddb {
+namespace {
+
+void RadixSortImpl(uint32_t* keys, uint32_t* pays, uint32_t* scratch_keys,
+                   uint32_t* scratch_pays, size_t n,
+                   const RadixSortConfig& cfg) {
+  if (n < 2) return;
+  const int bits = cfg.bits_per_pass < 1 ? 8 : cfg.bits_per_pass;
+  const int passes = (32 + bits - 1) / bits;
+  ParallelPartitionResources res;
+
+  uint32_t* in_k = keys;
+  uint32_t* in_p = pays;
+  uint32_t* out_k = scratch_keys;
+  uint32_t* out_p = scratch_pays;
+  for (int pass = 0; pass < passes; ++pass) {
+    int lo = pass * bits;
+    int pass_bits = bits;
+    if (lo + pass_bits > 32) pass_bits = 32 - lo;
+    PartitionFn fn = PartitionFn::Radix(static_cast<uint32_t>(pass_bits),
+                                        static_cast<uint32_t>(lo));
+    ParallelPartitionPass(fn, in_k, in_p, n, out_k, out_p, cfg.isa,
+                          cfg.threads, &res, nullptr);
+    std::swap(in_k, out_k);
+    std::swap(in_p, out_p);
+  }
+  if (in_k != keys) {
+    std::memcpy(keys, in_k, n * sizeof(uint32_t));
+    if (pays != nullptr) std::memcpy(pays, in_p, n * sizeof(uint32_t));
+  }
+}
+
+}  // namespace
+
+void RadixSortPairs(uint32_t* keys, uint32_t* pays, uint32_t* scratch_keys,
+                    uint32_t* scratch_pays, size_t n,
+                    const RadixSortConfig& cfg) {
+  RadixSortImpl(keys, pays, scratch_keys, scratch_pays, n, cfg);
+}
+
+void RadixSortKeys(uint32_t* keys, uint32_t* scratch_keys, size_t n,
+                   const RadixSortConfig& cfg) {
+  RadixSortImpl(keys, nullptr, scratch_keys, nullptr, n, cfg);
+}
+
+void RadixSortMultiColumn(uint32_t* keys, uint32_t* scratch_keys, size_t n,
+                          SortColumn* cols, size_t n_cols,
+                          const RadixSortConfig& cfg) {
+  if (n < 2) return;
+  const int bits = cfg.bits_per_pass < 1 ? 8 : cfg.bits_per_pass;
+  const int passes = (32 + bits - 1) / bits;
+  const bool vec = cfg.isa == Isa::kAvx512 && IsaSupported(Isa::kAvx512);
+
+  std::vector<uint32_t> offsets(size_t{1} << bits);
+  AlignedBuffer<uint32_t> dest(n + 16);
+  HistogramWorkspace ws;
+  uint32_t* in_k = keys;
+  uint32_t* out_k = scratch_keys;
+  std::vector<void*> in_c(n_cols), out_c(n_cols);
+  for (size_t c = 0; c < n_cols; ++c) {
+    in_c[c] = cols[c].data;
+    out_c[c] = cols[c].scratch;
+  }
+
+  for (int pass = 0; pass < passes; ++pass) {
+    int lo = pass * bits;
+    int pass_bits = bits;
+    if (lo + pass_bits > 32) pass_bits = 32 - lo;
+    PartitionFn fn = PartitionFn::Radix(static_cast<uint32_t>(pass_bits),
+                                        static_cast<uint32_t>(lo));
+    if (vec) {
+      HistogramReplicatedAvx512(fn, in_k, n, offsets.data(), &ws);
+    } else {
+      HistogramScalar(fn, in_k, n, offsets.data());
+    }
+    ExclusivePrefixSum(offsets.data(), fn.fanout);
+    // One destination computation, replayed over the key and all payload
+    // columns with width-specialized scatters (the paper's temporary-array
+    // scheme for multi-column shuffling).
+    if (vec) {
+      ComputeDestinationsAvx512(fn, in_k, n, offsets.data(), dest.data());
+      ScatterColumnAvx512(in_k, n, dest.data(), out_k, 4);
+      for (size_t c = 0; c < n_cols; ++c) {
+        ScatterColumnAvx512(in_c[c], n, dest.data(), out_c[c],
+                            cols[c].elem_bytes);
+      }
+    } else {
+      ComputeDestinationsScalar(fn, in_k, n, offsets.data(), dest.data());
+      ScatterColumnScalar(in_k, n, dest.data(), out_k, 4);
+      for (size_t c = 0; c < n_cols; ++c) {
+        ScatterColumnScalar(in_c[c], n, dest.data(), out_c[c],
+                            cols[c].elem_bytes);
+      }
+    }
+    std::swap(in_k, out_k);
+    for (size_t c = 0; c < n_cols; ++c) std::swap(in_c[c], out_c[c]);
+  }
+  if (in_k != keys) {
+    std::memcpy(keys, in_k, n * sizeof(uint32_t));
+    for (size_t c = 0; c < n_cols; ++c) {
+      std::memcpy(cols[c].data, in_c[c],
+                  n * static_cast<size_t>(cols[c].elem_bytes));
+    }
+  }
+}
+
+}  // namespace simddb

@@ -1,0 +1,54 @@
+#ifndef SIMDDB_SORT_RADIX_SORT_H_
+#define SIMDDB_SORT_RADIX_SORT_H_
+
+// LSB radixsort (§8) — the paper's fastest method for 32-bit keys [26].
+// Every pass is a stable buffered partitioning step (histogram, prefix sum,
+// shuffle); data parallelism comes from the vectorized histograms and
+// shuffles of §7, thread parallelism from splitting the input among threads
+// and interleaving their partition outputs via cross-thread prefix sums.
+//
+// Buffer contract: the key/payload arrays AND the scratch arrays must have
+// capacity n + 16 (streaming flushes are 16-tuple aligned and may overshoot
+// the last partition's end; see shuffle.h). Sorted data always ends up back
+// in the primary arrays.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/isa.h"
+
+namespace simddb {
+
+struct RadixSortConfig {
+  Isa isa = Isa::kScalar;  ///< kAvx512 => vectorized histogram + shuffle
+  int bits_per_pass = 8;   ///< paper: 5-8 radix bits per pass are optimal
+  int threads = 1;
+};
+
+/// Sorts (keys, pays) pairs by key, ascending, stable.
+void RadixSortPairs(uint32_t* keys, uint32_t* pays, uint32_t* scratch_keys,
+                    uint32_t* scratch_pays, size_t n,
+                    const RadixSortConfig& cfg);
+
+/// Sorts a key column, ascending.
+void RadixSortKeys(uint32_t* keys, uint32_t* scratch_keys, size_t n,
+                   const RadixSortConfig& cfg);
+
+/// A payload column accompanying the key column in a multi-column sort.
+struct SortColumn {
+  void* data;     ///< n elements, sorted in place (via scratch)
+  void* scratch;  ///< n elements of scratch
+  int elem_bytes; ///< 1, 2, 4, or 8
+};
+
+/// Sorts a table of a 32-bit key column plus any number of payload columns
+/// of mixed widths (Fig. 18): per pass, the histogram is generated once,
+/// per-tuple destinations are computed once, and each column is permuted
+/// with a type-specialized scatter. Single-threaded.
+void RadixSortMultiColumn(uint32_t* keys, uint32_t* scratch_keys, size_t n,
+                          SortColumn* cols, size_t n_cols,
+                          const RadixSortConfig& cfg);
+
+}  // namespace simddb
+
+#endif  // SIMDDB_SORT_RADIX_SORT_H_

@@ -1,0 +1,36 @@
+#ifndef SIMDDB_SORT_RANGE_SORT_H_
+#define SIMDDB_SORT_RANGE_SORT_H_
+
+// Comparison sort by range partitioning — the alternative large-scale sort
+// the paper's §8 builds on ("radixsort and comparison sorting based on
+// range partitioning have comparable performance" [26]). The input is
+// sampled to pick equi-depth splitters, every tuple is mapped to its range
+// partition with the SIMD range index (§7.2), tuples are scattered to
+// contiguous partitions, and each (now cache-friendly) partition is
+// finished with LSB radixsort. Unlike plain radixsort the output partitions
+// are ordered by value, which is what samplesort-style distributed sorts
+// need.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/isa.h"
+
+namespace simddb {
+
+struct RangeSortConfig {
+  Isa isa = Isa::kScalar;
+  uint32_t fanout = 289;     ///< number of range partitions (17^2 default)
+  size_t sample_size = 8192; ///< tuples sampled for splitter selection
+  uint64_t seed = 42;
+};
+
+/// Sorts (keys, pays) by key ascending. All four arrays (primary and
+/// scratch) need capacity n + 16 (buffered-flush overshoot).
+void RangeSortPairs(uint32_t* keys, uint32_t* pays, uint32_t* scratch_keys,
+                    uint32_t* scratch_pays, size_t n,
+                    const RangeSortConfig& cfg);
+
+}  // namespace simddb
+
+#endif  // SIMDDB_SORT_RANGE_SORT_H_

@@ -1,0 +1,38 @@
+#ifndef SIMDDB_UTIL_BITS_H_
+#define SIMDDB_UTIL_BITS_H_
+
+#include <cstdint>
+
+namespace simddb {
+
+/// Returns floor(log2(x)) for x > 0.
+constexpr uint32_t Log2Floor(uint64_t x) {
+  uint32_t r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// Returns ceil(log2(x)) for x > 0.
+constexpr uint32_t Log2Ceil(uint64_t x) {
+  return x <= 1 ? 0 : Log2Floor(x - 1) + 1;
+}
+
+/// Returns true if x is a power of two (x > 0).
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Rounds x up to the next multiple of `multiple` (a power of two).
+constexpr uint64_t RoundUp(uint64_t x, uint64_t multiple) {
+  return (x + multiple - 1) & ~(multiple - 1);
+}
+
+/// Rounds x up to the next power of two (x > 0).
+constexpr uint64_t NextPowerOfTwo(uint64_t x) {
+  return x <= 1 ? 1 : uint64_t{1} << Log2Ceil(x);
+}
+
+/// Population count for 16-bit masks used by the 512-bit (16-lane) kernels.
+constexpr uint32_t PopCount16(uint32_t m) { return __builtin_popcount(m & 0xFFFF); }
+
+}  // namespace simddb
+
+#endif  // SIMDDB_UTIL_BITS_H_

@@ -1,0 +1,59 @@
+#include "util/cpu_info.h"
+
+#include <cpuid.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+namespace simddb {
+namespace {
+
+CpuInfo Detect() {
+  CpuInfo info;
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    info.avx2 = (ebx >> 5) & 1;
+    info.avx512f = (ebx >> 16) & 1;
+    info.avx512dq = (ebx >> 17) & 1;
+    info.avx512cd = (ebx >> 28) & 1;
+    info.avx512bw = (ebx >> 30) & 1;
+    info.avx512vl = (ebx >> 31) & 1;
+    info.avx512vpopcntdq = (ecx >> 14) & 1;
+  }
+
+  long l1 = sysconf(_SC_LEVEL1_DCACHE_SIZE);
+  long l2 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+  long l3 = sysconf(_SC_LEVEL3_CACHE_SIZE);
+  if (l1 > 0) info.l1d_bytes = static_cast<size_t>(l1);
+  if (l2 > 0) info.l2_bytes = static_cast<size_t>(l2);
+  if (l3 > 0) info.l3_bytes = static_cast<size_t>(l3);
+  info.logical_cores =
+      static_cast<int>(std::thread::hardware_concurrency());
+  if (info.logical_cores == 0) info.logical_cores = 1;
+
+  // Brand string via CPUID leaves 0x80000002..4.
+  unsigned int brand[12] = {0};
+  unsigned int max_ext = __get_cpuid_max(0x80000000, nullptr);
+  if (max_ext >= 0x80000004) {
+    for (unsigned int i = 0; i < 3; ++i) {
+      __get_cpuid(0x80000002 + i, &brand[i * 4], &brand[i * 4 + 1],
+                  &brand[i * 4 + 2], &brand[i * 4 + 3]);
+    }
+    char name[sizeof(brand) + 1];
+    std::memcpy(name, brand, sizeof(brand));
+    name[sizeof(brand)] = '\0';
+    info.model_name = name;
+  }
+  return info;
+}
+
+}  // namespace
+
+const CpuInfo& GetCpuInfo() {
+  static const CpuInfo* const kInfo = new CpuInfo(Detect());
+  return *kInfo;
+}
+
+}  // namespace simddb

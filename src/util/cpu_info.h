@@ -1,0 +1,39 @@
+#ifndef SIMDDB_UTIL_CPU_INFO_H_
+#define SIMDDB_UTIL_CPU_INFO_H_
+
+#include <cstddef>
+#include <string>
+
+namespace simddb {
+
+/// Static description of the host CPU's SIMD capabilities and cache
+/// hierarchy, discovered once via CPUID / sysconf. Used for backend dispatch
+/// and to print the platform table (Table 1 of the paper).
+struct CpuInfo {
+  bool avx2 = false;
+  bool avx512f = false;
+  bool avx512cd = false;  ///< vpconflictd — the paper's "AVX 3" anticipation.
+  bool avx512dq = false;
+  bool avx512bw = false;
+  bool avx512vl = false;
+  bool avx512vpopcntdq = false;
+
+  size_t l1d_bytes = 32 * 1024;
+  size_t l2_bytes = 256 * 1024;
+  size_t l3_bytes = 0;
+  int logical_cores = 1;
+  std::string model_name;
+
+  /// True when the full AVX-512 feature set simddb's 512-bit backend needs
+  /// (F, CD, DQ, BW, VL) is available.
+  bool HasAvx512() const {
+    return avx512f && avx512cd && avx512dq && avx512bw && avx512vl;
+  }
+};
+
+/// Returns the lazily-initialized singleton CpuInfo for this host.
+const CpuInfo& GetCpuInfo();
+
+}  // namespace simddb
+
+#endif  // SIMDDB_UTIL_CPU_INFO_H_

@@ -1,0 +1,110 @@
+#include "util/data_gen.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace simddb {
+
+void FillUniform(uint32_t* out, size_t n, uint64_t seed, uint32_t lo,
+                 uint32_t hi) {
+  Pcg32 rng(seed);
+  uint32_t span = hi - lo;
+  if (span == 0xFFFFFFFFu) {
+    for (size_t i = 0; i < n; ++i) out[i] = rng.Next();
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = lo + rng.NextBounded(span + 1);
+  }
+}
+
+void FillSequential(uint32_t* out, size_t n, uint32_t base) {
+  for (size_t i = 0; i < n; ++i) out[i] = base + static_cast<uint32_t>(i);
+}
+
+void FillUniqueShuffled(uint32_t* out, size_t n, uint64_t seed,
+                        uint32_t base) {
+  FillSequential(out, n, base);
+  Pcg32 rng(seed);
+  for (size_t i = n; i > 1; --i) {
+    size_t j = rng.NextBounded(static_cast<uint32_t>(i));
+    uint32_t tmp = out[i - 1];
+    out[i - 1] = out[j];
+    out[j] = tmp;
+  }
+}
+
+void FillWithRepeats(uint32_t* out, size_t n, size_t n_unique, uint64_t seed,
+                     uint32_t base) {
+  if (n_unique == 0) n_unique = 1;
+  // Round-robin over the unique keys, then shuffle so repeats are spread out.
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = base + static_cast<uint32_t>(i % n_unique);
+  }
+  Pcg32 rng(seed);
+  for (size_t i = n; i > 1; --i) {
+    size_t j = rng.NextBounded(static_cast<uint32_t>(i));
+    uint32_t tmp = out[i - 1];
+    out[i - 1] = out[j];
+    out[j] = tmp;
+  }
+}
+
+void FillZipf(uint32_t* out, size_t n, size_t n_unique, double theta,
+              uint64_t seed, uint32_t base) {
+  // Classic Gray et al. Zipf sampler: precompute zeta(n_unique, theta) and
+  // invert the CDF approximation per draw.
+  Pcg32 rng(seed);
+  double zetan = 0.0;
+  for (size_t i = 1; i <= n_unique; ++i) zetan += 1.0 / std::pow(i, theta);
+  double alpha = 1.0 / (1.0 - theta);
+  double zeta2 = 1.0 + std::pow(0.5, theta);
+  double eta =
+      (1.0 - std::pow(2.0 / static_cast<double>(n_unique), 1.0 - theta)) /
+      (1.0 - zeta2 / zetan);
+  for (size_t i = 0; i < n; ++i) {
+    double u = rng.NextDouble();
+    double uz = u * zetan;
+    uint32_t v;
+    if (uz < 1.0) {
+      v = 1;
+    } else if (uz < 1.0 + std::pow(0.5, theta)) {
+      v = 2;
+    } else {
+      v = 1 + static_cast<uint32_t>(static_cast<double>(n_unique) *
+                                    std::pow(eta * u - eta + 1.0, alpha));
+    }
+    if (v > n_unique) v = static_cast<uint32_t>(n_unique);
+    out[i] = base + v - 1;
+  }
+}
+
+std::vector<uint32_t> MakeSplitters(size_t p, uint32_t max_value) {
+  std::vector<uint32_t> splitters;
+  splitters.reserve(p > 0 ? p - 1 : 0);
+  for (size_t i = 1; i < p; ++i) {
+    uint64_t v = static_cast<uint64_t>(max_value) * i / p;
+    splitters.push_back(static_cast<uint32_t>(v));
+  }
+  return splitters;
+}
+
+void FillProbeKeys(uint32_t* out, size_t n, const uint32_t* build_keys,
+                   size_t n_build, double hit_rate, uint64_t seed) {
+  Pcg32 rng(seed);
+  // Absent keys are drawn above the max build key; callers generate build
+  // keys from a compact range so this is cheap and exact.
+  uint32_t max_key = 0;
+  for (size_t i = 0; i < n_build; ++i) {
+    if (build_keys[i] > max_key) max_key = build_keys[i];
+  }
+  uint32_t miss_base = max_key + 1;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < hit_rate && n_build > 0) {
+      out[i] = build_keys[rng.NextBounded(static_cast<uint32_t>(n_build))];
+    } else {
+      out[i] = miss_base + rng.NextBounded(0x3FFFFFFF);
+    }
+  }
+}
+
+}  // namespace simddb

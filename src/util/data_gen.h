@@ -1,0 +1,48 @@
+#ifndef SIMDDB_UTIL_DATA_GEN_H_
+#define SIMDDB_UTIL_DATA_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace simddb {
+
+/// Synthetic workload generation for the experiments in the paper
+/// (uniform data per §10; all generators are deterministic per seed).
+
+/// Fills out[0..n) with uniform values in [lo, hi] (inclusive).
+void FillUniform(uint32_t* out, size_t n, uint64_t seed, uint32_t lo,
+                 uint32_t hi);
+
+/// Fills out[0..n) with the values base, base+1, ..., base+n-1.
+void FillSequential(uint32_t* out, size_t n, uint32_t base);
+
+/// Fills out[0..n) with a random permutation of {base, ..., base+n-1}
+/// (Fisher-Yates). Used to generate unique join/build keys.
+void FillUniqueShuffled(uint32_t* out, size_t n, uint64_t seed,
+                        uint32_t base = 1);
+
+/// Fills out[0..n) so that the multiset contains `n_unique` distinct keys
+/// (drawn from {base..base+n_unique-1}), each repeated ~n/n_unique times, in
+/// random order. Used for the key-repeat experiment (Fig. 9).
+void FillWithRepeats(uint32_t* out, size_t n, size_t n_unique, uint64_t seed,
+                     uint32_t base = 1);
+
+/// Fills out[0..n) with a Zipf(theta)-distributed sample over
+/// {base..base+n_unique-1} using the rejection-inversion method.
+void FillZipf(uint32_t* out, size_t n, size_t n_unique, double theta,
+              uint64_t seed, uint32_t base = 1);
+
+/// Returns p-1 sorted splitters that partition [0, max_value] into p
+/// roughly equal ranges. Used by the range-partitioning experiments.
+std::vector<uint32_t> MakeSplitters(size_t p, uint32_t max_value);
+
+/// Draws probe keys for a hash-table experiment: each output key matches a
+/// build key with probability `hit_rate`, otherwise it is a key guaranteed
+/// to be absent from the build side.
+void FillProbeKeys(uint32_t* out, size_t n, const uint32_t* build_keys,
+                   size_t n_build, double hit_rate, uint64_t seed);
+
+}  // namespace simddb
+
+#endif  // SIMDDB_UTIL_DATA_GEN_H_

@@ -1,0 +1,65 @@
+#ifndef SIMDDB_UTIL_PREFIX_SUM_H_
+#define SIMDDB_UTIL_PREFIX_SUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace simddb {
+
+/// In-place exclusive prefix sum: out[i] = sum of in[0..i). Returns the total.
+/// Histograms become partition start offsets this way (§7.3).
+inline uint64_t ExclusivePrefixSum(uint64_t* h, size_t p) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < p; ++i) {
+    uint64_t c = h[i];
+    h[i] = sum;
+    sum += c;
+  }
+  return sum;
+}
+
+inline uint32_t ExclusivePrefixSum(uint32_t* h, size_t p) {
+  uint32_t sum = 0;
+  for (size_t i = 0; i < p; ++i) {
+    uint32_t c = h[i];
+    h[i] = sum;
+    sum += c;
+  }
+  return sum;
+}
+
+/// Cross-thread interleaved prefix sum for parallel partitioning (§8):
+/// `hists` holds T per-thread histograms of P counts laid out as
+/// hists[t * p + j]. After the call, hists[t * p + j] is the global output
+/// offset where thread t writes its first tuple of partition j, such that
+/// within each partition the tuples of thread 0 precede thread 1, etc.
+/// Returns the grand total.
+inline uint64_t InterleavedPrefixSum(uint64_t* hists, size_t t_count,
+                                     size_t p) {
+  uint64_t sum = 0;
+  for (size_t j = 0; j < p; ++j) {
+    for (size_t t = 0; t < t_count; ++t) {
+      uint64_t c = hists[t * p + j];
+      hists[t * p + j] = sum;
+      sum += c;
+    }
+  }
+  return sum;
+}
+
+inline uint32_t InterleavedPrefixSum(uint32_t* hists, size_t t_count,
+                                     size_t p) {
+  uint32_t sum = 0;
+  for (size_t j = 0; j < p; ++j) {
+    for (size_t t = 0; t < t_count; ++t) {
+      uint32_t c = hists[t * p + j];
+      hists[t * p + j] = sum;
+      sum += c;
+    }
+  }
+  return sum;
+}
+
+}  // namespace simddb
+
+#endif  // SIMDDB_UTIL_PREFIX_SUM_H_

@@ -1,0 +1,66 @@
+#ifndef SIMDDB_UTIL_RNG_H_
+#define SIMDDB_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace simddb {
+
+/// SplitMix64: used to seed other generators and as a cheap stateless hash.
+constexpr uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// PCG32 (pcg_xsh_rr_64_32): small, fast, statistically solid generator used
+/// for all synthetic workload generation. Deterministic for a given seed so
+/// experiments are reproducible.
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed, uint64_t stream = 0x14057B7EF767814Full)
+      : state_(0), inc_((stream << 1u) | 1u) {
+    Next();
+    state_ += SplitMix64(seed);
+    Next();
+  }
+
+  /// Returns the next 32 pseudo-random bits.
+  uint32_t Next() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ull + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  /// Returns a value uniform in [0, bound) without modulo bias.
+  uint32_t NextBounded(uint32_t bound) {
+    uint64_t m = static_cast<uint64_t>(Next()) * bound;
+    uint32_t lo = static_cast<uint32_t>(m);
+    if (lo < bound) {
+      uint32_t t = (0u - bound) % bound;
+      while (lo < t) {
+        m = static_cast<uint64_t>(Next()) * bound;
+        lo = static_cast<uint32_t>(m);
+      }
+    }
+    return static_cast<uint32_t>(m >> 32);
+  }
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t Next64() {
+    return (static_cast<uint64_t>(Next()) << 32) | Next();
+  }
+
+  /// Returns a double uniform in [0, 1).
+  double NextDouble() { return Next() * (1.0 / 4294967296.0); }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace simddb
+
+#endif  // SIMDDB_UTIL_RNG_H_

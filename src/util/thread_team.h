@@ -1,0 +1,69 @@
+#ifndef SIMDDB_UTIL_THREAD_TEAM_H_
+#define SIMDDB_UTIL_THREAD_TEAM_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simddb {
+
+/// A reusable sense-reversing barrier for fork-join operator phases
+/// (histogram → prefix sum → shuffle in parallel radixsort, build → probe in
+/// the no-partition join).
+class Barrier {
+ public:
+  explicit Barrier(int parties) : parties_(parties), waiting_(0), sense_(false) {}
+
+  /// Blocks until all `parties` threads have arrived.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    bool my_sense = sense_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      sense_ = !sense_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return sense_ != my_sense; });
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int parties_;
+  int waiting_;
+  bool sense_;
+};
+
+/// Fork-join thread team: runs fn(tid) on `threads` std::threads and joins.
+/// Thread 0 is the calling thread so single-threaded runs have no spawn cost.
+class ThreadTeam {
+ public:
+  /// Runs fn(tid) for tid in [0, threads). Blocks until all complete.
+  static void Run(int threads, const std::function<void(int)>& fn) {
+    if (threads <= 1) {
+      fn(0);
+      return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    for (int t = 1; t < threads; ++t) {
+      pool.emplace_back([&fn, t] { fn(t); });
+    }
+    fn(0);
+    for (auto& th : pool) th.join();
+  }
+
+  /// Splits [0, n) into `threads` contiguous chunks; chunk t is
+  /// [ChunkBegin(n,threads,t), ChunkBegin(n,threads,t+1)).
+  static size_t ChunkBegin(size_t n, int threads, int t) {
+    return n * static_cast<size_t>(t) / static_cast<size_t>(threads);
+  }
+};
+
+}  // namespace simddb
+
+#endif  // SIMDDB_UTIL_THREAD_TEAM_H_

@@ -1,0 +1,32 @@
+#ifndef SIMDDB_UTIL_TIMER_H_
+#define SIMDDB_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace simddb {
+
+/// Simple wall-clock stopwatch used by examples and by the per-phase time
+/// breakdowns that the join/sort operators report.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace simddb
+
+#endif  // SIMDDB_UTIL_TIMER_H_

@@ -1,0 +1,361 @@
+// Randomized differential testing: for a stream of randomized
+// configurations (sizes, selectivities, load factors, fanouts, duplicate
+// patterns — including adversarial ones like all-equal keys), every
+// vectorized code path must agree with its scalar counterpart. These tests
+// complement the per-module suites by exploring parameter corners no
+// hand-enumerated sweep covers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "agg/group_by.h"
+#include "bloom/bloom_filter.h"
+#include "core/isa.h"
+#include "hash/double_hashing.h"
+#include "hash/linear_probing.h"
+#include "join/hash_join.h"
+#include "partition/histogram.h"
+#include "partition/range.h"
+#include "partition/shuffle.h"
+#include "scan/selection_scan.h"
+#include "sort/radix_sort.h"
+#include "util/aligned_buffer.h"
+#include "util/data_gen.h"
+#include "util/rng.h"
+
+namespace simddb {
+namespace {
+
+bool Has512() { return IsaSupported(Isa::kAvx512); }
+
+// Generates a key column with a randomized "shape": uniform wide, uniform
+// narrow (heavy duplicates), constant, or sequential.
+void RandomKeys(Pcg32& rng, uint32_t* out, size_t n) {
+  switch (rng.NextBounded(4)) {
+    case 0:
+      FillUniform(out, n, rng.Next64(), 0, 0xFFFFFFFEu);
+      break;
+    case 1:
+      FillUniform(out, n, rng.Next64(), 0, rng.NextBounded(64) + 1);
+      break;
+    case 2: {
+      uint32_t c = rng.Next() & 0x7FFFFFFF;
+      for (size_t i = 0; i < n; ++i) out[i] = c;
+      break;
+    }
+    default:
+      FillSequential(out, n, rng.NextBounded(1000));
+      break;
+  }
+}
+
+TEST(Differential, SelectionScanAllVariants) {
+  Pcg32 rng(101);
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t n = rng.NextBounded(20'000) + 1;
+    AlignedBuffer<uint32_t> keys(n + kSelectionScanPad),
+        pays(n + kSelectionScanPad);
+    RandomKeys(rng, keys.data(), n);
+    FillSequential(pays.data(), n, 0);
+    uint32_t a = rng.Next(), b = rng.Next();
+    uint32_t lo = std::min(a, b), hi = std::max(a, b);
+    if (rng.NextBounded(8) == 0) lo = 0;
+    if (rng.NextBounded(8) == 0) hi = 0xFFFFFFFFu;
+    AlignedBuffer<uint32_t> wk(n + kSelectionScanPad),
+        wp(n + kSelectionScanPad);
+    size_t want = SelectionScan(ScanVariant::kScalarBranching, keys.data(),
+                                pays.data(), n, lo, hi, wk.data(), wp.data());
+    for (ScanVariant v :
+         {ScanVariant::kScalarBranchless, ScanVariant::kVectorStoreDirect,
+          ScanVariant::kVectorBitExtractDirect,
+          ScanVariant::kVectorStoreIndirect,
+          ScanVariant::kVectorBitExtractIndirect, ScanVariant::kAvx2Direct,
+          ScanVariant::kAvx2Indirect}) {
+      if (!ScanVariantSupported(v)) continue;
+      AlignedBuffer<uint32_t> gk(n + kSelectionScanPad),
+          gp(n + kSelectionScanPad);
+      size_t got = SelectionScan(v, keys.data(), pays.data(), n, lo, hi,
+                                 gk.data(), gp.data());
+      ASSERT_EQ(got, want) << ScanVariantName(v) << " trial " << trial;
+      for (size_t i = 0; i < want; ++i) {
+        ASSERT_EQ(gk[i], wk[i]) << ScanVariantName(v) << " @" << i;
+        ASSERT_EQ(gp[i], wp[i]) << ScanVariantName(v) << " @" << i;
+      }
+    }
+  }
+}
+
+TEST(Differential, HashTablesRandomConfigs) {
+  if (!Has512()) GTEST_SKIP();
+  Pcg32 rng(202);
+  for (int trial = 0; trial < 40; ++trial) {
+    size_t n_build = rng.NextBounded(4000) + 1;
+    size_t n_probe = rng.NextBounded(12'000) + 1;
+    size_t buckets = n_build * (rng.NextBounded(6) + 2) + 32;
+    bool unique = rng.NextBounded(2) == 0;
+    std::vector<uint32_t> bk(n_build), bp(n_build), pk(n_probe), pp(n_probe);
+    if (unique) {
+      FillUniqueShuffled(bk.data(), n_build, rng.Next64(), 1);
+    } else {
+      // Cap multiplicity at ~9 to bound the join output size.
+      size_t uniques = n_build / 8 +
+                       rng.NextBounded(static_cast<uint32_t>(n_build)) + 1;
+      FillWithRepeats(bk.data(), n_build, uniques, rng.Next64(), 1);
+    }
+    FillSequential(bp.data(), n_build, 0);
+    FillProbeKeys(pk.data(), n_probe, bk.data(), n_build,
+                  rng.NextDouble(), rng.Next64());
+    FillSequential(pp.data(), n_probe, 0);
+
+    // Reference via scalar LP.
+    LinearProbingTable lp_ref(buckets);
+    lp_ref.BuildScalar(bk.data(), bp.data(), n_build);
+    size_t cap = n_probe * 10 + n_build + 64;
+    AlignedBuffer<uint32_t> wk(cap), ws(cap), wr(cap);
+    size_t want = lp_ref.ProbeScalar(pk.data(), pp.data(), n_probe, wk.data(),
+                                     ws.data(), wr.data());
+    auto norm = [](AlignedBuffer<uint32_t>& a, AlignedBuffer<uint32_t>& b,
+                   AlignedBuffer<uint32_t>& c, size_t m) {
+      std::vector<std::tuple<uint32_t, uint32_t, uint32_t>> v(m);
+      for (size_t i = 0; i < m; ++i) v[i] = {a[i], b[i], c[i]};
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    auto want_rows = norm(wk, ws, wr, want);
+
+    // LP vector build + vector probe.
+    LinearProbingTable lp(buckets);
+    lp.BuildAvx512(bk.data(), bp.data(), n_build, unique);
+    AlignedBuffer<uint32_t> gk(cap), gs(cap), gr(cap);
+    size_t got = lp.ProbeAvx512(pk.data(), pp.data(), n_probe, gk.data(),
+                                gs.data(), gr.data());
+    ASSERT_EQ(got, want) << "LP trial " << trial;
+    ASSERT_EQ(norm(gk, gs, gr, got), want_rows) << "LP trial " << trial;
+
+    // DH vector build + vector probe.
+    DoubleHashingTable dh(buckets);
+    dh.BuildAvx512(bk.data(), bp.data(), n_build);
+    got = dh.ProbeAvx512(pk.data(), pp.data(), n_probe, gk.data(), gs.data(),
+                         gr.data());
+    ASSERT_EQ(got, want) << "DH trial " << trial;
+    ASSERT_EQ(norm(gk, gs, gr, got), want_rows) << "DH trial " << trial;
+  }
+}
+
+TEST(Differential, BloomFilterRandomConfigs) {
+  Pcg32 rng(303);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t n_items = rng.NextBounded(20'000) + 1;
+    int k = static_cast<int>(rng.NextBounded(8)) + 1;
+    int bpi = static_cast<int>(rng.NextBounded(14)) + 2;
+    std::vector<uint32_t> items(n_items);
+    FillUniqueShuffled(items.data(), n_items, rng.Next64(), 1);
+    BloomFilter f = BloomFilter::ForItems(n_items, bpi, k, rng.Next64());
+    f.Add(items.data(), n_items);
+    size_t n_probe = rng.NextBounded(30'000) + 1;
+    AlignedBuffer<uint32_t> pk(n_probe + 16), pp(n_probe + 16);
+    FillProbeKeys(pk.data(), n_probe, items.data(), n_items,
+                  rng.NextDouble(), rng.Next64());
+    FillSequential(pp.data(), n_probe, 0);
+    AlignedBuffer<uint32_t> wk(n_probe + 16), wp(n_probe + 16);
+    size_t want = f.ProbeScalar(pk.data(), pp.data(), n_probe, wk.data(),
+                                wp.data());
+    for (Isa isa : {Isa::kAvx2, Isa::kAvx512}) {
+      if (!IsaSupported(isa)) continue;
+      AlignedBuffer<uint32_t> gk(n_probe + 16), gp(n_probe + 16);
+      size_t got = f.Probe(isa, pk.data(), pp.data(), n_probe, gk.data(),
+                           gp.data());
+      ASSERT_EQ(got, want) << IsaName(isa) << " trial " << trial;
+      std::vector<std::pair<uint32_t, uint32_t>> a(want), b(want);
+      for (size_t i = 0; i < want; ++i) {
+        a[i] = {wk[i], wp[i]};
+        b[i] = {gk[i], gp[i]};
+      }
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      ASSERT_EQ(a, b) << IsaName(isa) << " trial " << trial;
+    }
+  }
+}
+
+TEST(Differential, HistogramAndShuffleRandomConfigs) {
+  if (!Has512()) GTEST_SKIP();
+  Pcg32 rng(404);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t n = rng.NextBounded(50'000) + 1;
+    uint32_t bits = rng.NextBounded(11) + 1;
+    AlignedBuffer<uint32_t> keys(n + 16), pays(n + 16);
+    RandomKeys(rng, keys.data(), n);
+    FillSequential(pays.data(), n, 0);
+    PartitionFn fn;
+    switch (rng.NextBounded(3)) {
+      case 0:
+        fn = PartitionFn::Radix(bits, rng.NextBounded(32 - bits));
+        break;
+      case 1: {
+        uint32_t fo = (1u << bits) - rng.NextBounded(3);
+        fn = PartitionFn::Hash(fo < 2 ? 2 : fo, rng.Next64());
+        break;
+      }
+      default:
+        fn = PartitionFn::HashRadix(bits, rng.NextBounded(4),
+                                    1u << (bits + 4), rng.Next64());
+        break;
+    }
+    std::vector<uint32_t> want(fn.fanout), got(fn.fanout);
+    HistogramScalar(fn, keys.data(), n, want.data());
+    HistogramWorkspace ws;
+    HistogramReplicatedAvx512(fn, keys.data(), n, got.data(), &ws);
+    ASSERT_EQ(got, want) << "replicated trial " << trial;
+    HistogramSerializedAvx512(fn, keys.data(), n, got.data());
+    ASSERT_EQ(got, want) << "serialized trial " << trial;
+    HistogramCompressedAvx512(fn, keys.data(), n, got.data(), &ws);
+    ASSERT_EQ(got, want) << "compressed trial " << trial;
+
+    // Shuffle both ways and compare full outputs (both stable).
+    std::vector<uint32_t> off_a(fn.fanout), off_b(fn.fanout);
+    uint32_t sum = 0;
+    for (uint32_t p = 0; p < fn.fanout; ++p) {
+      off_a[p] = off_b[p] = sum;
+      sum += want[p];
+    }
+    AlignedBuffer<uint32_t> ak(n + 16), ap(n + 16), bk(n + 16), bp(n + 16);
+    ShuffleBuffers bufs;
+    ShuffleScalarBuffered(fn, keys.data(), pays.data(), n, off_a.data(),
+                          ak.data(), ap.data(), &bufs);
+    ShuffleVectorBufferedAvx512(fn, keys.data(), pays.data(), n,
+                                off_b.data(), bk.data(), bp.data(), &bufs);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(bk[i], ak[i]) << "shuffle key @" << i << " trial " << trial;
+      ASSERT_EQ(bp[i], ap[i]) << "shuffle pay @" << i << " trial " << trial;
+    }
+  }
+}
+
+TEST(Differential, RangeFunctionsWithDuplicateSplitters) {
+  Pcg32 rng(505);
+  for (int trial = 0; trial < 30; ++trial) {
+    uint32_t p = rng.NextBounded(300) + 2;
+    std::vector<uint32_t> splitters(p - 1);
+    for (auto& s : splitters) s = rng.Next();
+    // Force some duplicate splitters.
+    if (p > 4) {
+      splitters[1] = splitters[0];
+      splitters[3] = splitters[2];
+    }
+    std::sort(splitters.begin(), splitters.end());
+    RangeFunction fn(splitters);
+    size_t n = rng.NextBounded(5000) + 16;
+    std::vector<uint32_t> keys(n);
+    RandomKeys(rng, keys.data(), n);
+    // Include exact splitter values as keys.
+    for (size_t i = 0; i < std::min<size_t>(n, splitters.size()); ++i) {
+      keys[i] = splitters[i];
+    }
+    std::vector<uint32_t> want(n), got(n);
+    fn.ScalarBranching(keys.data(), n, want.data());
+    fn.ScalarBranchless(keys.data(), n, got.data());
+    ASSERT_EQ(got, want) << "branchless trial " << trial;
+    if (Has512()) {
+      fn.VectorAvx512(keys.data(), n, got.data());
+      ASSERT_EQ(got, want) << "avx512 trial " << trial;
+    }
+    if (IsaSupported(Isa::kAvx2)) {
+      fn.VectorAvx2(keys.data(), n, got.data());
+      ASSERT_EQ(got, want) << "avx2 trial " << trial;
+    }
+    for (int width : {8, 16}) {
+      RangeIndex index(splitters, width);
+      index.LookupScalar(keys.data(), n, got.data());
+      ASSERT_EQ(got, want) << "tree" << width << " trial " << trial;
+    }
+  }
+}
+
+TEST(Differential, SortJoinGroupByRandomConfigs) {
+  if (!Has512()) GTEST_SKIP();
+  Pcg32 rng(606);
+  for (int trial = 0; trial < 12; ++trial) {
+    // Sort.
+    size_t n = rng.NextBounded(60'000) + 2;
+    AlignedBuffer<uint32_t> k1(n + 16), p1(n + 16), k2(n + 16), p2(n + 16);
+    AlignedBuffer<uint32_t> s1(n + 16), s2(n + 16), s3(n + 16), s4(n + 16);
+    RandomKeys(rng, k1.data(), n);
+    std::memcpy(k2.data(), k1.data(), n * sizeof(uint32_t));
+    FillSequential(p1.data(), n, 0);
+    FillSequential(p2.data(), n, 0);
+    RadixSortConfig sc, vc;
+    sc.isa = Isa::kScalar;
+    vc.isa = Isa::kAvx512;
+    sc.threads = static_cast<int>(rng.NextBounded(4)) + 1;
+    vc.threads = static_cast<int>(rng.NextBounded(4)) + 1;
+    sc.bits_per_pass = static_cast<int>(rng.NextBounded(8)) + 4;
+    vc.bits_per_pass = static_cast<int>(rng.NextBounded(8)) + 4;
+    RadixSortPairs(k1.data(), p1.data(), s1.data(), s2.data(), n, sc);
+    RadixSortPairs(k2.data(), p2.data(), s3.data(), s4.data(), n, vc);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(k1[i], k2[i]) << "sort key @" << i << " trial " << trial;
+      ASSERT_EQ(p1[i], p2[i]) << "sort pay @" << i << " trial " << trial;
+    }
+
+    // Group-by on the same data.
+    GroupByAggregator agg_s(n + 8), agg_v(n + 8);
+    agg_s.AccumulateScalar(k1.data(), p1.data(), n);
+    agg_v.AccumulateAvx512(k1.data(), p1.data(), n);
+    ASSERT_EQ(agg_v.num_groups(), agg_s.num_groups()) << "trial " << trial;
+    size_t g = agg_s.num_groups();
+    std::vector<uint32_t> keys_s(g), keys_v(g), cnt_s(g), cnt_v(g);
+    std::vector<uint64_t> sum_s(g), sum_v(g);
+    agg_s.Extract(Isa::kScalar, keys_s.data(), sum_s.data(), cnt_s.data(),
+                  nullptr, nullptr);
+    agg_v.Extract(Isa::kAvx512, keys_v.data(), sum_v.data(), cnt_v.data(),
+                  nullptr, nullptr);
+    std::map<uint32_t, std::pair<uint64_t, uint32_t>> ms, mv;
+    for (size_t i = 0; i < g; ++i) {
+      ms[keys_s[i]] = {sum_s[i], cnt_s[i]};
+      mv[keys_v[i]] = {sum_v[i], cnt_v[i]};
+    }
+    ASSERT_EQ(mv, ms) << "groupby trial " << trial;
+
+    // Join scalar vs vector (unique R keys).
+    size_t r_n = rng.NextBounded(20'000) + 1;
+    size_t s_n = rng.NextBounded(40'000) + 1;
+    std::vector<uint32_t> rk(r_n), rp(r_n), sk(s_n), sp(s_n);
+    FillUniqueShuffled(rk.data(), r_n, rng.Next64(), 1);
+    FillSequential(rp.data(), r_n, 0);
+    FillProbeKeys(sk.data(), s_n, rk.data(), r_n, rng.NextDouble(),
+                  rng.Next64());
+    FillSequential(sp.data(), s_n, 0);
+    JoinConfig js, jv;
+    js.isa = Isa::kScalar;
+    jv.isa = Isa::kAvx512;
+    js.threads = static_cast<int>(rng.NextBounded(4)) + 1;
+    jv.threads = static_cast<int>(rng.NextBounded(4)) + 1;
+    jv.target_part_tuples = js.target_part_tuples =
+        rng.NextBounded(2000) + 64;
+    AlignedBuffer<uint32_t> ak(s_n + 16), ar(s_n + 16), as(s_n + 16);
+    AlignedBuffer<uint32_t> bk(s_n + 16), br(s_n + 16), bs(s_n + 16);
+    JoinRelation r{rk.data(), rp.data(), r_n}, s{sk.data(), sp.data(), s_n};
+    size_t want =
+        HashJoinMaxPartition(r, s, js, ak.data(), ar.data(), as.data());
+    size_t got =
+        HashJoinMaxPartition(r, s, jv, bk.data(), br.data(), bs.data());
+    ASSERT_EQ(got, want) << "join trial " << trial;
+    std::vector<std::tuple<uint32_t, uint32_t, uint32_t>> wa(want), wb(want);
+    for (size_t i = 0; i < want; ++i) {
+      wa[i] = {ak[i], ar[i], as[i]};
+      wb[i] = {bk[i], br[i], bs[i]};
+    }
+    std::sort(wa.begin(), wa.end());
+    std::sort(wb.begin(), wb.end());
+    ASSERT_EQ(wb, wa) << "join rows trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace simddb

@@ -1,0 +1,198 @@
+// Tests for the fundamental vector operations (§3): every SIMD backend must
+// reproduce the scalar reference semantics bit-for-bit, across randomized
+// masks, indexes and values (property-style TEST_P sweeps).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/fundamental.h"
+#include "core/isa.h"
+#include "core/scalar_ops.h"
+#include "util/rng.h"
+
+namespace simddb {
+namespace {
+
+using fundamental::Gather16;
+using fundamental::MultHashBatch;
+using fundamental::Scatter16;
+using fundamental::SelectiveLoad16;
+using fundamental::SelectiveStore16;
+using fundamental::SerializeConflicts16;
+using fundamental::SerializeConflictsIterative16;
+using fundamental::ScatterWinners16;
+
+class FundamentalTest : public ::testing::TestWithParam<Isa> {
+ protected:
+  void SetUp() override {
+    if (!IsaSupported(GetParam())) {
+      GTEST_SKIP() << "ISA " << IsaName(GetParam()) << " not supported here";
+    }
+  }
+  Isa isa() const { return GetParam(); }
+};
+
+TEST_P(FundamentalTest, SelectiveStoreMatchesScalar) {
+  Pcg32 rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint32_t v[16];
+    for (auto& x : v) x = rng.Next();
+    uint32_t mask = rng.Next() & 0xFFFF;
+    uint32_t got[32], want[32];
+    std::memset(got, 0xAB, sizeof(got));
+    std::memset(want, 0xAB, sizeof(want));
+    size_t n_got = SelectiveStore16(isa(), got, mask, v);
+    size_t n_want = scalar::SelectiveStore(want, 16, mask, v);
+    ASSERT_EQ(n_got, n_want);
+    for (size_t i = 0; i < n_want; ++i) EXPECT_EQ(got[i], want[i]);
+  }
+}
+
+TEST_P(FundamentalTest, SelectiveLoadMatchesScalar) {
+  Pcg32 rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint32_t src[32];
+    for (auto& x : src) x = rng.Next();
+    uint32_t mask = rng.Next() & 0xFFFF;
+    uint32_t got[16], want[16];
+    for (int i = 0; i < 16; ++i) got[i] = want[i] = 1000u + i;
+    size_t n_got = SelectiveLoad16(isa(), got, mask, src);
+    size_t n_want = scalar::SelectiveLoad(want, 16, mask, src);
+    ASSERT_EQ(n_got, n_want);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(got[i], want[i]) << "lane " << i;
+  }
+}
+
+TEST_P(FundamentalTest, GatherMatchesScalar) {
+  Pcg32 rng(3);
+  std::vector<uint32_t> base(1024);
+  for (auto& x : base) x = rng.Next();
+  for (int trial = 0; trial < 200; ++trial) {
+    uint32_t idx[16];
+    for (auto& x : idx) x = rng.NextBounded(1024);
+    uint32_t mask = rng.Next() & 0xFFFF;
+    uint32_t got[16], want[16];
+    for (int i = 0; i < 16; ++i) got[i] = want[i] = 77u + i;
+    Gather16(isa(), got, mask, base.data(), idx);
+    scalar::Gather(want, 16, mask, base.data(), idx);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(got[i], want[i]) << "lane " << i;
+  }
+}
+
+TEST_P(FundamentalTest, ScatterMatchesScalarWithRightmostWins) {
+  Pcg32 rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint32_t> got(256, 0), want(256, 0);
+    uint32_t idx[16], v[16];
+    for (auto& x : idx) x = rng.NextBounded(256) & ~0u;
+    // Force some collisions.
+    idx[5] = idx[1];
+    idx[12] = idx[1];
+    for (auto& x : v) x = rng.Next();
+    uint32_t mask = rng.Next() & 0xFFFF;
+    Scatter16(isa(), got.data(), mask, idx, v);
+    scalar::Scatter(want.data(), 16, mask, idx, v);
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(FundamentalTest, SerializeConflictsCountsPriorDuplicates) {
+  Pcg32 rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    uint32_t idx[16];
+    // Small range so conflicts are common.
+    for (auto& x : idx) x = rng.NextBounded(trial % 7 + 1);
+    uint32_t got[16], want[16];
+    SerializeConflicts16(isa(), got, idx);
+    scalar::SerializeConflicts(want, 16, idx);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(got[i], want[i]) << "lane " << i;
+  }
+}
+
+TEST_P(FundamentalTest, SerializeConflictsIterativeAgrees) {
+  Pcg32 rng(6);
+  std::vector<uint32_t> scratch(64);
+  for (int trial = 0; trial < 300; ++trial) {
+    uint32_t idx[16];
+    for (auto& x : idx) x = rng.NextBounded(trial % 9 + 1);
+    uint32_t got[16], want[16];
+    SerializeConflictsIterative16(isa(), got, idx, scratch.data());
+    scalar::SerializeConflicts(want, 16, idx);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(got[i], want[i]) << "lane " << i;
+  }
+}
+
+TEST_P(FundamentalTest, ScatterWinnersMatchesScalar) {
+  Pcg32 rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    uint32_t idx[16];
+    for (auto& x : idx) x = rng.NextBounded(trial % 11 + 1);
+    EXPECT_EQ(ScatterWinners16(isa(), idx), scalar::ScatterWinners(16, idx));
+  }
+}
+
+TEST_P(FundamentalTest, ScatterWinnersWinnersActuallyWin) {
+  // Property: scattering only the winner lanes produces the same array as
+  // scattering all lanes (rightmost-wins semantics).
+  Pcg32 rng(8);
+  for (int trial = 0; trial < 100; ++trial) {
+    uint32_t idx[16], v[16];
+    for (auto& x : idx) x = rng.NextBounded(8);
+    for (auto& x : v) x = rng.Next();
+    std::vector<uint32_t> all(16, 0), winners_only(16, 0);
+    scalar::Scatter(all.data(), 16, 0xFFFF, idx, v);
+    uint32_t w = ScatterWinners16(isa(), idx);
+    scalar::Scatter(winners_only.data(), 16, w, idx, v);
+    EXPECT_EQ(all, winners_only);
+  }
+}
+
+TEST_P(FundamentalTest, MultHashBatchMatchesScalarAndStaysInRange) {
+  Pcg32 rng(9);
+  const uint32_t kFactor = 0x9E3779B1u;
+  for (uint32_t buckets : {1u, 7u, 64u, 1000u, 1u << 20}) {
+    std::vector<uint32_t> keys(1003), got(1003);
+    for (auto& x : keys) x = rng.Next();
+    MultHashBatch(isa(), got.data(), keys.data(), keys.size(), kFactor,
+                  buckets);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(got[i], scalar::MultHash(keys[i], kFactor, buckets));
+      EXPECT_LT(got[i], buckets);
+    }
+  }
+}
+
+TEST_P(FundamentalTest, SelectiveRoundTrip) {
+  // Property: store-then-load through a staging area is the identity on the
+  // selected lanes.
+  Pcg32 rng(10);
+  for (int trial = 0; trial < 100; ++trial) {
+    uint32_t v[16], staged[32], back[16];
+    for (auto& x : v) x = rng.Next();
+    for (int i = 0; i < 16; ++i) back[i] = 0xDEAD0000u + i;
+    uint32_t mask = rng.Next() & 0xFFFF;
+    SelectiveStore16(isa(), staged, mask, v);
+    SelectiveLoad16(isa(), back, mask, staged);
+    for (int i = 0; i < 16; ++i) {
+      if (mask & (1u << i)) {
+        EXPECT_EQ(back[i], v[i]);
+      } else {
+        EXPECT_EQ(back[i], 0xDEAD0000u + i);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, FundamentalTest,
+                         ::testing::Values(Isa::kScalar, Isa::kAvx2,
+                                           Isa::kAvx512),
+                         [](const ::testing::TestParamInfo<Isa>& info) {
+                           return std::string(IsaName(info.param));
+                         });
+
+}  // namespace
+}  // namespace simddb

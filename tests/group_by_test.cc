@@ -1,0 +1,147 @@
+// Group-by aggregation tests: vectorized accumulation must match a
+// std::map-based reference exactly (COUNT, SUM, MIN, MAX) across group
+// cardinalities, including heavy per-vector key repetition (the conflict-
+// retry path) and incremental accumulation across batches.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "agg/group_by.h"
+#include "core/isa.h"
+#include "util/aligned_buffer.h"
+#include "util/data_gen.h"
+
+namespace simddb {
+namespace {
+
+struct Agg {
+  uint64_t sum = 0;
+  uint32_t count = 0;
+  uint32_t min = 0xFFFFFFFFu;
+  uint32_t max = 0;
+  bool operator==(const Agg&) const = default;
+};
+
+std::map<uint32_t, Agg> Reference(const std::vector<uint32_t>& keys,
+                                  const std::vector<uint32_t>& vals) {
+  std::map<uint32_t, Agg> ref;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Agg& a = ref[keys[i]];
+    a.sum += vals[i];
+    a.count += 1;
+    a.min = std::min(a.min, vals[i]);
+    a.max = std::max(a.max, vals[i]);
+  }
+  return ref;
+}
+
+std::map<uint32_t, Agg> Collect(const GroupByAggregator& agg, Isa isa) {
+  size_t g = agg.num_groups();
+  std::vector<uint32_t> keys(g), counts(g), mins(g), maxs(g);
+  std::vector<uint64_t> sums(g);
+  size_t got = agg.Extract(isa, keys.data(), sums.data(), counts.data(),
+                           mins.data(), maxs.data());
+  EXPECT_EQ(got, g);
+  std::map<uint32_t, Agg> out;
+  for (size_t i = 0; i < got; ++i) {
+    EXPECT_FALSE(out.count(keys[i])) << "duplicate group " << keys[i];
+    out[keys[i]] = {sums[i], counts[i], mins[i], maxs[i]};
+  }
+  return out;
+}
+
+class GroupByTest
+    : public ::testing::TestWithParam<std::tuple<Isa, size_t, size_t>> {};
+
+TEST_P(GroupByTest, MatchesReference) {
+  auto [isa, n, n_groups] = GetParam();
+  if (!IsaSupported(isa)) GTEST_SKIP();
+  std::vector<uint32_t> keys(n), vals(n);
+  FillWithRepeats(keys.data(), n, n_groups, 3, 1);
+  FillUniform(vals.data(), n, 5, 0, 1'000'000);
+  GroupByAggregator agg(n_groups + 8);
+  agg.Accumulate(isa, keys.data(), vals.data(), n);
+  EXPECT_EQ(agg.num_groups(), std::min(n, n_groups));
+  EXPECT_EQ(Collect(agg, isa), Reference(keys, vals));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GroupByTest,
+    ::testing::Combine(::testing::Values(Isa::kScalar, Isa::kAvx512),
+                       ::testing::Values<size_t>(1, 40, 1000, 100'000),
+                       // few groups = many same-vector conflicts
+                       ::testing::Values<size_t>(1, 3, 16, 1000, 50'000)),
+    [](const auto& info) {
+      return std::string(IsaName(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_g" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(GroupBy, IncrementalBatchesAccumulate) {
+  Isa isa = IsaSupported(Isa::kAvx512) ? Isa::kAvx512 : Isa::kScalar;
+  const size_t n = 30'000;
+  std::vector<uint32_t> keys(n), vals(n);
+  FillWithRepeats(keys.data(), n, 500, 7, 1);
+  FillUniform(vals.data(), n, 9, 0, 999);
+  GroupByAggregator agg(600);
+  // Feed in uneven batches, alternating ISAs.
+  size_t pos = 0;
+  int batch = 0;
+  while (pos < n) {
+    size_t len = std::min<size_t>(n - pos, 1 + 977 * (batch % 7));
+    agg.Accumulate(batch % 2 == 0 ? isa : Isa::kScalar, keys.data() + pos,
+                   vals.data() + pos, len);
+    pos += len;
+    ++batch;
+  }
+  EXPECT_EQ(Collect(agg, isa), Reference(keys, vals));
+}
+
+TEST(GroupBy, SingleGroupAllConflicts) {
+  // Every vector lane hits the same bucket: maximal retry pressure.
+  Isa isa = IsaSupported(Isa::kAvx512) ? Isa::kAvx512 : Isa::kScalar;
+  const size_t n = 10'000;
+  std::vector<uint32_t> keys(n, 42), vals(n);
+  FillUniform(vals.data(), n, 11, 1, 100);
+  GroupByAggregator agg(16);
+  agg.Accumulate(isa, keys.data(), vals.data(), n);
+  EXPECT_EQ(agg.num_groups(), 1u);
+  auto got = Collect(agg, isa);
+  ASSERT_TRUE(got.count(42));
+  EXPECT_EQ(got[42].count, n);
+  EXPECT_EQ(got[42], Reference(keys, vals)[42]);
+}
+
+TEST(GroupBy, ClearResets) {
+  GroupByAggregator agg(32);
+  std::vector<uint32_t> keys = {1, 2, 3}, vals = {10, 20, 30};
+  agg.AccumulateScalar(keys.data(), vals.data(), 3);
+  EXPECT_EQ(agg.num_groups(), 3u);
+  agg.Clear();
+  EXPECT_EQ(agg.num_groups(), 0u);
+  agg.AccumulateScalar(keys.data(), vals.data(), 3);
+  auto got = Collect(agg, Isa::kScalar);
+  EXPECT_EQ(got[1].sum, 10u);
+}
+
+TEST(GroupBy, ExtractSkipsNullOutputs) {
+  GroupByAggregator agg(32);
+  std::vector<uint32_t> keys = {5, 5, 9}, vals = {1, 2, 3};
+  agg.AccumulateScalar(keys.data(), vals.data(), 3);
+  std::vector<uint32_t> out_keys(2);
+  size_t got = agg.Extract(Isa::kScalar, out_keys.data(), nullptr, nullptr,
+                           nullptr, nullptr);
+  EXPECT_EQ(got, 2u);
+  std::sort(out_keys.begin(), out_keys.end());
+  EXPECT_EQ(out_keys[0], 5u);
+  EXPECT_EQ(out_keys[1], 9u);
+}
+
+}  // namespace
+}  // namespace simddb

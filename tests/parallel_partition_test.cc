@@ -1,0 +1,117 @@
+// Direct tests for the parallel partitioning pass: global stability (thread
+// order preserved within partitions), boundary correctness under the
+// buffered-flush/cleanup protocol, and the reported partition starts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/isa.h"
+#include "partition/parallel_partition.h"
+#include "util/aligned_buffer.h"
+#include "util/data_gen.h"
+#include <cstring>
+
+namespace simddb {
+namespace {
+
+class ParallelPartitionTest
+    : public ::testing::TestWithParam<std::tuple<Isa, int, int, size_t>> {};
+
+TEST_P(ParallelPartitionTest, StablePartitionWithBoundaries) {
+  auto [isa, threads, bits, n] = GetParam();
+  if (!IsaSupported(isa)) GTEST_SKIP();
+  PartitionFn fn = PartitionFn::Radix(bits, 3);
+
+  AlignedBuffer<uint32_t> keys(n + 16), pays(n + 16);
+  FillUniform(keys.data(), n, 31, 0, 0xFFFFFFFFu);
+  FillSequential(pays.data(), n, 0);  // payload = original index
+  AlignedBuffer<uint32_t> out_k(n + 16), out_p(n + 16);
+  std::vector<uint32_t> starts(fn.fanout + 1);
+  ParallelPartitionResources res;
+  ParallelPartitionPass(fn, keys.data(), pays.data(), n, out_k.data(),
+                        out_p.data(), isa, threads, &res, starts.data());
+
+  ASSERT_EQ(starts[fn.fanout], n);
+  std::vector<bool> seen(n, false);
+  for (uint32_t p = 0; p < fn.fanout; ++p) {
+    ASSERT_LE(starts[p], starts[p + 1]) << "partition " << p;
+    uint32_t prev = 0;
+    bool first = true;
+    for (uint32_t q = starts[p]; q < starts[p + 1]; ++q) {
+      uint32_t orig = out_p[q];
+      ASSERT_LT(orig, n);
+      ASSERT_FALSE(seen[orig]);
+      seen[orig] = true;
+      ASSERT_EQ(out_k[q], keys[orig]);
+      ASSERT_EQ(fn(out_k[q]), p);
+      // Global stability across thread chunks.
+      if (!first) ASSERT_GT(orig, prev) << "instability @" << q;
+      prev = orig;
+      first = false;
+    }
+  }
+}
+
+TEST_P(ParallelPartitionTest, KeyOnlyPass) {
+  auto [isa, threads, bits, n] = GetParam();
+  if (!IsaSupported(isa)) GTEST_SKIP();
+  PartitionFn fn = PartitionFn::Radix(bits, 0);
+  AlignedBuffer<uint32_t> keys(n + 16);
+  FillUniform(keys.data(), n, 7, 0, 0xFFFFFFFFu);
+  AlignedBuffer<uint32_t> out_k(n + 16);
+  std::vector<uint32_t> starts(fn.fanout + 1);
+  ParallelPartitionResources res;
+  ParallelPartitionPass(fn, keys.data(), nullptr, n, out_k.data(), nullptr,
+                        isa, threads, &res, starts.data());
+  // Partition membership and multiset preservation.
+  std::vector<uint32_t> in_sorted(keys.data(), keys.data() + n);
+  std::vector<uint32_t> out_sorted(out_k.data(), out_k.data() + n);
+  std::sort(in_sorted.begin(), in_sorted.end());
+  std::sort(out_sorted.begin(), out_sorted.end());
+  ASSERT_EQ(in_sorted, out_sorted);
+  for (uint32_t p = 0; p < fn.fanout; ++p) {
+    for (uint32_t q = starts[p]; q < starts[p + 1]; ++q) {
+      ASSERT_EQ(fn(out_k[q]), p);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelPartitionTest,
+    ::testing::Combine(::testing::Values(Isa::kScalar, Isa::kAvx512),
+                       ::testing::Values(1, 3, 8), ::testing::Values(4, 9),
+                       ::testing::Values<size_t>(30, 5000, 200'003)),
+    [](const auto& info) {
+      return std::string(IsaName(std::get<0>(info.param))) + "_t" +
+             std::to_string(std::get<1>(info.param)) + "_b" +
+             std::to_string(std::get<2>(info.param)) + "_n" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+TEST(ParallelPartition, ResourceReuseAcrossPassesAndFanouts) {
+  // The same resources object must be safely reusable with changing
+  // fanouts and thread counts (as radixsort does across passes).
+  ParallelPartitionResources res;
+  const size_t n = 20'000;
+  AlignedBuffer<uint32_t> keys(n + 16), pays(n + 16);
+  AlignedBuffer<uint32_t> out_k(n + 16), out_p(n + 16);
+  FillUniform(keys.data(), n, 3, 0, 0xFFFFFFFFu);
+  FillSequential(pays.data(), n, 0);
+  for (int pass = 0; pass < 4; ++pass) {
+    PartitionFn fn = PartitionFn::Radix(3 + pass * 2, pass);
+    std::vector<uint32_t> starts(fn.fanout + 1);
+    ParallelPartitionPass(fn, keys.data(), pays.data(), n, out_k.data(),
+                          out_p.data(), BestIsa(), 1 + pass, &res,
+                          starts.data());
+    ASSERT_EQ(starts[fn.fanout], n);
+    std::memcpy(keys.data(), out_k.data(), n * sizeof(uint32_t));
+    std::memcpy(pays.data(), out_p.data(), n * sizeof(uint32_t));
+  }
+}
+
+}  // namespace
+}  // namespace simddb

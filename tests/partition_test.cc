@@ -1,0 +1,356 @@
+// Partitioning tests (§7): histograms, range functions, and shuffles.
+// Every vector variant must agree with its scalar baseline; stable shuffles
+// must preserve within-partition input order.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/isa.h"
+#include "partition/histogram.h"
+#include "partition/partition_fn.h"
+#include "partition/range.h"
+#include "partition/shuffle.h"
+#include "util/aligned_buffer.h"
+#include "util/data_gen.h"
+#include "util/prefix_sum.h"
+
+namespace simddb {
+namespace {
+
+bool Has512() { return IsaSupported(Isa::kAvx512); }
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+enum class HistVariant { kReplicated, kSerialized, kCompressed };
+
+const char* HistVariantName(HistVariant v) {
+  switch (v) {
+    case HistVariant::kReplicated: return "replicated";
+    case HistVariant::kSerialized: return "serialized";
+    case HistVariant::kCompressed: return "compressed";
+  }
+  return "?";
+}
+
+class HistogramTest
+    : public ::testing::TestWithParam<std::tuple<HistVariant, bool, int>> {};
+
+TEST_P(HistogramTest, MatchesScalar) {
+  auto [variant, is_hash, bits] = GetParam();
+  if (!Has512()) GTEST_SKIP();
+  const size_t n = 100003;
+  std::vector<uint32_t> keys(n);
+  FillUniform(keys.data(), n, 11, 0, 0xFFFFFFFFu);
+  PartitionFn fn = is_hash ? PartitionFn::Hash(1u << bits)
+                           : PartitionFn::Radix(bits, 7);
+  std::vector<uint32_t> want(fn.fanout), got(fn.fanout);
+  HistogramScalar(fn, keys.data(), n, want.data());
+  HistogramWorkspace ws;
+  switch (variant) {
+    case HistVariant::kReplicated:
+      HistogramReplicatedAvx512(fn, keys.data(), n, got.data(), &ws);
+      break;
+    case HistVariant::kSerialized:
+      HistogramSerializedAvx512(fn, keys.data(), n, got.data());
+      break;
+    case HistVariant::kCompressed:
+      HistogramCompressedAvx512(fn, keys.data(), n, got.data(), &ws);
+      break;
+  }
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(std::accumulate(want.begin(), want.end(), uint64_t{0}), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HistogramTest,
+    ::testing::Combine(::testing::Values(HistVariant::kReplicated,
+                                         HistVariant::kSerialized,
+                                         HistVariant::kCompressed),
+                       ::testing::Bool(), ::testing::Values(3, 8, 11)),
+    [](const auto& info) {
+      return std::string(HistVariantName(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_hash" : "_radix") + "_bits" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Histogram, SkewedInputOverflowsCompressedCounts) {
+  // All keys in one partition: exercises the 8-bit overflow flush path.
+  if (!Has512()) GTEST_SKIP();
+  const size_t n = 70000;  // >> 255 per count
+  std::vector<uint32_t> keys(n, 42);
+  PartitionFn fn = PartitionFn::Radix(8, 0);
+  std::vector<uint32_t> want(fn.fanout), got(fn.fanout);
+  HistogramScalar(fn, keys.data(), n, want.data());
+  HistogramWorkspace ws;
+  HistogramCompressedAvx512(fn, keys.data(), n, got.data(), &ws);
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(got[42], n);
+}
+
+// ---------------------------------------------------------------------------
+// Range functions
+// ---------------------------------------------------------------------------
+
+class RangeFnTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RangeFnTest, AllImplementationsAgree) {
+  const uint32_t p = static_cast<uint32_t>(GetParam());
+  const size_t n = 40001;
+  std::vector<uint32_t> keys(n);
+  FillUniform(keys.data(), n, 13, 0, 0xFFFFFFFFu);
+  auto splitters = MakeSplitters(p, 0xF0000000u);
+  RangeFunction fn(splitters);
+  ASSERT_EQ(fn.fanout(), p);
+
+  std::vector<uint32_t> want(n), got(n);
+  fn.ScalarBranching(keys.data(), n, want.data());
+  for (size_t i = 0; i < n; ++i) ASSERT_LT(want[i], p);
+
+  fn.ScalarBranchless(keys.data(), n, got.data());
+  EXPECT_EQ(got, want) << "branchless";
+  if (Has512()) {
+    fn.VectorAvx512(keys.data(), n, got.data());
+    EXPECT_EQ(got, want) << "avx512";
+  }
+  if (IsaSupported(Isa::kAvx2)) {
+    fn.VectorAvx2(keys.data(), n, got.data());
+    EXPECT_EQ(got, want) << "avx2";
+  }
+}
+
+TEST_P(RangeFnTest, RangeIndexAgrees) {
+  const uint32_t p = static_cast<uint32_t>(GetParam());
+  const size_t n = 20000;
+  std::vector<uint32_t> keys(n);
+  FillUniform(keys.data(), n, 17, 0, 0xFFFFFFFFu);
+  auto splitters = MakeSplitters(p, 0xF0000000u);
+  RangeFunction fn(splitters);
+  std::vector<uint32_t> want(n), got(n);
+  fn.ScalarBranching(keys.data(), n, want.data());
+  for (int width : {8, 16}) {
+    RangeIndex index(splitters, width);
+    index.LookupScalar(keys.data(), n, got.data());
+    EXPECT_EQ(got, want) << "scalar tree width " << width;
+    if (Has512()) {
+      index.LookupAvx512(keys.data(), n, got.data());
+      EXPECT_EQ(got, want) << "simd tree width " << width;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, RangeFnTest,
+                         ::testing::Values(2, 9, 17, 64, 81, 289, 1000,
+                                           4096));
+
+TEST(RangeFunction, SplitterBoundariesExact) {
+  std::vector<uint32_t> splitters = {10, 20, 30};
+  RangeFunction fn(splitters);
+  // partition(k) = count of splitters < k: boundary keys belong to the
+  // partition whose splitter equals them.
+  std::vector<uint32_t> keys = {0, 9, 10, 11, 20, 21, 30, 31, 0xFFFFFFFFu};
+  std::vector<uint32_t> out(keys.size());
+  fn.ScalarBranching(keys.data(), keys.size(), out.data());
+  std::vector<uint32_t> want = {0, 0, 0, 1, 1, 2, 2, 3, 3};
+  EXPECT_EQ(out, want);
+}
+
+// ---------------------------------------------------------------------------
+// Shuffles
+// ---------------------------------------------------------------------------
+
+enum class ShufVariant {
+  kScalarUnbuffered,
+  kScalarBuffered,
+  kVectorUnbuffered,
+  kVectorBuffered,
+  kVectorBufferedUnstable,
+};
+
+const char* ShufVariantName(ShufVariant v) {
+  switch (v) {
+    case ShufVariant::kScalarUnbuffered: return "scalar_unbuf";
+    case ShufVariant::kScalarBuffered: return "scalar_buf";
+    case ShufVariant::kVectorUnbuffered: return "vector_unbuf";
+    case ShufVariant::kVectorBuffered: return "vector_buf";
+    case ShufVariant::kVectorBufferedUnstable: return "vector_buf_unstable";
+  }
+  return "?";
+}
+
+bool IsStable(ShufVariant v) {
+  return v != ShufVariant::kVectorBufferedUnstable;
+}
+
+class ShuffleTest
+    : public ::testing::TestWithParam<std::tuple<ShufVariant, bool, int,
+                                                 size_t>> {};
+
+TEST_P(ShuffleTest, PartitionsCorrectly) {
+  auto [variant, is_hash, bits, n] = GetParam();
+  bool needs512 = variant != ShufVariant::kScalarUnbuffered &&
+                  variant != ShufVariant::kScalarBuffered;
+  if (needs512 && !Has512()) GTEST_SKIP();
+
+  AlignedBuffer<uint32_t> keys(n + 16), pays(n + 16);
+  FillUniform(keys.data(), n, 23, 0, 0xFFFFFFFFu);
+  FillSequential(pays.data(), n, 0);  // payload = original index
+  PartitionFn fn = is_hash ? PartitionFn::Hash(1u << bits)
+                           : PartitionFn::Radix(bits, 5);
+
+  std::vector<uint32_t> hist(fn.fanout);
+  HistogramScalar(fn, keys.data(), n, hist.data());
+  std::vector<uint32_t> offsets(fn.fanout);
+  uint32_t sum = 0;
+  for (uint32_t p = 0; p < fn.fanout; ++p) {
+    offsets[p] = sum;
+    sum += hist[p];
+  }
+  std::vector<uint32_t> starts = offsets;
+
+  AlignedBuffer<uint32_t> out_k(n + 16), out_p(n + 16);
+  ShuffleBuffers bufs;
+  switch (variant) {
+    case ShufVariant::kScalarUnbuffered:
+      ShuffleScalarUnbuffered(fn, keys.data(), pays.data(), n, offsets.data(),
+                              out_k.data(), out_p.data());
+      break;
+    case ShufVariant::kScalarBuffered:
+      ShuffleScalarBuffered(fn, keys.data(), pays.data(), n, offsets.data(),
+                            out_k.data(), out_p.data(), &bufs);
+      break;
+    case ShufVariant::kVectorUnbuffered:
+      ShuffleVectorUnbufferedAvx512(fn, keys.data(), pays.data(), n,
+                                    offsets.data(), out_k.data(),
+                                    out_p.data());
+      break;
+    case ShufVariant::kVectorBuffered:
+      ShuffleVectorBufferedAvx512(fn, keys.data(), pays.data(), n,
+                                  offsets.data(), out_k.data(), out_p.data(),
+                                  &bufs);
+      break;
+    case ShufVariant::kVectorBufferedUnstable:
+      ShuffleVectorBufferedUnstableAvx512(fn, keys.data(), pays.data(), n,
+                                          offsets.data(), out_k.data(),
+                                          out_p.data(), &bufs);
+      break;
+  }
+
+  // Offsets advanced to ends.
+  for (uint32_t p = 0; p < fn.fanout; ++p) {
+    ASSERT_EQ(offsets[p], starts[p] + hist[p]) << "partition " << p;
+  }
+  // Every output tuple is in its partition's range, consistent (key matches
+  // its payload's original position), and the output is a permutation.
+  std::vector<bool> seen(n, false);
+  for (uint32_t p = 0; p < fn.fanout; ++p) {
+    uint32_t prev_pos = 0;
+    bool first = true;
+    for (uint32_t q = starts[p]; q < starts[p] + hist[p]; ++q) {
+      uint32_t orig = out_p[q];
+      ASSERT_LT(orig, n);
+      ASSERT_FALSE(seen[orig]);
+      seen[orig] = true;
+      ASSERT_EQ(out_k[q], keys[orig]);
+      ASSERT_EQ(fn(out_k[q]), p);
+      if (IsStable(variant)) {
+        if (!first) ASSERT_GT(orig, prev_pos) << "stability violated @" << q;
+        prev_pos = orig;
+        first = false;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShuffleTest,
+    ::testing::Combine(::testing::Values(ShufVariant::kScalarUnbuffered,
+                                         ShufVariant::kScalarBuffered,
+                                         ShufVariant::kVectorUnbuffered,
+                                         ShufVariant::kVectorBuffered,
+                                         ShufVariant::kVectorBufferedUnstable),
+                       ::testing::Bool(), ::testing::Values(2, 6, 10),
+                       ::testing::Values<size_t>(77, 4096, 100003)),
+    [](const auto& info) {
+      return std::string(ShufVariantName(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_hash" : "_radix") + "_bits" +
+             std::to_string(std::get<2>(info.param)) + "_n" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Multi-column destination shuffling
+// ---------------------------------------------------------------------------
+
+class DestinationsTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(DestinationsTest, ReplaysAcrossColumnWidths) {
+  bool vectorized = GetParam();
+  if (vectorized && !Has512()) GTEST_SKIP();
+  const size_t n = 50001;
+  AlignedBuffer<uint32_t> keys(n + 16);
+  FillUniform(keys.data(), n, 31, 0, 0xFFFFFFFFu);
+  PartitionFn fn = PartitionFn::Radix(6, 3);
+
+  std::vector<uint32_t> hist(fn.fanout);
+  HistogramScalar(fn, keys.data(), n, hist.data());
+  std::vector<uint32_t> offsets(fn.fanout);
+  ExclusivePrefixSum(offsets.data(), 0);  // no-op; compute manually below
+  uint32_t sum = 0;
+  for (uint32_t p = 0; p < fn.fanout; ++p) {
+    offsets[p] = sum;
+    sum += hist[p];
+  }
+
+  AlignedBuffer<uint32_t> dest(n + 16);
+  std::vector<uint32_t> offsets_ref = offsets;
+  AlignedBuffer<uint32_t> dest_ref(n + 16);
+  ComputeDestinationsScalar(fn, keys.data(), n, offsets_ref.data(),
+                            dest_ref.data());
+  if (vectorized) {
+    ComputeDestinationsAvx512(fn, keys.data(), n, offsets.data(),
+                              dest.data());
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(dest[i], dest_ref[i]) << i;
+  } else {
+    std::memcpy(dest.data(), dest_ref.data(), n * sizeof(uint32_t));
+  }
+
+  // 8/16/32/64-bit columns all permute consistently.
+  AlignedBuffer<uint8_t> c8(n), o8(n);
+  AlignedBuffer<uint16_t> c16(n), o16(n);
+  AlignedBuffer<uint32_t> c32(n + 16), o32(n + 16);
+  AlignedBuffer<uint64_t> c64(n + 16), o64(n + 16);
+  for (size_t i = 0; i < n; ++i) {
+    c8[i] = static_cast<uint8_t>(i);
+    c16[i] = static_cast<uint16_t>(i * 3);
+    c32[i] = static_cast<uint32_t>(i * 7);
+    c64[i] = static_cast<uint64_t>(i) * 11;
+  }
+  auto scatter = vectorized ? ScatterColumnAvx512 : ScatterColumnScalar;
+  scatter(c8.data(), n, dest.data(), o8.data(), 1);
+  scatter(c16.data(), n, dest.data(), o16.data(), 2);
+  scatter(c32.data(), n, dest.data(), o32.data(), 4);
+  scatter(c64.data(), n, dest.data(), o64.data(), 8);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t d = dest[i];
+    ASSERT_EQ(o8[d], static_cast<uint8_t>(i));
+    ASSERT_EQ(o16[d], static_cast<uint16_t>(i * 3));
+    ASSERT_EQ(o32[d], static_cast<uint32_t>(i * 7));
+    ASSERT_EQ(o64[d], static_cast<uint64_t>(i) * 11);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ScalarAndVector, DestinationsTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "vector" : "scalar";
+                         });
+
+}  // namespace
+}  // namespace simddb

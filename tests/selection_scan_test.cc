@@ -1,0 +1,145 @@
+// Selection scan tests (§4): all variants must agree with the branching
+// scalar baseline, in content and order, across selectivities and sizes.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "scan/selection_scan.h"
+#include "util/aligned_buffer.h"
+#include "util/data_gen.h"
+
+namespace simddb {
+namespace {
+
+struct ScanCase {
+  ScanVariant variant;
+  size_t n;
+  uint32_t lo;
+  uint32_t hi;
+};
+
+std::vector<ScanVariant> AllVariants() {
+  return {ScanVariant::kScalarBranching,
+          ScanVariant::kScalarBranchless,
+          ScanVariant::kVectorBitExtractDirect,
+          ScanVariant::kVectorStoreDirect,
+          ScanVariant::kVectorBitExtractIndirect,
+          ScanVariant::kVectorStoreIndirect,
+          ScanVariant::kAvx2Direct,
+          ScanVariant::kAvx2Indirect};
+}
+
+class SelectionScanTest
+    : public ::testing::TestWithParam<std::tuple<ScanVariant, size_t, int>> {
+};
+
+TEST_P(SelectionScanTest, MatchesBranchingBaseline) {
+  auto [variant, n, sel_pct] = GetParam();
+  if (!ScanVariantSupported(variant)) {
+    GTEST_SKIP() << "variant unsupported on this host";
+  }
+  AlignedBuffer<uint32_t> keys(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> pays(n + kSelectionScanPad);
+  FillUniform(keys.data(), n, 42, 0, 999'999);
+  FillSequential(pays.data(), n, 0);
+
+  // Range predicate selecting roughly sel_pct percent of the keys.
+  uint32_t lo = 100'000;
+  uint32_t hi = lo + static_cast<uint32_t>(10'000ull * sel_pct);
+
+  AlignedBuffer<uint32_t> want_k(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> want_p(n + kSelectionScanPad);
+  size_t want = SelectionScan(ScanVariant::kScalarBranching, keys.data(),
+                              pays.data(), n, lo, hi, want_k.data(),
+                              want_p.data());
+
+  AlignedBuffer<uint32_t> got_k(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> got_p(n + kSelectionScanPad);
+  size_t got = SelectionScan(variant, keys.data(), pays.data(), n, lo, hi,
+                             got_k.data(), got_p.data());
+
+  ASSERT_EQ(got, want) << ScanVariantName(variant);
+  for (size_t i = 0; i < want; ++i) {
+    ASSERT_EQ(got_k[i], want_k[i]) << "key @" << i;
+    ASSERT_EQ(got_p[i], want_p[i]) << "payload @" << i;
+  }
+  // Payloads must dereference back to their keys (rid integrity).
+  for (size_t i = 0; i < got; ++i) {
+    ASSERT_EQ(keys[got_p[i]], got_k[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SelectionScanTest,
+    ::testing::Combine(::testing::ValuesIn(AllVariants()),
+                       ::testing::Values<size_t>(0, 1, 15, 16, 17, 1000,
+                                                 65536, 100003),
+                       ::testing::Values(0, 1, 10, 50, 100)),
+    [](const auto& info) {
+      return std::string(ScanVariantName(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_sel" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+class SelectionScanEdgeTest : public ::testing::TestWithParam<ScanVariant> {};
+
+TEST_P(SelectionScanEdgeTest, FullDomainPredicateKeepsEverything) {
+  ScanVariant variant = GetParam();
+  if (!ScanVariantSupported(variant)) GTEST_SKIP();
+  const size_t n = 4096 + 7;
+  AlignedBuffer<uint32_t> keys(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> pays(n + kSelectionScanPad);
+  FillUniform(keys.data(), n, 1, 0, 0xFFFFFFFFu);
+  FillSequential(pays.data(), n, 0);
+  AlignedBuffer<uint32_t> out_k(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> out_p(n + kSelectionScanPad);
+  size_t got = SelectionScan(variant, keys.data(), pays.data(), n, 0,
+                             0xFFFFFFFFu, out_k.data(), out_p.data());
+  ASSERT_EQ(got, n);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(out_k[i], keys[i]);
+}
+
+TEST_P(SelectionScanEdgeTest, EmptyPredicateKeepsNothing) {
+  ScanVariant variant = GetParam();
+  if (!ScanVariantSupported(variant)) GTEST_SKIP();
+  const size_t n = 4096;
+  AlignedBuffer<uint32_t> keys(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> pays(n + kSelectionScanPad);
+  FillUniform(keys.data(), n, 1, 0, 1000);
+  FillSequential(pays.data(), n, 0);
+  AlignedBuffer<uint32_t> out_k(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> out_p(n + kSelectionScanPad);
+  size_t got = SelectionScan(variant, keys.data(), pays.data(), n, 5000, 6000,
+                             out_k.data(), out_p.data());
+  EXPECT_EQ(got, 0u);
+}
+
+TEST_P(SelectionScanEdgeTest, BoundariesAreInclusive) {
+  ScanVariant variant = GetParam();
+  if (!ScanVariantSupported(variant)) GTEST_SKIP();
+  const size_t n = 64;
+  AlignedBuffer<uint32_t> keys(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> pays(n + kSelectionScanPad);
+  FillSequential(keys.data(), n, 0);
+  FillSequential(pays.data(), n, 0);
+  AlignedBuffer<uint32_t> out_k(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> out_p(n + kSelectionScanPad);
+  size_t got = SelectionScan(variant, keys.data(), pays.data(), n, 10, 20,
+                             out_k.data(), out_p.data());
+  ASSERT_EQ(got, 11u);
+  EXPECT_EQ(out_k[0], 10u);
+  EXPECT_EQ(out_k[10], 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, SelectionScanEdgeTest,
+                         ::testing::ValuesIn(AllVariants()),
+                         [](const auto& info) {
+                           return std::string(ScanVariantName(info.param));
+                         });
+
+}  // namespace
+}  // namespace simddb

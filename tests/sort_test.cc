@@ -1,0 +1,161 @@
+// LSB radixsort tests (§8): sortedness, stability, permutation integrity,
+// across ISAs, thread counts, pass widths, and multi-column tables.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/isa.h"
+#include "sort/radix_sort.h"
+#include "util/aligned_buffer.h"
+#include "util/data_gen.h"
+
+namespace simddb {
+namespace {
+
+class RadixSortTest
+    : public ::testing::TestWithParam<std::tuple<Isa, int, int, size_t>> {};
+
+TEST_P(RadixSortTest, SortsPairsStably) {
+  auto [isa, threads, bits, n] = GetParam();
+  if (!IsaSupported(isa)) GTEST_SKIP();
+  RadixSortConfig cfg;
+  cfg.isa = isa;
+  cfg.threads = threads;
+  cfg.bits_per_pass = bits;
+
+  AlignedBuffer<uint32_t> keys(n + 16), pays(n + 16);
+  AlignedBuffer<uint32_t> sk(n + 16), sp(n + 16);
+  // Narrow key range forces many duplicates (stability matters).
+  FillUniform(keys.data(), n, 77, 0, static_cast<uint32_t>(n / 4 + 1));
+  FillSequential(pays.data(), n, 0);  // payload = original index
+  std::vector<uint32_t> orig(keys.data(), keys.data() + n);
+
+  RadixSortPairs(keys.data(), pays.data(), sk.data(), sp.data(), n, cfg);
+
+  for (size_t i = 1; i < n; ++i) {
+    ASSERT_LE(keys[i - 1], keys[i]) << "unsorted @" << i;
+    if (keys[i - 1] == keys[i]) {
+      ASSERT_LT(pays[i - 1], pays[i]) << "instability @" << i;
+    }
+  }
+  // Permutation integrity: each payload is a distinct original index whose
+  // key matches.
+  std::vector<bool> seen(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_LT(pays[i], n);
+    ASSERT_FALSE(seen[pays[i]]);
+    seen[pays[i]] = true;
+    ASSERT_EQ(keys[i], orig[pays[i]]);
+  }
+}
+
+TEST_P(RadixSortTest, SortsKeysOnly) {
+  auto [isa, threads, bits, n] = GetParam();
+  if (!IsaSupported(isa)) GTEST_SKIP();
+  RadixSortConfig cfg;
+  cfg.isa = isa;
+  cfg.threads = threads;
+  cfg.bits_per_pass = bits;
+  AlignedBuffer<uint32_t> keys(n + 16), sk(n + 16);
+  FillUniform(keys.data(), n, 99, 0, 0xFFFFFFFFu);
+  std::vector<uint32_t> want(keys.data(), keys.data() + n);
+  std::sort(want.begin(), want.end());
+  RadixSortKeys(keys.data(), sk.data(), n, cfg);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(keys[i], want[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RadixSortTest,
+    ::testing::Combine(::testing::Values(Isa::kScalar, Isa::kAvx512),
+                       ::testing::Values(1, 4), ::testing::Values(8, 11),
+                       ::testing::Values<size_t>(3, 1000, 100003)),
+    [](const auto& info) {
+      return std::string(IsaName(std::get<0>(info.param))) + "_t" +
+             std::to_string(std::get<1>(info.param)) + "_b" +
+             std::to_string(std::get<2>(info.param)) + "_n" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+TEST(RadixSort, AlreadySortedAndReversed) {
+  const size_t n = 10000;
+  RadixSortConfig cfg;
+  cfg.isa = IsaSupported(Isa::kAvx512) ? Isa::kAvx512 : Isa::kScalar;
+  AlignedBuffer<uint32_t> keys(n + 16), sk(n + 16);
+  FillSequential(keys.data(), n, 0);
+  RadixSortKeys(keys.data(), sk.data(), n, cfg);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(keys[i], i);
+  for (size_t i = 0; i < n; ++i) keys[i] = static_cast<uint32_t>(n - i);
+  RadixSortKeys(keys.data(), sk.data(), n, cfg);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(keys[i], i + 1);
+}
+
+TEST(RadixSort, FullKeyRangeIncludingExtremes) {
+  const size_t n = 4096;
+  RadixSortConfig cfg;
+  cfg.isa = IsaSupported(Isa::kAvx512) ? Isa::kAvx512 : Isa::kScalar;
+  AlignedBuffer<uint32_t> keys(n + 16), sk(n + 16);
+  FillUniform(keys.data(), n, 5, 0, 0xFFFFFFFFu);
+  keys[0] = 0;
+  keys[1] = 0xFFFFFFFFu;
+  std::vector<uint32_t> want(keys.data(), keys.data() + n);
+  std::sort(want.begin(), want.end());
+  RadixSortKeys(keys.data(), sk.data(), n, cfg);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(keys[i], want[i]);
+}
+
+class MultiColumnSortTest : public ::testing::TestWithParam<Isa> {};
+
+TEST_P(MultiColumnSortTest, AllColumnWidthsFollowTheKeys) {
+  Isa isa = GetParam();
+  if (!IsaSupported(isa)) GTEST_SKIP();
+  const size_t n = 60007;
+  RadixSortConfig cfg;
+  cfg.isa = isa;
+  AlignedBuffer<uint32_t> keys(n + 16), sk(n + 16);
+  FillUniform(keys.data(), n, 123, 0, 1u << 20);
+  std::vector<uint32_t> orig(keys.data(), keys.data() + n);
+
+  AlignedBuffer<uint8_t> c8(n + 64), s8(n + 64);
+  AlignedBuffer<uint16_t> c16(n + 32), s16(n + 32);
+  AlignedBuffer<uint32_t> c32(n + 16), s32(n + 16);
+  AlignedBuffer<uint64_t> c64(n + 16), s64(n + 16);
+  for (size_t i = 0; i < n; ++i) {
+    c8[i] = static_cast<uint8_t>(i);
+    c16[i] = static_cast<uint16_t>(i);
+    c32[i] = static_cast<uint32_t>(i);
+    c64[i] = i;
+  }
+  SortColumn cols[4] = {{c8.data(), s8.data(), 1},
+                        {c16.data(), s16.data(), 2},
+                        {c32.data(), s32.data(), 4},
+                        {c64.data(), s64.data(), 8}};
+  RadixSortMultiColumn(keys.data(), sk.data(), n, cols, 4, cfg);
+
+  for (size_t i = 1; i < n; ++i) ASSERT_LE(keys[i - 1], keys[i]);
+  for (size_t i = 0; i < n; ++i) {
+    size_t orig_idx = c64[i];  // the 64-bit column carried the full index
+    ASSERT_LT(orig_idx, n);
+    ASSERT_EQ(keys[i], orig[orig_idx]);
+    ASSERT_EQ(c8[i], static_cast<uint8_t>(orig_idx));
+    ASSERT_EQ(c16[i], static_cast<uint16_t>(orig_idx));
+    ASSERT_EQ(c32[i], static_cast<uint32_t>(orig_idx));
+  }
+  // Stability across duplicate keys via the 64-bit index column.
+  for (size_t i = 1; i < n; ++i) {
+    if (keys[i - 1] == keys[i]) ASSERT_LT(c64[i - 1], c64[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ScalarAndVector, MultiColumnSortTest,
+                         ::testing::Values(Isa::kScalar, Isa::kAvx512),
+                         [](const auto& info) {
+                           return std::string(IsaName(info.param));
+                         });
+
+}  // namespace
+}  // namespace simddb

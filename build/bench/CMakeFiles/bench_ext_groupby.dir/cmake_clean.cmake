@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_groupby.dir/bench_ext_groupby.cc.o"
+  "CMakeFiles/bench_ext_groupby.dir/bench_ext_groupby.cc.o.d"
+  "bench_ext_groupby"
+  "bench_ext_groupby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_groupby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

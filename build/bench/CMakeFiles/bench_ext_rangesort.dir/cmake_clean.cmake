@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_rangesort.dir/bench_ext_rangesort.cc.o"
+  "CMakeFiles/bench_ext_rangesort.dir/bench_ext_rangesort.cc.o.d"
+  "bench_ext_rangesort"
+  "bench_ext_rangesort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rangesort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_shuffle.dir/bench_fig13_shuffle.cc.o"
+  "CMakeFiles/bench_fig13_shuffle.dir/bench_fig13_shuffle.cc.o.d"
+  "bench_fig13_shuffle"
+  "bench_fig13_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_radixsort.dir/bench_fig14_radixsort.cc.o"
+  "CMakeFiles/bench_fig14_radixsort.dir/bench_fig14_radixsort.cc.o.d"
+  "bench_fig14_radixsort"
+  "bench_fig14_radixsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_radixsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

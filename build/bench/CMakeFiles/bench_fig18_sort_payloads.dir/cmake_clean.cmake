@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_sort_payloads.dir/bench_fig18_sort_payloads.cc.o"
+  "CMakeFiles/bench_fig18_sort_payloads.dir/bench_fig18_sort_payloads.cc.o.d"
+  "bench_fig18_sort_payloads"
+  "bench_fig18_sort_payloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_sort_payloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

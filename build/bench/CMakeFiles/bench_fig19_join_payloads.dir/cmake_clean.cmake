@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_join_payloads.dir/bench_fig19_join_payloads.cc.o"
+  "CMakeFiles/bench_fig19_join_payloads.dir/bench_fig19_join_payloads.cc.o.d"
+  "bench_fig19_join_payloads"
+  "bench_fig19_join_payloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_join_payloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_probe_lp_dh.dir/bench_fig6_probe_lp_dh.cc.o"
+  "CMakeFiles/bench_fig6_probe_lp_dh.dir/bench_fig6_probe_lp_dh.cc.o.d"
+  "bench_fig6_probe_lp_dh"
+  "bench_fig6_probe_lp_dh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_probe_lp_dh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

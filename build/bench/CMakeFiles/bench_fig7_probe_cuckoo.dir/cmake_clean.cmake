@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_probe_cuckoo.dir/bench_fig7_probe_cuckoo.cc.o"
+  "CMakeFiles/bench_fig7_probe_cuckoo.dir/bench_fig7_probe_cuckoo.cc.o.d"
+  "bench_fig7_probe_cuckoo"
+  "bench_fig7_probe_cuckoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_probe_cuckoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

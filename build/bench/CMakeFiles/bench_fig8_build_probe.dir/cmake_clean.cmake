@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_build_probe.dir/bench_fig8_build_probe.cc.o"
+  "CMakeFiles/bench_fig8_build_probe.dir/bench_fig8_build_probe.cc.o.d"
+  "bench_fig8_build_probe"
+  "bench_fig8_build_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_build_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_key_repeats.dir/bench_fig9_key_repeats.cc.o"
+  "CMakeFiles/bench_fig9_key_repeats.dir/bench_fig9_key_repeats.cc.o.d"
+  "bench_fig9_key_repeats"
+  "bench_fig9_key_repeats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_key_repeats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

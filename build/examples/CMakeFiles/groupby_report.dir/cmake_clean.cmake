@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupby_report.dir/groupby_report.cpp.o"
+  "CMakeFiles/groupby_report.dir/groupby_report.cpp.o.d"
+  "groupby_report"
+  "groupby_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupby_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

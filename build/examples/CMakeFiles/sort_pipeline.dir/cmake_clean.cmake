@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_pipeline.dir/sort_pipeline.cpp.o"
+  "CMakeFiles/sort_pipeline.dir/sort_pipeline.cpp.o.d"
+  "sort_pipeline"
+  "sort_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

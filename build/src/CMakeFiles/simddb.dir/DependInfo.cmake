@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agg/group_by.cc" "src/CMakeFiles/simddb.dir/agg/group_by.cc.o" "gcc" "src/CMakeFiles/simddb.dir/agg/group_by.cc.o.d"
+  "/root/repo/src/agg/group_by_avx512.cc" "src/CMakeFiles/simddb.dir/agg/group_by_avx512.cc.o" "gcc" "src/CMakeFiles/simddb.dir/agg/group_by_avx512.cc.o.d"
+  "/root/repo/src/bloom/bloom_filter.cc" "src/CMakeFiles/simddb.dir/bloom/bloom_filter.cc.o" "gcc" "src/CMakeFiles/simddb.dir/bloom/bloom_filter.cc.o.d"
+  "/root/repo/src/bloom/bloom_filter_avx2.cc" "src/CMakeFiles/simddb.dir/bloom/bloom_filter_avx2.cc.o" "gcc" "src/CMakeFiles/simddb.dir/bloom/bloom_filter_avx2.cc.o.d"
+  "/root/repo/src/bloom/bloom_filter_avx512.cc" "src/CMakeFiles/simddb.dir/bloom/bloom_filter_avx512.cc.o" "gcc" "src/CMakeFiles/simddb.dir/bloom/bloom_filter_avx512.cc.o.d"
+  "/root/repo/src/core/fundamental.cc" "src/CMakeFiles/simddb.dir/core/fundamental.cc.o" "gcc" "src/CMakeFiles/simddb.dir/core/fundamental.cc.o.d"
+  "/root/repo/src/core/fundamental_avx2.cc" "src/CMakeFiles/simddb.dir/core/fundamental_avx2.cc.o" "gcc" "src/CMakeFiles/simddb.dir/core/fundamental_avx2.cc.o.d"
+  "/root/repo/src/core/fundamental_avx512.cc" "src/CMakeFiles/simddb.dir/core/fundamental_avx512.cc.o" "gcc" "src/CMakeFiles/simddb.dir/core/fundamental_avx512.cc.o.d"
+  "/root/repo/src/core/isa.cc" "src/CMakeFiles/simddb.dir/core/isa.cc.o" "gcc" "src/CMakeFiles/simddb.dir/core/isa.cc.o.d"
+  "/root/repo/src/hash/bucketized.cc" "src/CMakeFiles/simddb.dir/hash/bucketized.cc.o" "gcc" "src/CMakeFiles/simddb.dir/hash/bucketized.cc.o.d"
+  "/root/repo/src/hash/bucketized_avx512.cc" "src/CMakeFiles/simddb.dir/hash/bucketized_avx512.cc.o" "gcc" "src/CMakeFiles/simddb.dir/hash/bucketized_avx512.cc.o.d"
+  "/root/repo/src/hash/cuckoo.cc" "src/CMakeFiles/simddb.dir/hash/cuckoo.cc.o" "gcc" "src/CMakeFiles/simddb.dir/hash/cuckoo.cc.o.d"
+  "/root/repo/src/hash/cuckoo_avx2.cc" "src/CMakeFiles/simddb.dir/hash/cuckoo_avx2.cc.o" "gcc" "src/CMakeFiles/simddb.dir/hash/cuckoo_avx2.cc.o.d"
+  "/root/repo/src/hash/cuckoo_avx512.cc" "src/CMakeFiles/simddb.dir/hash/cuckoo_avx512.cc.o" "gcc" "src/CMakeFiles/simddb.dir/hash/cuckoo_avx512.cc.o.d"
+  "/root/repo/src/hash/double_hashing.cc" "src/CMakeFiles/simddb.dir/hash/double_hashing.cc.o" "gcc" "src/CMakeFiles/simddb.dir/hash/double_hashing.cc.o.d"
+  "/root/repo/src/hash/double_hashing_avx2.cc" "src/CMakeFiles/simddb.dir/hash/double_hashing_avx2.cc.o" "gcc" "src/CMakeFiles/simddb.dir/hash/double_hashing_avx2.cc.o.d"
+  "/root/repo/src/hash/double_hashing_avx512.cc" "src/CMakeFiles/simddb.dir/hash/double_hashing_avx512.cc.o" "gcc" "src/CMakeFiles/simddb.dir/hash/double_hashing_avx512.cc.o.d"
+  "/root/repo/src/hash/linear_probing.cc" "src/CMakeFiles/simddb.dir/hash/linear_probing.cc.o" "gcc" "src/CMakeFiles/simddb.dir/hash/linear_probing.cc.o.d"
+  "/root/repo/src/hash/linear_probing_avx2.cc" "src/CMakeFiles/simddb.dir/hash/linear_probing_avx2.cc.o" "gcc" "src/CMakeFiles/simddb.dir/hash/linear_probing_avx2.cc.o.d"
+  "/root/repo/src/hash/linear_probing_avx512.cc" "src/CMakeFiles/simddb.dir/hash/linear_probing_avx512.cc.o" "gcc" "src/CMakeFiles/simddb.dir/hash/linear_probing_avx512.cc.o.d"
+  "/root/repo/src/join/hash_join.cc" "src/CMakeFiles/simddb.dir/join/hash_join.cc.o" "gcc" "src/CMakeFiles/simddb.dir/join/hash_join.cc.o.d"
+  "/root/repo/src/join/hash_join_avx512.cc" "src/CMakeFiles/simddb.dir/join/hash_join_avx512.cc.o" "gcc" "src/CMakeFiles/simddb.dir/join/hash_join_avx512.cc.o.d"
+  "/root/repo/src/join/sort_merge_join.cc" "src/CMakeFiles/simddb.dir/join/sort_merge_join.cc.o" "gcc" "src/CMakeFiles/simddb.dir/join/sort_merge_join.cc.o.d"
+  "/root/repo/src/partition/histogram.cc" "src/CMakeFiles/simddb.dir/partition/histogram.cc.o" "gcc" "src/CMakeFiles/simddb.dir/partition/histogram.cc.o.d"
+  "/root/repo/src/partition/histogram_avx512.cc" "src/CMakeFiles/simddb.dir/partition/histogram_avx512.cc.o" "gcc" "src/CMakeFiles/simddb.dir/partition/histogram_avx512.cc.o.d"
+  "/root/repo/src/partition/parallel_partition.cc" "src/CMakeFiles/simddb.dir/partition/parallel_partition.cc.o" "gcc" "src/CMakeFiles/simddb.dir/partition/parallel_partition.cc.o.d"
+  "/root/repo/src/partition/range.cc" "src/CMakeFiles/simddb.dir/partition/range.cc.o" "gcc" "src/CMakeFiles/simddb.dir/partition/range.cc.o.d"
+  "/root/repo/src/partition/range_avx512.cc" "src/CMakeFiles/simddb.dir/partition/range_avx512.cc.o" "gcc" "src/CMakeFiles/simddb.dir/partition/range_avx512.cc.o.d"
+  "/root/repo/src/partition/shuffle.cc" "src/CMakeFiles/simddb.dir/partition/shuffle.cc.o" "gcc" "src/CMakeFiles/simddb.dir/partition/shuffle.cc.o.d"
+  "/root/repo/src/partition/shuffle_avx512.cc" "src/CMakeFiles/simddb.dir/partition/shuffle_avx512.cc.o" "gcc" "src/CMakeFiles/simddb.dir/partition/shuffle_avx512.cc.o.d"
+  "/root/repo/src/scan/selection_scan.cc" "src/CMakeFiles/simddb.dir/scan/selection_scan.cc.o" "gcc" "src/CMakeFiles/simddb.dir/scan/selection_scan.cc.o.d"
+  "/root/repo/src/scan/selection_scan_avx2.cc" "src/CMakeFiles/simddb.dir/scan/selection_scan_avx2.cc.o" "gcc" "src/CMakeFiles/simddb.dir/scan/selection_scan_avx2.cc.o.d"
+  "/root/repo/src/scan/selection_scan_avx512.cc" "src/CMakeFiles/simddb.dir/scan/selection_scan_avx512.cc.o" "gcc" "src/CMakeFiles/simddb.dir/scan/selection_scan_avx512.cc.o.d"
+  "/root/repo/src/sort/radix_sort.cc" "src/CMakeFiles/simddb.dir/sort/radix_sort.cc.o" "gcc" "src/CMakeFiles/simddb.dir/sort/radix_sort.cc.o.d"
+  "/root/repo/src/sort/range_sort.cc" "src/CMakeFiles/simddb.dir/sort/range_sort.cc.o" "gcc" "src/CMakeFiles/simddb.dir/sort/range_sort.cc.o.d"
+  "/root/repo/src/util/cpu_info.cc" "src/CMakeFiles/simddb.dir/util/cpu_info.cc.o" "gcc" "src/CMakeFiles/simddb.dir/util/cpu_info.cc.o.d"
+  "/root/repo/src/util/data_gen.cc" "src/CMakeFiles/simddb.dir/util/data_gen.cc.o" "gcc" "src/CMakeFiles/simddb.dir/util/data_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fundamental_test.dir/fundamental_test.cc.o"
+  "CMakeFiles/fundamental_test.dir/fundamental_test.cc.o.d"
+  "fundamental_test"
+  "fundamental_test.pdb"
+  "fundamental_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fundamental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

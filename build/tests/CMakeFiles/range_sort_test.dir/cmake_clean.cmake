@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_sort_test.dir/range_sort_test.cc.o"
+  "CMakeFiles/range_sort_test.dir/range_sort_test.cc.o.d"
+  "range_sort_test"
+  "range_sort_test.pdb"
+  "range_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

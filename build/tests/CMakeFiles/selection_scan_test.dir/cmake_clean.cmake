@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_scan_test.dir/selection_scan_test.cc.o"
+  "CMakeFiles/selection_scan_test.dir/selection_scan_test.cc.o.d"
+  "selection_scan_test"
+  "selection_scan_test.pdb"
+  "selection_scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

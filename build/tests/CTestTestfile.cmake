@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/fundamental_test[1]_include.cmake")
+include("/root/repo/build/tests/selection_scan_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_table_test[1]_include.cmake")
+include("/root/repo/build/tests/bloom_filter_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/sort_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_join_test[1]_include.cmake")
+include("/root/repo/build/tests/group_by_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_partition_test[1]_include.cmake")
+include("/root/repo/build/tests/sort_merge_join_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/range_sort_test[1]_include.cmake")

@@ -79,4 +79,4 @@ BENCHMARK(BM_BuildConflictMode)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

@@ -71,4 +71,4 @@ BENCHMARK(BM_GatherLayout)
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

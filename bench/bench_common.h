@@ -5,13 +5,25 @@
 // regenerates one table or figure of the paper's §10; rows/series are
 // encoded as google-benchmark cases with throughput counters in billion
 // tuples per second ("Gtps"), the unit the paper's figures use.
+//
+// Every binary uses SIMDDB_BENCH_MAIN() instead of BENCHMARK_MAIN(), which
+// adds a `--json <path>` flag: besides the normal console output, each
+// completed case appends one JSON object per line (JSONL) with the case
+// name, its label-encoded k=v fields (variant/isa/threads/...), and the
+// throughput in tuples per second, so results can be collected and diffed
+// by scripts without scraping console tables.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "core/isa.h"
 #include "util/aligned_buffer.h"
@@ -60,6 +72,183 @@ inline bool RequireIsa(benchmark::State& state, Isa isa) {
   return true;
 }
 
+/// Console reporter that additionally appends one JSON object per finished
+/// case to a JSONL stream. Label tokens of the form `key=value` become JSON
+/// fields; a bare label token becomes the "variant" field; an "isa" field is
+/// inferred from the variant/label when not explicitly encoded.
+class JsonLinesReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonLinesReporter(std::ostream* json_out) : json_(json_out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      WriteRun(run);
+    }
+  }
+
+ private:
+  static void AppendEscaped(std::string* out, const std::string& s) {
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out->push_back('\\');
+        out->push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out->append(buf);
+      } else {
+        out->push_back(c);
+      }
+    }
+  }
+
+  static void AppendField(std::string* out, const char* key,
+                          const std::string& value, bool quote) {
+    out->append(",\"");
+    out->append(key);
+    out->append("\":");
+    if (quote) out->push_back('"');
+    AppendEscaped(out, value);
+    if (quote) out->push_back('"');
+  }
+
+  static bool LooksNumeric(const std::string& s) {
+    if (s.empty()) return false;
+    size_t i = (s[0] == '-') ? 1 : 0;
+    if (i == s.size()) return false;
+    bool dot = false;
+    for (; i < s.size(); ++i) {
+      if (s[i] == '.' && !dot) {
+        dot = true;
+      } else if (s[i] < '0' || s[i] > '9') {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void WriteRun(const Run& run) {
+    const std::string name = run.benchmark_name();
+    std::string line = "{\"name\":\"";
+    AppendEscaped(&line, name);
+    line.push_back('"');
+
+    // Split the label on spaces: `key=value` tokens become fields, the
+    // first bare token becomes "variant".
+    std::string variant;
+    bool saw_threads = false;
+    std::string isa;
+    const std::string& label = run.report_label;
+    size_t pos = 0;
+    while (pos < label.size()) {
+      size_t end = label.find(' ', pos);
+      if (end == std::string::npos) end = label.size();
+      std::string tok = label.substr(pos, end - pos);
+      pos = end + 1;
+      if (tok.empty()) continue;
+      size_t eq = tok.find('=');
+      if (eq != std::string::npos && eq > 0) {
+        std::string k = tok.substr(0, eq);
+        std::string v = tok.substr(eq + 1);
+        if (k == "threads") saw_threads = true;
+        if (k == "isa") isa = v;
+        AppendField(&line, k.c_str(), v, !LooksNumeric(v));
+      } else if (variant.empty()) {
+        variant = tok;
+      }
+    }
+    if (!variant.empty()) AppendField(&line, "variant", variant, true);
+    if (isa.empty()) {
+      // Heuristic for binaries that encode the ISA inside the variant name.
+      const std::string hay = variant.empty() ? label : variant;
+      if (hay.find("avx512") != std::string::npos ||
+          hay.find("vector") != std::string::npos) {
+        isa = "avx512";
+      } else if (hay.find("avx2") != std::string::npos) {
+        isa = "avx2";
+      } else if (hay.find("scalar") != std::string::npos) {
+        isa = "scalar";
+      }
+    }
+    if (!isa.empty()) AppendField(&line, "isa", isa, true);
+    if (!saw_threads) {
+      AppendField(&line, "threads", std::to_string(run.threads), false);
+    }
+
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", run.GetAdjustedRealTime());
+    AppendField(&line, "real_time", buf, false);
+    AppendField(&line, "time_unit",
+                benchmark::GetTimeUnitString(run.time_unit), true);
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(run.iterations));
+    AppendField(&line, "iterations", buf, false);
+    auto gtps = run.counters.find("Gtps");
+    if (gtps != run.counters.end()) {
+      // Rate counters divide by the measured time base: CPU time of the
+      // calling thread by default, wall-clock under UseRealTime(). For
+      // multithreaded operators the CPU base inflates throughput (workers'
+      // time isn't counted), so always report the wall-clock rate.
+      double rate = gtps->second.value * 1e9;
+      if (run.run_name.time_type.find("real_time") == std::string::npos &&
+          run.real_accumulated_time > 0) {
+        rate *= run.cpu_accumulated_time / run.real_accumulated_time;
+      }
+      std::snprintf(buf, sizeof(buf), "%.17g", rate);
+      AppendField(&line, "tuples_per_s", buf, false);
+    }
+    line.append("}\n");
+    *json_ << line;
+    json_->flush();
+  }
+
+  std::ostream* json_;
+};
+
+/// main() body behind SIMDDB_BENCH_MAIN(): strips `--json <path>` (or
+/// `--json=<path>`) from argv, hands the rest to google-benchmark, and runs
+/// with the JSONL-teeing console reporter when a path was given.
+inline int BenchMain(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(argc + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  args.push_back(nullptr);
+  int n_args = static_cast<int>(args.size()) - 1;
+  benchmark::Initialize(&n_args, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n_args, args.data())) return 1;
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open --json file %s\n", json_path.c_str());
+      return 1;
+    }
+    JsonLinesReporter reporter(&out);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace simddb::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() adding the `--json` flag.
+#define SIMDDB_BENCH_MAIN()                              \
+  int main(int argc, char** argv) {                      \
+    return ::simddb::bench::BenchMain(argc, argv);       \
+  }                                                      \
+  int main(int, char**)
 
 #endif  // SIMDDB_BENCH_BENCH_COMMON_H_

@@ -45,4 +45,4 @@ BENCHMARK(BM_GroupBy)
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

@@ -53,4 +53,4 @@ BENCHMARK(BM_RadixVsRangeSort)
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_static_partition.h"
 #include "join/hash_join.h"
 #include "partition/histogram.h"
 #include "partition/shuffle.h"
@@ -110,6 +111,37 @@ void BM_SkewJoinProbe(benchmark::State& state) {
   state.SetLabel("zipf_theta_x100=" + std::to_string(theta_x100));
 }
 
+// Full parallel partition pass at 8 workers on the skewed keys: TaskPool
+// work-stealing vs the static contiguous chunking of the spawn-per-call
+// baseline it replaced. Stealing must be >= static at every skew level.
+void BM_SkewParallelPartition(benchmark::State& state) {
+  const int theta_x100 = static_cast<int>(state.range(0));
+  const bool stealing = state.range(1) != 0;
+  const int threads = 8;
+  if (!RequireIsa(state, Isa::kAvx512)) return;
+  const auto& keys = SkewedKeys(theta_x100);
+  const auto& pays = KeyPayColumns::Get(kTuples, 0, 100, 2).pays;
+  PartitionFn fn = PartitionFn::Hash(256);
+  AlignedBuffer<uint32_t> out_k(kTuples + 16), out_p(kTuples + 16);
+  ParallelPartitionResources res;
+  for (auto _ : state) {
+    if (stealing) {
+      ParallelPartitionPass(fn, keys.data(), pays.data(), kTuples,
+                            out_k.data(), out_p.data(), Isa::kAvx512, threads,
+                            &res, nullptr);
+    } else {
+      StaticChunkPartitionPass(fn, keys.data(), pays.data(), kTuples,
+                               out_k.data(), out_p.data(), Isa::kAvx512,
+                               threads, &res);
+    }
+    benchmark::DoNotOptimize(out_k.data());
+  }
+  SetTuplesPerSecond(state, static_cast<double>(kTuples));
+  state.SetLabel("zipf_theta_x100=" + std::to_string(theta_x100) +
+                 " sched=" + (stealing ? "stealing" : "static") +
+                 " threads=" + std::to_string(threads));
+}
+
 BENCHMARK(BM_SkewHistogram)
     ->Arg(0)->Arg(50)->Arg(75)->Arg(99)
     ->Unit(benchmark::kMillisecond);
@@ -119,8 +151,12 @@ BENCHMARK(BM_SkewShuffle)
 BENCHMARK(BM_SkewJoinProbe)
     ->Arg(0)->Arg(50)->Arg(75)->Arg(99)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SkewParallelPartition)
+    ->ArgsProduct({{0, 50, 75, 99}, {0, 1}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

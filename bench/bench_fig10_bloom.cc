@@ -67,4 +67,4 @@ BENCHMARK(BM_BloomProbe)
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

@@ -68,4 +68,4 @@ BENCHMARK(BM_Histogram)
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

@@ -88,4 +88,4 @@ BENCHMARK(BM_RangeFunction)
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

@@ -86,4 +86,4 @@ BENCHMARK(BM_Shuffle)
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

@@ -47,4 +47,4 @@ BENCHMARK(BM_RadixSort)
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

@@ -95,4 +95,4 @@ BENCHMARK(BM_JoinVariant)
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

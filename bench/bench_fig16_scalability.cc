@@ -91,4 +91,4 @@ BENCHMARK(BM_JoinScalability)
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

@@ -96,4 +96,4 @@ BENCHMARK(BM_JoinPower)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

@@ -61,4 +61,4 @@ BENCHMARK(BM_SortPayloads)
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

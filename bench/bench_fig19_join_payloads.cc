@@ -97,4 +97,4 @@ BENCHMARK(BM_JoinPayloads)
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

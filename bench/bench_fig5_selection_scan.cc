@@ -54,4 +54,4 @@ BENCHMARK(BM_SelectionScan)
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

@@ -136,4 +136,4 @@ BENCHMARK(BM_ProbeLpDh)
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

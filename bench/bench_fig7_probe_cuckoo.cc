@@ -120,4 +120,4 @@ BENCHMARK(BM_ProbeCuckoo)
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

@@ -131,4 +131,4 @@ BENCHMARK(BM_BuildProbe)
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

@@ -143,4 +143,4 @@ BENCHMARK(BM_KeyRepeats)
 }  // namespace
 }  // namespace simddb::bench
 
-BENCHMARK_MAIN();
+SIMDDB_BENCH_MAIN();

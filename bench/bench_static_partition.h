@@ -1,0 +1,71 @@
+#ifndef SIMDDB_BENCH_BENCH_STATIC_PARTITION_H_
+#define SIMDDB_BENCH_BENCH_STATIC_PARTITION_H_
+
+// Spawn-per-call, statically-chunked parallel partition pass — the execution
+// model the TaskPool scheduler replaced, kept here as the benchmark baseline.
+// Each invocation spawns a fresh ThreadTeam, splits the morsel grid into
+// contiguous per-thread chunks (no stealing), and synchronizes the
+// histogram → prefix-sum → shuffle → cleanup phases with a blocking barrier.
+// Identical morsel grid and kernels as ParallelPartitionPass, so measured
+// differences are purely scheduling (spawn latency, load balance).
+
+#include "partition/parallel_partition.h"
+#include "util/prefix_sum.h"
+#include "util/task_pool.h"
+#include "util/thread_team.h"
+
+namespace simddb::bench {
+
+inline void StaticChunkPartitionPass(const PartitionFn& fn,
+                                     const uint32_t* keys,
+                                     const uint32_t* pays, size_t n,
+                                     uint32_t* out_keys, uint32_t* out_pays,
+                                     Isa isa, int threads,
+                                     ParallelPartitionResources* res) {
+  const int t_count = threads < 1 ? 1 : threads;
+  const uint32_t p_count = fn.fanout;
+  const bool vec = isa == Isa::kAvx512 && IsaSupported(Isa::kAvx512);
+  const MorselGrid grid(n, BoundedMorselSize(n));
+  const size_t m_count = grid.count();
+  if (m_count == 0) return;
+  res->Reserve(m_count, t_count, p_count);
+  uint32_t* hists = res->hists.data();
+  Barrier barrier(t_count);
+  ThreadTeam::Run(t_count, [&](int t) {
+    const size_t m0 = ThreadTeam::ChunkBegin(m_count, t_count, t);
+    const size_t m1 = ThreadTeam::ChunkBegin(m_count, t_count, t + 1);
+    for (size_t m = m0; m < m1; ++m) {
+      uint32_t* h = hists + m * p_count;
+      if (vec) {
+        HistogramReplicatedAvx512(fn, keys + grid.begin(m), grid.size(m), h,
+                                  &res->hist_ws[t]);
+      } else {
+        HistogramScalar(fn, keys + grid.begin(m), grid.size(m), h);
+      }
+    }
+    barrier.Wait();
+    if (t == 0) InterleavedPrefixSum(hists, m_count, p_count);
+    barrier.Wait();
+    for (size_t m = m0; m < m1; ++m) {
+      uint32_t* offsets = hists + m * p_count;
+      const size_t b = grid.begin(m);
+      if (vec) {
+        ShuffleVectorBufferedMainAvx512(fn, keys + b, pays + b, grid.size(m),
+                                        offsets, out_keys, out_pays,
+                                        &res->bufs[m]);
+      } else {
+        ShuffleScalarBufferedMain(fn, keys + b, pays + b, grid.size(m),
+                                  offsets, out_keys, out_pays, &res->bufs[m]);
+      }
+    }
+    barrier.Wait();
+    for (size_t m = m0; m < m1; ++m) {
+      ShuffleBufferedCleanup(p_count, hists + m * p_count, res->bufs[m],
+                             out_keys, out_pays);
+    }
+  });
+}
+
+}  // namespace simddb::bench
+
+#endif  // SIMDDB_BENCH_BENCH_STATIC_PARTITION_H_

@@ -2,15 +2,20 @@
 
 #include <cassert>
 #include <cstring>
+#include <memory>
+#include <vector>
 
 #include "hash/hash_table.h"
 #include "util/bits.h"
+#include "util/task_pool.h"
 
 namespace simddb {
 
 GroupByAggregator::GroupByAggregator(size_t max_groups, uint64_t seed)
     : n_buckets_(NextPowerOfTwo(max_groups * 2 + 32)),
-      factor_(HashFactor(seed, 0)) {
+      factor_(HashFactor(seed, 0)),
+      max_groups_(max_groups),
+      seed_(seed) {
   gkeys_.Reset(n_buckets_);
   sums_.Reset(n_buckets_);
   counts_.Reset(n_buckets_);
@@ -54,6 +59,56 @@ void GroupByAggregator::FoldScalar(uint32_t key, uint32_t val) {
 void GroupByAggregator::AccumulateScalar(const uint32_t* keys,
                                          const uint32_t* vals, size_t n) {
   for (size_t i = 0; i < n; ++i) FoldScalar(keys[i], vals[i]);
+}
+
+void GroupByAggregator::FoldMerge(uint32_t key, uint64_t sum, uint32_t count,
+                                  uint32_t min, uint32_t max) {
+  uint32_t nb = static_cast<uint32_t>(n_buckets_);
+  uint32_t h = MultHash32(key, factor_, nb);
+  for (;;) {
+    if (gkeys_[h] == key) break;
+    if (gkeys_[h] == kEmptyKey) {
+      assert(n_groups_ + 1 < n_buckets_);
+      gkeys_[h] = key;
+      mins_[h] = 0xFFFFFFFFu;
+      maxs_[h] = 0;
+      ++n_groups_;
+      break;
+    }
+    if (++h == nb) h = 0;
+  }
+  sums_[h] += sum;
+  counts_[h] += count;
+  if (min < mins_[h]) mins_[h] = min;
+  if (max > maxs_[h]) maxs_[h] = max;
+}
+
+void GroupByAggregator::AccumulateParallel(Isa isa, const uint32_t* keys,
+                                           const uint32_t* vals, size_t n,
+                                           int threads) {
+  const MorselGrid grid(n);
+  const size_t m_count = grid.count();
+  const int lanes = TaskPool::LaneCount(m_count, threads);
+  if (lanes <= 1 || m_count <= 1) {
+    Accumulate(isa, keys, vals, n);
+    return;
+  }
+  std::vector<std::unique_ptr<GroupByAggregator>> partials(lanes);
+  for (int l = 0; l < lanes; ++l) {
+    partials[l] = std::make_unique<GroupByAggregator>(max_groups_, seed_);
+  }
+  TaskPool::Get().ParallelFor(m_count, threads, [&](int worker, size_t m) {
+    const size_t b = grid.begin(m);
+    partials[worker]->Accumulate(isa, keys + b, vals + b, grid.size(m));
+  });
+  for (int l = 0; l < lanes; ++l) {
+    const GroupByAggregator& p = *partials[l];
+    for (size_t h = 0; h < p.n_buckets_; ++h) {
+      if (p.gkeys_[h] == kEmptyKey) continue;
+      FoldMerge(p.gkeys_[h], p.sums_[h], p.counts_[h], p.mins_[h],
+                p.maxs_[h]);
+    }
+  }
 }
 
 void GroupByAggregator::Accumulate(Isa isa, const uint32_t* keys,

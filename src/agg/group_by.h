@@ -39,6 +39,17 @@ class GroupByAggregator {
   void AccumulateScalar(const uint32_t* keys, const uint32_t* vals, size_t n);
   void AccumulateAvx512(const uint32_t* keys, const uint32_t* vals, size_t n);
 
+  /// Morsel-parallel Accumulate on the shared TaskPool: each worker lane
+  /// folds its morsels into a private partial table (same capacity and hash
+  /// seed as this one), and the partials are merged serially into this
+  /// table afterwards. The aggregate values per group are identical to the
+  /// serial fold for every thread count (SUM/COUNT/MIN/MAX are commutative
+  /// and exact in 64/32 bits); only the Extract bucket order may differ,
+  /// since it follows table insertion order. threads <= 1 falls back to
+  /// Accumulate.
+  void AccumulateParallel(Isa isa, const uint32_t* keys, const uint32_t* vals,
+                          size_t n, int threads);
+
   /// Number of distinct groups accumulated so far.
   size_t num_groups() const { return n_groups_; }
 
@@ -60,6 +71,8 @@ class GroupByAggregator {
                        uint32_t* out_counts, uint32_t* out_mins,
                        uint32_t* out_maxs) const;
   void FoldScalar(uint32_t key, uint32_t val);
+  void FoldMerge(uint32_t key, uint64_t sum, uint32_t count, uint32_t min,
+                 uint32_t max);
 
   AlignedBuffer<uint32_t> gkeys_;
   AlignedBuffer<uint64_t> sums_;
@@ -69,6 +82,8 @@ class GroupByAggregator {
   size_t n_buckets_;
   size_t n_groups_ = 0;
   uint32_t factor_;
+  size_t max_groups_;  // constructor args, kept so AccumulateParallel can
+  uint64_t seed_;      // build identically-shaped partial tables
 };
 
 }  // namespace simddb

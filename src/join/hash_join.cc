@@ -11,7 +11,7 @@
 #include "util/aligned_buffer.h"
 #include "util/bits.h"
 #include "util/prefix_sum.h"
-#include "util/thread_team.h"
+#include "util/task_pool.h"
 #include "util/timer.h"
 
 namespace simddb {
@@ -121,45 +121,64 @@ size_t HashJoinNoPartition(const JoinRelation& r, const JoinRelation& s,
   AlignedBuffer<uint32_t> tk(nb), tp(nb);
   std::memset(tk.data(), 0xFF, nb * sizeof(uint32_t));
 
-  // Build a shared table with atomic compare-and-swap claims on the key
-  // slot; scatters cannot be atomic, so this phase is scalar by necessity.
+  // One pool dispatch for both phases: every lane claims build morsels from
+  // a shared cursor, the reusable phase barrier separates build from probe
+  // (probe lanes must see the complete table), then lanes claim probe
+  // morsels. Build uses atomic compare-and-swap claims on the key slot;
+  // scatters cannot be atomic, so that phase is scalar by necessity.
   Timer timer;
-  ThreadTeam::Run(t_count, [&](int t) {
-    size_t b = ThreadTeam::ChunkBegin(r.n, t_count, t);
-    size_t e = ThreadTeam::ChunkBegin(r.n, t_count, t + 1);
-    for (size_t i = b; i < e; ++i) {
-      uint32_t k = r.keys[i];
-      uint32_t h = MultHash32(k, factor, nb);
-      for (;;) {
-        uint32_t expected = kEmptyKey;
-        std::atomic_ref<uint32_t> slot(tk[h]);
-        if (slot.load(std::memory_order_relaxed) == kEmptyKey &&
-            slot.compare_exchange_strong(expected, k,
-                                         std::memory_order_acq_rel)) {
-          tp[h] = r.pays[i];
-          break;
-        }
-        if (++h == nb) h = 0;
-      }
-    }
-  });
-  if (timings != nullptr) timings->build_s = timer.Seconds();
-
-  // Read-only probe: no synchronization needed; vectorized.
-  timer.Reset();
+  const MorselGrid r_grid(r.n);
+  const MorselGrid s_grid(s.n);
+  const size_t s_morsels = s_grid.count();
   const uint32_t base0 = 0;
-  std::vector<uint64_t> seg_begin(t_count), seg_count(t_count);
-  ThreadTeam::Run(t_count, [&](int t) {
-    size_t b = ThreadTeam::ChunkBegin(s.n, t_count, t);
-    size_t e = ThreadTeam::ChunkBegin(s.n, t_count, t + 1);
-    seg_begin[t] = b;
-    seg_count[t] = ProbeDispatch(vec, tk.data(), tp.data(), &base0, &nb,
-                                 factor, 1, 1, s.keys + b, s.pays + b, e - b,
-                                 out_keys + b, out_spays + b, out_rpays + b);
-  });
-  size_t total = CompactSegments(t_count, seg_begin.data(), seg_count.data(),
-                                 out_keys, out_rpays, out_spays);
-  if (timings != nullptr) timings->probe_s = timer.Seconds();
+  std::vector<uint64_t> seg_begin(s_morsels), seg_count(s_morsels);
+  std::atomic<size_t> build_cursor{0};
+  std::atomic<size_t> probe_cursor{0};
+  double build_s = 0;
+  TaskPool::Get().ParallelPhases(
+      t_count, [&](int lane, int, PhaseBarrier& barrier) {
+        for (;;) {
+          size_t m = build_cursor.fetch_add(1, std::memory_order_relaxed);
+          if (m >= r_grid.count()) break;
+          const size_t e = r_grid.end(m);
+          for (size_t i = r_grid.begin(m); i < e; ++i) {
+            uint32_t k = r.keys[i];
+            uint32_t h = MultHash32(k, factor, nb);
+            for (;;) {
+              uint32_t expected = kEmptyKey;
+              std::atomic_ref<uint32_t> slot(tk[h]);
+              if (slot.load(std::memory_order_relaxed) == kEmptyKey &&
+                  slot.compare_exchange_strong(expected, k,
+                                               std::memory_order_acq_rel)) {
+                tp[h] = r.pays[i];
+                break;
+              }
+              if (++h == nb) h = 0;
+            }
+          }
+        }
+        barrier.Wait();
+        if (lane == 0) build_s = timer.Seconds();
+        // Read-only probe: no synchronization needed; vectorized. Output
+        // segments are per-morsel, so the layout is worker-independent.
+        for (;;) {
+          size_t m = probe_cursor.fetch_add(1, std::memory_order_relaxed);
+          if (m >= s_morsels) break;
+          const size_t b = s_grid.begin(m);
+          seg_begin[m] = b;
+          seg_count[m] = ProbeDispatch(vec, tk.data(), tp.data(), &base0, &nb,
+                                       factor, 1, 1, s.keys + b, s.pays + b,
+                                       s_grid.size(m), out_keys + b,
+                                       out_spays + b, out_rpays + b);
+        }
+      });
+  if (timings != nullptr) {
+    timings->build_s = build_s;
+    timings->probe_s = timer.Seconds() - build_s;
+  }
+  size_t total = CompactSegments(s_morsels, seg_begin.data(),
+                                 seg_count.data(), out_keys, out_rpays,
+                                 out_spays);
   return total;
 }
 
@@ -197,8 +216,8 @@ size_t HashJoinMinPartition(const JoinRelation& r, const JoinRelation& s,
   }
   AlignedBuffer<uint32_t> tk(bank_total), tp(bank_total);
   std::memset(tk.data(), 0xFF, bank_total * sizeof(uint32_t));
-  ThreadTeam::Run(t_count, [&](int t) {
-    uint32_t p = static_cast<uint32_t>(t);
+  TaskPool::Get().ParallelFor(parts, t_count, [&](int, size_t task) {
+    uint32_t p = static_cast<uint32_t>(task);
     uint32_t b = r_starts[p];
     uint32_t n_part = r_starts[p + 1] - b;
     if (vec) {
@@ -213,21 +232,25 @@ size_t HashJoinMinPartition(const JoinRelation& r, const JoinRelation& s,
   });
   if (timings != nullptr) timings->build_s = timer.Seconds();
 
-  // Phase 3: probe across the bank (part chosen per key by the hash).
+  // Phase 3: probe across the bank (part chosen per key by the hash),
+  // morsel-wise with work stealing; per-morsel output segments keep the
+  // result layout independent of the worker schedule.
   timer.Reset();
-  std::vector<uint64_t> seg_begin(t_count), seg_count(t_count);
-  ThreadTeam::Run(t_count, [&](int t) {
-    size_t b = ThreadTeam::ChunkBegin(s.n, t_count, t);
-    size_t e = ThreadTeam::ChunkBegin(s.n, t_count, t + 1);
-    seg_begin[t] = b;
-    seg_count[t] =
+  const MorselGrid s_grid(s.n);
+  const size_t s_morsels = s_grid.count();
+  std::vector<uint64_t> seg_begin(s_morsels), seg_count(s_morsels);
+  TaskPool::Get().ParallelFor(s_morsels, t_count, [&](int, size_t m) {
+    size_t b = s_grid.begin(m);
+    seg_begin[m] = b;
+    seg_count[m] =
         ProbeDispatch(vec, tk.data(), tp.data(), bank_base.data(),
                       bank_size.data(), table_factor, part_fn.factor, parts,
-                      s.keys + b, s.pays + b, e - b, out_keys + b,
+                      s.keys + b, s.pays + b, s_grid.size(m), out_keys + b,
                       out_spays + b, out_rpays + b);
   });
-  size_t total = CompactSegments(t_count, seg_begin.data(), seg_count.data(),
-                                 out_keys, out_rpays, out_spays);
+  size_t total = CompactSegments(s_morsels, seg_begin.data(),
+                                 seg_count.data(), out_keys, out_rpays,
+                                 out_spays);
   if (timings != nullptr) timings->probe_s = timer.Seconds();
   return total;
 }
@@ -235,9 +258,11 @@ size_t HashJoinMinPartition(const JoinRelation& r, const JoinRelation& s,
 namespace {
 
 // Second partitioning pass for the max-partition join: refine every
-// first-pass part by the low hash bits, in parallel over parts, with the
-// buffered-shuffle cleanup deferred behind a barrier so chunk-aligned
-// flushes cannot race with a neighbour part's final tuples.
+// first-pass part by the low hash bits, with parts as the stealable work
+// unit (a part is one self-contained histogram + shuffle whose output range
+// is fixed by starts1, so any worker may run any part), and the
+// buffered-shuffle cleanup deferred behind the dispatch barrier so
+// 16-aligned flushes cannot race with a neighbour part's final tuples.
 void SecondPass(const PartitionFn& fn2, uint32_t p1, uint32_t p2,
                 const uint32_t* in_keys, const uint32_t* in_pays,
                 const uint32_t* starts1, uint32_t* out_keys,
@@ -245,47 +270,40 @@ void SecondPass(const PartitionFn& fn2, uint32_t p1, uint32_t p2,
                 bool vec, int t_count) {
   std::vector<ShuffleBuffers> bufs(p1);
   std::vector<uint32_t> all_offsets(static_cast<size_t>(p1) * p2);
-  std::atomic<uint32_t> next_part{0};
-  ThreadTeam::Run(t_count, [&](int) {
-    HistogramWorkspace ws;
-    for (;;) {
-      uint32_t p = next_part.fetch_add(1);
-      if (p >= p1) break;
-      uint32_t b = starts1[p];
-      uint32_t n_part = starts1[p + 1] - b;
-      uint32_t* offsets = all_offsets.data() + static_cast<size_t>(p) * p2;
-      if (vec) {
-        HistogramReplicatedAvx512(fn2, in_keys + b, n_part, offsets, &ws);
-      } else {
-        HistogramScalar(fn2, in_keys + b, n_part, offsets);
-      }
-      uint32_t sum = b;
-      for (uint32_t q = 0; q < p2; ++q) {
-        uint32_t c = offsets[q];
-        offsets[q] = sum;
-        bounds[static_cast<size_t>(p) * p2 + q] = sum;
-        sum += c;
-      }
-      if (vec) {
-        ShuffleVectorBufferedMainAvx512(fn2, in_keys + b, in_pays + b,
-                                        n_part, offsets, out_keys, out_pays,
-                                        &bufs[p]);
-      } else {
-        ShuffleScalarBufferedMain(fn2, in_keys + b, in_pays + b, n_part,
-                                  offsets, out_keys, out_pays, &bufs[p]);
-      }
+  TaskPool& pool = TaskPool::Get();
+  const int lanes = TaskPool::LaneCount(p1, t_count);
+  std::vector<HistogramWorkspace> ws(lanes);
+  pool.ParallelFor(p1, t_count, [&](int worker, size_t task) {
+    uint32_t p = static_cast<uint32_t>(task);
+    uint32_t b = starts1[p];
+    uint32_t n_part = starts1[p + 1] - b;
+    uint32_t* offsets = all_offsets.data() + static_cast<size_t>(p) * p2;
+    if (vec) {
+      HistogramReplicatedAvx512(fn2, in_keys + b, n_part, offsets,
+                                &ws[worker]);
+    } else {
+      HistogramScalar(fn2, in_keys + b, n_part, offsets);
+    }
+    uint32_t sum = b;
+    for (uint32_t q = 0; q < p2; ++q) {
+      uint32_t c = offsets[q];
+      offsets[q] = sum;
+      bounds[static_cast<size_t>(p) * p2 + q] = sum;
+      sum += c;
+    }
+    if (vec) {
+      ShuffleVectorBufferedMainAvx512(fn2, in_keys + b, in_pays + b, n_part,
+                                      offsets, out_keys, out_pays, &bufs[p]);
+    } else {
+      ShuffleScalarBufferedMain(fn2, in_keys + b, in_pays + b, n_part,
+                                offsets, out_keys, out_pays, &bufs[p]);
     }
   });
-  // Barrier: all Main calls done; now repair buffered tails.
-  std::atomic<uint32_t> next_cleanup{0};
-  ThreadTeam::Run(t_count, [&](int) {
-    for (;;) {
-      uint32_t p = next_cleanup.fetch_add(1);
-      if (p >= p1) break;
-      ShuffleBufferedCleanup(
-          p2, all_offsets.data() + static_cast<size_t>(p) * p2, bufs[p],
-          out_keys, out_pays);
-    }
+  // All Main calls joined; now repair buffered tails.
+  pool.ParallelFor(p1, t_count, [&](int, size_t p) {
+    ShuffleBufferedCleanup(
+        p2, all_offsets.data() + static_cast<size_t>(p) * p2, bufs[p],
+        out_keys, out_pays);
   });
 }
 
@@ -383,36 +401,41 @@ size_t HashJoinMaxPartition(const JoinRelation& r, const JoinRelation& s,
   const uint32_t nb_max =
       static_cast<uint32_t>(NextPowerOfTwo(max_part * 2 + 32));
   std::vector<uint64_t> seg_begin(p_total), seg_count(p_total);
-  std::atomic<uint32_t> next_q{0};
-  ThreadTeam::Run(t_count, [&](int) {
-    AlignedBuffer<uint32_t> tk(nb_max), tp(nb_max);
-    for (;;) {
-      uint32_t q = next_q.fetch_add(1);
-      if (q >= p_total) break;
-      uint32_t rb = r_bounds[q];
-      uint32_t rn = r_bounds[q + 1] - rb;
-      uint32_t sb = s_bounds[q];
-      uint32_t sn = s_bounds[q + 1] - sb;
-      seg_begin[q] = sb;
-      if (sn == 0) {
-        seg_count[q] = 0;
-        continue;
-      }
-      uint32_t nb = static_cast<uint32_t>(NextPowerOfTwo(rn * 2 + 32));
-      std::memset(tk.data(), 0xFF, nb * sizeof(uint32_t));
-      if (vec) {
-        BuildFlatAvx512(tk.data(), tp.data(), nb, table_factor, rk + rb,
-                        rp + rb, rn);
-      } else {
-        BuildFlatScalar(tk.data(), tp.data(), nb, table_factor, rk + rb,
-                        rp + rb, rn);
-      }
-      const uint32_t base0 = 0;
-      seg_count[q] = ProbeDispatch(
-          vec, tk.data(), tp.data(), &base0, &nb, table_factor, 1, 1,
-          sk + sb, sp + sb, sn, out_keys + sb, out_spays + sb,
-          out_rpays + sb);
+  const int lanes = TaskPool::LaneCount(p_total, t_count);
+  // Lane-private cache-resident tables, reused across every part that lane
+  // ends up claiming (including stolen ones — skewed parts rebalance).
+  std::vector<AlignedBuffer<uint32_t>> lane_tk(lanes), lane_tp(lanes);
+  TaskPool::Get().ParallelFor(p_total, t_count, [&](int worker, size_t task) {
+    uint32_t q = static_cast<uint32_t>(task);
+    AlignedBuffer<uint32_t>& tk = lane_tk[worker];
+    AlignedBuffer<uint32_t>& tp = lane_tp[worker];
+    if (tk.size() < nb_max) {
+      tk.Reset(nb_max);
+      tp.Reset(nb_max);
     }
+    uint32_t rb = r_bounds[q];
+    uint32_t rn = r_bounds[q + 1] - rb;
+    uint32_t sb = s_bounds[q];
+    uint32_t sn = s_bounds[q + 1] - sb;
+    seg_begin[q] = sb;
+    if (sn == 0) {
+      seg_count[q] = 0;
+      return;
+    }
+    uint32_t nb = static_cast<uint32_t>(NextPowerOfTwo(rn * 2 + 32));
+    std::memset(tk.data(), 0xFF, nb * sizeof(uint32_t));
+    if (vec) {
+      BuildFlatAvx512(tk.data(), tp.data(), nb, table_factor, rk + rb,
+                      rp + rb, rn);
+    } else {
+      BuildFlatScalar(tk.data(), tp.data(), nb, table_factor, rk + rb,
+                      rp + rb, rn);
+    }
+    const uint32_t base0 = 0;
+    seg_count[q] = ProbeDispatch(
+        vec, tk.data(), tp.data(), &base0, &nb, table_factor, 1, 1,
+        sk + sb, sp + sb, sn, out_keys + sb, out_spays + sb,
+        out_rpays + sb);
   });
   size_t total = CompactSegments(p_total, seg_begin.data(), seg_count.data(),
                                  out_keys, out_rpays, out_spays);

@@ -1,10 +1,19 @@
 #include "partition/parallel_partition.h"
 
 #include "util/prefix_sum.h"
-#include "util/thread_team.h"
+#include "util/task_pool.h"
 
 namespace simddb {
 
+// Morsel-driven schedule: the input is decomposed into a fixed grid of
+// kMorselTuples-sized morsels and every morsel gets its own histogram row
+// and shuffle buffers. The cross-morsel interleaved prefix sum then assigns
+// each (morsel, partition) pair a fixed output subrange — tuples of morsel
+// m precede tuples of morsel m+1 within every partition, which keeps the
+// pass globally stable AND makes the output byte-identical for every worker
+// count and steal schedule (the layout depends only on the morsel grid).
+// Workers claim morsels dynamically from the pool's work-stealing deques,
+// so skewed per-morsel costs rebalance instead of stalling a static chunk.
 void ParallelPartitionPass(const PartitionFn& fn, const uint32_t* keys,
                            const uint32_t* pays, size_t n, uint32_t* out_keys,
                            uint32_t* out_pays, Isa isa, int threads,
@@ -12,59 +21,73 @@ void ParallelPartitionPass(const PartitionFn& fn, const uint32_t* keys,
   const int t_count = threads < 1 ? 1 : threads;
   const uint32_t p_count = fn.fanout;
   const bool vec = isa == Isa::kAvx512 && IsaSupported(Isa::kAvx512);
-  res->Reserve(t_count, p_count);
+  const MorselGrid grid(n, BoundedMorselSize(n));
+  const size_t m_count = grid.count();
+  if (m_count == 0) {
+    if (starts != nullptr) {
+      for (uint32_t p = 0; p <= p_count; ++p) starts[p] = 0;
+    }
+    return;
+  }
+  res->Reserve(m_count, t_count, p_count);
   uint32_t* hists = res->hists.data();
+  TaskPool& pool = TaskPool::Get();
 
-  ThreadTeam::Run(t_count, [&](int t) {
-    size_t b = ThreadTeam::ChunkBegin(n, t_count, t);
-    size_t e = ThreadTeam::ChunkBegin(n, t_count, t + 1);
-    uint32_t* h = hists + static_cast<size_t>(t) * p_count;
+  // Phase 1: one histogram row per morsel.
+  pool.ParallelFor(m_count, t_count, [&](int worker, size_t m) {
+    uint32_t* h = hists + m * p_count;
     if (vec) {
-      HistogramReplicatedAvx512(fn, keys + b, e - b, h, &res->hist_ws[t]);
+      HistogramReplicatedAvx512(fn, keys + grid.begin(m), grid.size(m), h,
+                                &res->hist_ws[worker]);
     } else {
-      HistogramScalar(fn, keys + b, e - b, h);
+      HistogramScalar(fn, keys + grid.begin(m), grid.size(m), h);
     }
   });
 
-  InterleavedPrefixSum(hists, t_count, p_count);
+  // Serial cross-morsel interleaved prefix sum (cheap: m_count * fanout).
+  InterleavedPrefixSum(hists, m_count, p_count);
   if (starts != nullptr) {
-    // Thread 0's offsets are the global partition begin positions.
+    // Morsel 0's offsets are the global partition begin positions.
     for (uint32_t p = 0; p < p_count; ++p) starts[p] = hists[p];
     starts[p_count] = static_cast<uint32_t>(n);
   }
 
-  ThreadTeam::Run(t_count, [&](int t) {
-    size_t b = ThreadTeam::ChunkBegin(n, t_count, t);
-    size_t e = ThreadTeam::ChunkBegin(n, t_count, t + 1);
-    uint32_t* offsets = hists + static_cast<size_t>(t) * p_count;
+  // Phase 2: buffered shuffle Main per morsel. Morsel boundaries are
+  // multiples of 16, so the streaming-flush alignment contract holds; the
+  // aligned flushes may clobber <= 15 tuples of a neighbouring morsel's
+  // still-buffered tail, repaired in phase 3 (see shuffle.h).
+  pool.ParallelFor(m_count, t_count, [&](int, size_t m) {
+    uint32_t* offsets = hists + m * p_count;
+    const size_t b = grid.begin(m);
     if (pays != nullptr) {
       if (vec) {
-        ShuffleVectorBufferedMainAvx512(fn, keys + b, pays + b, e - b,
+        ShuffleVectorBufferedMainAvx512(fn, keys + b, pays + b, grid.size(m),
                                         offsets, out_keys, out_pays,
-                                        &res->bufs[t]);
+                                        &res->bufs[m]);
       } else {
-        ShuffleScalarBufferedMain(fn, keys + b, pays + b, e - b, offsets,
-                                  out_keys, out_pays, &res->bufs[t]);
+        ShuffleScalarBufferedMain(fn, keys + b, pays + b, grid.size(m),
+                                  offsets, out_keys, out_pays, &res->bufs[m]);
       }
     } else {
       if (vec) {
-        ShuffleKeysVectorBufferedMainAvx512(fn, keys + b, e - b, offsets,
-                                            out_keys, &res->bufs[t]);
+        ShuffleKeysVectorBufferedMainAvx512(fn, keys + b, grid.size(m),
+                                            offsets, out_keys, &res->bufs[m]);
       } else {
-        ShuffleKeysScalarBufferedMain(fn, keys + b, e - b, offsets, out_keys,
-                                      &res->bufs[t]);
+        ShuffleKeysScalarBufferedMain(fn, keys + b, grid.size(m), offsets,
+                                      out_keys, &res->bufs[m]);
       }
     }
   });
 
-  // Barrier (Run joins) before repairing the chunk-aligned flush overshoot.
-  ThreadTeam::Run(t_count, [&](int t) {
-    uint32_t* offsets = hists + static_cast<size_t>(t) * p_count;
+  // Phase 3 (after the implicit barrier of the ParallelFor join): repair
+  // the 16-aligned flush overshoot by writing every morsel's buffered tails.
+  pool.ParallelFor(m_count, t_count, [&](int, size_t m) {
+    uint32_t* offsets = hists + m * p_count;
     if (pays != nullptr) {
-      ShuffleBufferedCleanup(p_count, offsets, res->bufs[t], out_keys,
+      ShuffleBufferedCleanup(p_count, offsets, res->bufs[m], out_keys,
                              out_pays);
     } else {
-      ShuffleKeysBufferedCleanup(p_count, offsets, res->bufs[t], out_keys);
+      ShuffleKeysBufferedCleanup(p_count, offsets, res->bufs[m], out_keys);
     }
   });
 }

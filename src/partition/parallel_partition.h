@@ -2,12 +2,15 @@
 #define SIMDDB_PARTITION_PARALLEL_PARTITION_H_
 
 // One parallel, stable, buffered partitioning pass (§7.4 + §8): the input is
-// split among threads, each thread histograms its chunk, a cross-thread
-// interleaved prefix sum assigns disjoint output sub-ranges (thread order
-// preserved within every partition, so the pass is globally stable), each
-// thread runs a buffered shuffle of its chunk, and after a barrier the
-// buffered tails are flushed (App. F). Used by LSB radixsort and by the
-// partitioning phases of the max-partition hash join.
+// decomposed into a fixed grid of 16K-tuple morsels, each morsel is
+// histogrammed into its own row, a cross-morsel interleaved prefix sum
+// assigns disjoint output sub-ranges (morsel order preserved within every
+// partition, so the pass is globally stable), workers claim morsels from
+// work-stealing deques to run the buffered shuffle, and after a barrier the
+// buffered tails are flushed (App. F). Because the output layout depends
+// only on the morsel grid — not on which worker ran which morsel — the
+// result is byte-identical across thread counts and runs. Used by LSB
+// radixsort and by the partitioning phases of the hash joins.
 
 #include <cstddef>
 #include <cstdint>
@@ -21,17 +24,18 @@
 
 namespace simddb {
 
-/// Reusable per-thread scratch for ParallelPartitionPass.
+/// Reusable scratch for ParallelPartitionPass: shuffle buffers and a
+/// histogram row per *morsel*, histogram workspaces per worker lane.
 struct ParallelPartitionResources {
-  std::vector<ShuffleBuffers> bufs;
-  std::vector<HistogramWorkspace> hist_ws;
-  AlignedBuffer<uint32_t> hists;  ///< threads x fanout
+  std::vector<ShuffleBuffers> bufs;        ///< one per morsel
+  std::vector<HistogramWorkspace> hist_ws; ///< one per worker lane
+  AlignedBuffer<uint32_t> hists;           ///< morsels x fanout
 
-  void Reserve(int threads, uint32_t fanout) {
-    bufs.resize(threads);
-    hist_ws.resize(threads);
-    if (hists.size() < static_cast<size_t>(threads) * fanout) {
-      hists.Reset(static_cast<size_t>(threads) * fanout);
+  void Reserve(size_t morsels, int lanes, uint32_t fanout) {
+    if (bufs.size() < morsels) bufs.resize(morsels);
+    if (hist_ws.size() < static_cast<size_t>(lanes)) hist_ws.resize(lanes);
+    if (hists.size() < morsels * fanout) {
+      hists.Reset(morsels * fanout);
     }
   }
 };

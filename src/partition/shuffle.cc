@@ -4,12 +4,15 @@
 
 #include <cstring>
 
+#include "util/sanitizer.h"
+
 namespace simddb {
 namespace {
 
 // Flushes one full 16-tuple chunk of partition p from the buffers to the
 // output at (aligned) position base, using non-temporal stores when the
 // destination is 16-byte aligned.
+SIMDDB_NO_SANITIZE_THREAD
 inline void FlushChunk(const uint32_t* buf, uint32_t* out, uint32_t base) {
   uint32_t* dst = out + base;
   if ((reinterpret_cast<uintptr_t>(dst) & 15u) == 0) {
@@ -36,6 +39,10 @@ void ShuffleScalarUnbuffered(const PartitionFn& fn, const uint32_t* keys,
   }
 }
 
+// SIMDDB_NO_SANITIZE_THREAD: the aligned flushes may briefly overwrite up to
+// 15 tuples of a neighbour morsel's still-buffered tail; the post-barrier
+// cleanup pass rewrites them (see util/sanitizer.h).
+SIMDDB_NO_SANITIZE_THREAD
 void ShuffleScalarBufferedMain(const PartitionFn& fn, const uint32_t* keys,
                                const uint32_t* pays, size_t n,
                                uint32_t* offsets, uint32_t* out_keys,
@@ -85,6 +92,7 @@ void ShuffleScalarBuffered(const PartitionFn& fn, const uint32_t* keys,
   ShuffleBufferedCleanup(fn.fanout, offsets, *bufs, out_keys, out_pays);
 }
 
+SIMDDB_NO_SANITIZE_THREAD
 void ShuffleKeysScalarBufferedMain(const PartitionFn& fn, const uint32_t* keys,
                                    size_t n, uint32_t* offsets,
                                    uint32_t* out_keys, ShuffleBuffers* bufs) {

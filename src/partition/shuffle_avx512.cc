@@ -7,6 +7,7 @@
 #include "core/avx512_ops.h"
 #include "partition/partition_vec_avx512.h"
 #include "partition/shuffle.h"
+#include "util/sanitizer.h"
 
 namespace simddb {
 namespace {
@@ -17,6 +18,7 @@ using internal::PartitionVecCtx;
 
 // Streams one full 16-tuple buffer chunk to out + base (base is 16-aligned;
 // non-temporal when the output array itself is 64-byte aligned).
+SIMDDB_NO_SANITIZE_THREAD
 inline void FlushChunk512(const uint32_t* buf, uint32_t* out, uint32_t base,
                           bool streamable) {
   __m512i w = _mm512_load_si512(buf);
@@ -56,6 +58,11 @@ void ShuffleVectorUnbufferedAvx512(const PartitionFn& fn,
 // chunks are flushed horizontally (one partition at a time) with streaming
 // stores; lanes whose slot overflowed the chunk are scattered after the
 // flush.
+//
+// SIMDDB_NO_SANITIZE_THREAD: the aligned flushes may briefly overwrite up to
+// 15 tuples of a neighbour morsel's still-buffered tail; the post-barrier
+// cleanup pass rewrites them (see util/sanitizer.h).
+SIMDDB_NO_SANITIZE_THREAD
 void ShuffleVectorBufferedMainAvx512(const PartitionFn& fn,
                                      const uint32_t* keys,
                                      const uint32_t* pays, size_t n,
@@ -135,6 +142,7 @@ void ShuffleVectorBufferedMainAvx512(const PartitionFn& fn,
 // serialized; they retry on the next iteration while finished lanes refill
 // from the input (§7.4: "instead of conflict serialization, we detect and
 // process conflicting lanes during the next loop").
+SIMDDB_NO_SANITIZE_THREAD
 void ShuffleVectorBufferedUnstableMainAvx512(
     const PartitionFn& fn, const uint32_t* keys, const uint32_t* pays,
     size_t n, uint32_t* offsets, uint32_t* out_keys, uint32_t* out_pays,
@@ -232,6 +240,7 @@ void ShuffleVectorBufferedUnstableAvx512(const PartitionFn& fn,
 }
 
 // Key-only Alg. 15 (for key-only radixsort passes).
+SIMDDB_NO_SANITIZE_THREAD
 void ShuffleKeysVectorBufferedMainAvx512(const PartitionFn& fn,
                                          const uint32_t* keys, size_t n,
                                          uint32_t* offsets, uint32_t* out_keys,

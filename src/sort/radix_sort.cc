@@ -9,6 +9,7 @@
 #include "partition/shuffle.h"
 #include "util/aligned_buffer.h"
 #include "util/prefix_sum.h"
+#include "util/task_pool.h"
 
 namespace simddb {
 namespace {
@@ -62,10 +63,20 @@ void RadixSortMultiColumn(uint32_t* keys, uint32_t* scratch_keys, size_t n,
   const int bits = cfg.bits_per_pass < 1 ? 8 : cfg.bits_per_pass;
   const int passes = (32 + bits - 1) / bits;
   const bool vec = cfg.isa == Isa::kAvx512 && IsaSupported(Isa::kAvx512);
+  const int t_count = cfg.threads < 1 ? 1 : cfg.threads;
 
-  std::vector<uint32_t> offsets(size_t{1} << bits);
+  // Morsel-parallel schedule (same layout trick as ParallelPartitionPass):
+  // one histogram row per morsel, a cross-morsel interleaved prefix sum,
+  // then per-morsel destination computation — dest[] holds each tuple's
+  // final position, so the column scatters are embarrassingly parallel over
+  // morsels and the result is identical for every worker count.
+  const MorselGrid grid(n, BoundedMorselSize(n));
+  const size_t m_count = grid.count();
+  TaskPool& pool = TaskPool::Get();
+  const int lanes = TaskPool::LaneCount(m_count, t_count);
+  AlignedBuffer<uint32_t> hists(m_count << bits);
   AlignedBuffer<uint32_t> dest(n + 16);
-  HistogramWorkspace ws;
+  std::vector<HistogramWorkspace> ws(lanes);
   uint32_t* in_k = keys;
   uint32_t* out_k = scratch_keys;
   std::vector<void*> in_c(n_cols), out_c(n_cols);
@@ -80,30 +91,43 @@ void RadixSortMultiColumn(uint32_t* keys, uint32_t* scratch_keys, size_t n,
     if (lo + pass_bits > 32) pass_bits = 32 - lo;
     PartitionFn fn = PartitionFn::Radix(static_cast<uint32_t>(pass_bits),
                                         static_cast<uint32_t>(lo));
-    if (vec) {
-      HistogramReplicatedAvx512(fn, in_k, n, offsets.data(), &ws);
-    } else {
-      HistogramScalar(fn, in_k, n, offsets.data());
-    }
-    ExclusivePrefixSum(offsets.data(), fn.fanout);
+    pool.ParallelFor(m_count, t_count, [&](int worker, size_t m) {
+      uint32_t* h = hists.data() + m * fn.fanout;
+      if (vec) {
+        HistogramReplicatedAvx512(fn, in_k + grid.begin(m), grid.size(m), h,
+                                  &ws[worker]);
+      } else {
+        HistogramScalar(fn, in_k + grid.begin(m), grid.size(m), h);
+      }
+    });
+    InterleavedPrefixSum(hists.data(), m_count, fn.fanout);
     // One destination computation, replayed over the key and all payload
     // columns with width-specialized scatters (the paper's temporary-array
     // scheme for multi-column shuffling).
-    if (vec) {
-      ComputeDestinationsAvx512(fn, in_k, n, offsets.data(), dest.data());
-      ScatterColumnAvx512(in_k, n, dest.data(), out_k, 4);
-      for (size_t c = 0; c < n_cols; ++c) {
-        ScatterColumnAvx512(in_c[c], n, dest.data(), out_c[c],
-                            cols[c].elem_bytes);
+    pool.ParallelFor(m_count, t_count, [&](int, size_t m) {
+      const size_t b = grid.begin(m);
+      const size_t mn = grid.size(m);
+      uint32_t* offsets = hists.data() + m * fn.fanout;
+      if (vec) {
+        ComputeDestinationsAvx512(fn, in_k + b, mn, offsets, dest.data() + b);
+        ScatterColumnAvx512(in_k + b, mn, dest.data() + b, out_k, 4);
+        for (size_t c = 0; c < n_cols; ++c) {
+          ScatterColumnAvx512(
+              static_cast<const char*>(in_c[c]) +
+                  b * static_cast<size_t>(cols[c].elem_bytes),
+              mn, dest.data() + b, out_c[c], cols[c].elem_bytes);
+        }
+      } else {
+        ComputeDestinationsScalar(fn, in_k + b, mn, offsets, dest.data() + b);
+        ScatterColumnScalar(in_k + b, mn, dest.data() + b, out_k, 4);
+        for (size_t c = 0; c < n_cols; ++c) {
+          ScatterColumnScalar(
+              static_cast<const char*>(in_c[c]) +
+                  b * static_cast<size_t>(cols[c].elem_bytes),
+              mn, dest.data() + b, out_c[c], cols[c].elem_bytes);
+        }
       }
-    } else {
-      ComputeDestinationsScalar(fn, in_k, n, offsets.data(), dest.data());
-      ScatterColumnScalar(in_k, n, dest.data(), out_k, 4);
-      for (size_t c = 0; c < n_cols; ++c) {
-        ScatterColumnScalar(in_c[c], n, dest.data(), out_c[c],
-                            cols[c].elem_bytes);
-      }
-    }
+    });
     std::swap(in_k, out_k);
     for (size_t c = 0; c < n_cols; ++c) std::swap(in_c[c], out_c[c]);
   }

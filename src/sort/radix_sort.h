@@ -44,7 +44,8 @@ struct SortColumn {
 /// Sorts a table of a 32-bit key column plus any number of payload columns
 /// of mixed widths (Fig. 18): per pass, the histogram is generated once,
 /// per-tuple destinations are computed once, and each column is permuted
-/// with a type-specialized scatter. Single-threaded.
+/// with a type-specialized scatter. Morsel-parallel over cfg.threads
+/// workers; output is identical for every thread count.
 void RadixSortMultiColumn(uint32_t* keys, uint32_t* scratch_keys, size_t n,
                           SortColumn* cols, size_t n_cols,
                           const RadixSortConfig& cfg);

@@ -1,0 +1,233 @@
+#include "util/task_pool.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace simddb {
+namespace {
+
+// True while the current thread is executing inside a pool job (workers
+// always; the submitting thread while it runs its own lane). Nested parallel
+// calls from such a thread run inline: the pool is a flat resource, and
+// blocking a worker on a sub-job could deadlock the outer one.
+thread_local bool tls_in_pool_job = false;
+
+struct InJobScope {
+  InJobScope() { tls_in_pool_job = true; }
+  ~InJobScope() { tls_in_pool_job = false; }
+};
+
+constexpr uint64_t PackRange(uint32_t begin, uint32_t end) {
+  return (static_cast<uint64_t>(begin) << 32) | end;
+}
+constexpr uint32_t RangeBegin(uint64_t r) {
+  return static_cast<uint32_t>(r >> 32);
+}
+constexpr uint32_t RangeEnd(uint64_t r) { return static_cast<uint32_t>(r); }
+
+}  // namespace
+
+TaskPool& TaskPool::Get() {
+  static TaskPool pool;
+  return pool;
+}
+
+int TaskPool::MaxWorkers() {
+  static const int cap = [] {
+    if (const char* env = std::getenv("SIMDDB_THREADS")) {
+      int v = std::atoi(env);
+      if (v >= 1) return v;
+    }
+    // No explicit cap: allow deliberate oversubscription (the Fig. 16
+    // reproduction sweeps thread counts past the core count on any host).
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    return hw > 64 ? hw : 64;
+  }();
+  return cap;
+}
+
+int TaskPool::LaneCount(size_t n_tasks, int max_workers) {
+  int lanes = max_workers < MaxWorkers() ? max_workers : MaxWorkers();
+  if (static_cast<size_t>(lanes) > n_tasks) {
+    lanes = static_cast<int>(n_tasks);
+  }
+  return lanes < 1 ? 1 : lanes;
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void TaskPool::EnsureWorkers(int needed) {
+  if (lanes_ == nullptr) {
+    lanes_ = std::make_unique<Lane[]>(static_cast<size_t>(MaxWorkers()));
+  }
+  while (static_cast<int>(workers_.size()) < needed) {
+    int self = static_cast<int>(workers_.size());
+    workers_.emplace_back([this, self] { WorkerLoop(self); });
+  }
+}
+
+int TaskPool::SpawnedWorkers() {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  return static_cast<int>(workers_.size());
+}
+
+bool TaskPool::PopOrSteal(int lane, int n_lanes, size_t* task) {
+  // Fast path: pop the front of the own deque — consecutive morsels, so a
+  // lane that keeps its initial range streams through contiguous input.
+  Lane& mine = lanes_[lane];
+  uint64_t r = mine.range.load(std::memory_order_relaxed);
+  while (RangeBegin(r) < RangeEnd(r)) {
+    if (mine.range.compare_exchange_weak(
+            r, PackRange(RangeBegin(r) + 1, RangeEnd(r)),
+            std::memory_order_acq_rel, std::memory_order_relaxed)) {
+      *task = RangeBegin(r);
+      return true;
+    }
+  }
+  // Own deque drained: steal the back half of the first non-empty victim.
+  // The stolen tasks (minus the one returned) become the new own deque.
+  for (int i = 1; i < n_lanes; ++i) {
+    Lane& victim = lanes_[(lane + i) % n_lanes];
+    uint64_t vr = victim.range.load(std::memory_order_acquire);
+    while (RangeBegin(vr) < RangeEnd(vr)) {
+      uint32_t vb = RangeBegin(vr);
+      uint32_t ve = RangeEnd(vr);
+      uint32_t take = (ve - vb + 1) / 2;
+      uint32_t split = ve - take;
+      if (victim.range.compare_exchange_weak(vr, PackRange(vb, split),
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+        if (take > 1) {
+          mine.range.store(PackRange(split + 1, ve),
+                           std::memory_order_release);
+        }
+        *task = split;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void TaskPool::RunLane(int lane, int n_lanes,
+                       const std::function<void(int, size_t)>& fn) {
+  size_t task;
+  while (PopOrSteal(lane, n_lanes, &task)) {
+    fn(lane, task);
+  }
+}
+
+void TaskPool::WorkerLoop(int self) {
+  InJobScope in_job;  // workers never start nested pool jobs
+  uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [&] { return shutdown_ || epoch_ != seen_epoch; });
+    if (shutdown_) return;
+    seen_epoch = epoch_;
+    const int lane = self + 1;  // lane 0 is the submitting thread
+    if (lane >= job_lanes_) continue;
+    const int n_lanes = job_lanes_;
+    const auto* for_fn = for_fn_;
+    const auto* phase_fn = phase_fn_;
+    PhaseBarrier* barrier = barrier_;
+    lock.unlock();
+    if (for_fn != nullptr) {
+      RunLane(lane, n_lanes, *for_fn);
+    } else {
+      (*phase_fn)(lane, n_lanes, *barrier);
+    }
+    lock.lock();
+    if (--lanes_remaining_ == 0) done_cv_.notify_all();
+  }
+}
+
+void TaskPool::ParallelFor(size_t n_tasks, int max_workers,
+                           const std::function<void(int, size_t)>& fn) {
+  if (n_tasks == 0) return;
+  assert(n_tasks < UINT32_MAX);
+  const int lanes = LaneCount(n_tasks, max_workers);
+  if (lanes <= 1 || tls_in_pool_job) {
+    for (size_t t = 0; t < n_tasks; ++t) fn(0, t);
+    return;
+  }
+
+  std::lock_guard<std::mutex> jobs_lock(jobs_mu_);
+  EnsureWorkers(lanes - 1);
+  // Initial split: lane l owns the contiguous index block
+  // [l*n/L, (l+1)*n/L) — same blocks static chunking would use, so with no
+  // steals the access pattern is identical; steals only rebalance the tail.
+  const uint64_t n = n_tasks;
+  for (int l = 0; l < lanes; ++l) {
+    uint32_t b = static_cast<uint32_t>(n * l / lanes);
+    uint32_t e = static_cast<uint32_t>(n * (l + 1) / lanes);
+    lanes_[l].range.store(PackRange(b, e), std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for_fn_ = &fn;
+    phase_fn_ = nullptr;
+    barrier_ = nullptr;
+    job_lanes_ = lanes;
+    lanes_remaining_ = lanes;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  {
+    InJobScope in_job;
+    RunLane(0, lanes, fn);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (--lanes_remaining_ > 0) {
+    done_cv_.wait(lock, [&] { return lanes_remaining_ == 0; });
+  }
+  for_fn_ = nullptr;
+  job_lanes_ = 0;
+}
+
+void TaskPool::ParallelPhases(
+    int max_workers,
+    const std::function<void(int, int, PhaseBarrier&)>& fn) {
+  int lanes = max_workers < MaxWorkers() ? max_workers : MaxWorkers();
+  if (lanes < 1) lanes = 1;
+  if (lanes == 1 || tls_in_pool_job) {
+    PhaseBarrier barrier(1);
+    fn(0, 1, barrier);
+    return;
+  }
+
+  std::lock_guard<std::mutex> jobs_lock(jobs_mu_);
+  EnsureWorkers(lanes - 1);
+  PhaseBarrier barrier(lanes);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for_fn_ = nullptr;
+    phase_fn_ = &fn;
+    barrier_ = &barrier;
+    job_lanes_ = lanes;
+    lanes_remaining_ = lanes;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  {
+    InJobScope in_job;
+    fn(0, lanes, barrier);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (--lanes_remaining_ > 0) {
+    done_cv_.wait(lock, [&] { return lanes_remaining_ == 0; });
+  }
+  phase_fn_ = nullptr;
+  barrier_ = nullptr;
+  job_lanes_ = 0;
+}
+
+}  // namespace simddb

@@ -1,0 +1,201 @@
+#ifndef SIMDDB_UTIL_TASK_POOL_H_
+#define SIMDDB_UTIL_TASK_POOL_H_
+
+// Morsel-driven persistent worker pool (§8 multi-core execution substrate).
+//
+// The paper's multi-core results (Fig. 16) only need a fork-join team, but a
+// production execution engine invokes parallel operators thousands of times
+// per second; spawning std::threads per call puts ~50-100 µs of kernel work
+// on every hot path, and static contiguous chunking leaves threads idle
+// behind the slowest chunk on skewed inputs. This pool fixes both:
+//
+//   - process-lifetime workers, lazily spawned on first parallel call and
+//     reused for every subsequent operator invocation;
+//   - work is split into fixed-size *morsels* (kMorselTuples = 16384 tuples,
+//     a multiple of 16 so the buffered-shuffle streaming-flush contract of
+//     shuffle.h holds at every morsel boundary);
+//   - each participating lane owns a deque of morsel indices (represented as
+//     a packed atomic [begin,end) range); owners pop from the front (cache
+//     locality: consecutive morsels), thieves steal half from the back;
+//   - the morsel *layout* — not the lane that happens to execute a morsel —
+//     determines where output lands, so operators that interleave per-morsel
+//     histogram rows with InterleavedPrefixSum produce byte-identical output
+//     for every worker count and every steal schedule (see
+//     partition/parallel_partition.h).
+//
+// Single-threaded fast path: ParallelFor/ParallelPhases with max_workers <= 1
+// (or a single task, or a nested call from inside a worker) run inline on the
+// caller with no locking, so cfg.threads = 1 costs the same as a plain loop.
+//
+// SIMDDB_THREADS (environment) caps how many workers the pool will ever
+// spawn. Requests beyond the cap are clamped; requests beyond the hardware
+// thread count are honoured up to the cap (deliberate oversubscription — the
+// Fig. 16 reproduction sweeps 1..8 threads on any host, see DESIGN.md).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simddb {
+
+/// Scheduling granule, in tuples. A multiple of 16 (shuffle flush contract);
+/// ~16K tuples keeps per-morsel scratch L1/L2-resident while amortizing the
+/// per-morsel scheduling cost to < 0.1%.
+inline constexpr size_t kMorselTuples = 16384;
+
+/// Morsel size for passes that carry per-morsel scratch (buffered shuffle
+/// slots, histogram rows): the 16K base granule, grown so the morsel count
+/// never exceeds max_morsels and per-morsel scratch stays bounded on huge
+/// inputs. Stays a multiple of 16 and depends only on n, so layouts built
+/// on this grid remain deterministic across worker counts.
+inline constexpr size_t kMaxMorselsPerPass = 512;
+inline size_t BoundedMorselSize(size_t n, size_t max_morsels = kMaxMorselsPerPass) {
+  size_t morsel = kMorselTuples;
+  if (n > morsel * max_morsels) {
+    morsel = (n + max_morsels - 1) / max_morsels;
+    morsel = (morsel + 15) & ~size_t{15};
+  }
+  return morsel;
+}
+
+/// Reusable sense-reversing barrier for multi-phase parallel operators
+/// (histogram -> prefix sum -> shuffle, build -> probe). Safe to reuse for
+/// any number of phases by the same set of `parties` threads.
+class PhaseBarrier {
+ public:
+  explicit PhaseBarrier(int parties)
+      : parties_(parties), waiting_(0), sense_(false) {}
+
+  /// Blocks until all `parties` threads have arrived.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    bool my_sense = sense_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      sense_ = !sense_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return sense_ != my_sense; });
+    }
+  }
+
+  int parties() const { return parties_; }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int parties_;
+  int waiting_;
+  bool sense_;
+};
+
+/// Fixed decomposition of [0, n) into kMorselTuples-sized morsels. The grid
+/// depends only on n, never on the worker count, which is what makes
+/// dynamically-scheduled partition passes deterministic.
+struct MorselGrid {
+  size_t n;
+  size_t morsel;
+
+  explicit MorselGrid(size_t n_, size_t morsel_ = kMorselTuples)
+      : n(n_), morsel(morsel_ == 0 ? kMorselTuples : morsel_) {}
+
+  /// Number of morsels (>= 1 iff n > 0).
+  size_t count() const { return n == 0 ? 0 : (n + morsel - 1) / morsel; }
+  size_t begin(size_t m) const { return m * morsel; }
+  size_t end(size_t m) const {
+    size_t e = (m + 1) * morsel;
+    return e < n ? e : n;
+  }
+  size_t size(size_t m) const { return end(m) - begin(m); }
+};
+
+/// Process-lifetime, work-stealing worker pool. One instance per process
+/// (TaskPool::Get()); all parallel operators share its workers.
+class TaskPool {
+ public:
+  /// The singleton pool. First call does not spawn anything; workers are
+  /// created on demand by the first parallel call that needs them.
+  static TaskPool& Get();
+
+  /// Worker cap: SIMDDB_THREADS if set (>=1), else a generous default that
+  /// allows the oversubscription sweeps (max(hardware_concurrency, 64)).
+  static int MaxWorkers();
+
+  /// Runs fn(worker, task) exactly once for every task in [0, n_tasks).
+  /// At most max_workers lanes run concurrently (the caller is lane 0 and
+  /// always participates; worker ids are in [0, max_workers)). Tasks are
+  /// distributed over per-lane deques and rebalanced by stealing, so lanes
+  /// that finish early take over tasks of slower lanes. Blocks until every
+  /// task completed. Runs inline when max_workers <= 1, n_tasks <= 1, or
+  /// when called from inside a pool worker (no nested parallelism).
+  void ParallelFor(size_t n_tasks, int max_workers,
+                   const std::function<void(int worker, size_t task)>& fn);
+
+  /// Runs fn(lane, n_lanes, barrier) once per lane with n_lanes =
+  /// min(max_workers, MaxWorkers()) lanes running *concurrently* (the
+  /// barrier is sized to n_lanes, so every lane must call barrier.Wait()
+  /// the same number of times). Use for operators whose phases share state
+  /// produced by all lanes (e.g. build -> probe). Runs inline with
+  /// n_lanes = 1 when max_workers <= 1 or when nested inside a worker.
+  void ParallelPhases(
+      int max_workers,
+      const std::function<void(int lane, int n_lanes, PhaseBarrier& barrier)>&
+          fn);
+
+  /// Number of lanes ParallelFor(n_tasks, max_workers) will actually use
+  /// (after clamping to the task count and the worker cap). Operators use
+  /// this to size per-lane scratch before dispatching.
+  static int LaneCount(size_t n_tasks, int max_workers);
+
+  /// Number of workers currently spawned (grows on demand; test hook).
+  int SpawnedWorkers();
+
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+ private:
+  TaskPool() = default;
+
+  struct Lane {
+    /// Packed deque of task indices: high 32 bits = begin, low 32 = end.
+    /// Owner pops the front (begin++), thieves CAS half off the back.
+    alignas(64) std::atomic<uint64_t> range{0};
+  };
+
+  void EnsureWorkers(int needed);  // callers hold jobs_mu_
+  void WorkerLoop(int self);
+  void RunLane(int lane, int n_lanes, const std::function<void(int, size_t)>& fn);
+  bool PopOrSteal(int lane, int n_lanes, size_t* task);
+
+  // Serializes job submission: one parallel job at a time owns the workers.
+  std::mutex jobs_mu_;
+
+  // Job dispatch state (guarded by mu_).
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_ = 0;
+  int job_lanes_ = 0;          // lanes participating in the current job
+  int lanes_remaining_ = 0;    // participating lanes not yet finished
+  bool shutdown_ = false;
+
+  // Current job payload (set before epoch_ bump, read by participants).
+  const std::function<void(int, size_t)>* for_fn_ = nullptr;
+  const std::function<void(int, int, PhaseBarrier&)>* phase_fn_ = nullptr;
+  PhaseBarrier* barrier_ = nullptr;
+  std::unique_ptr<Lane[]> lanes_;  // MaxWorkers() entries, allocated lazily
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace simddb
+
+#endif  // SIMDDB_UTIL_TASK_POOL_H_

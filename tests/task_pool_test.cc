@@ -1,0 +1,385 @@
+// Scheduler tests: TaskPool work distribution (every task exactly once,
+// stealing under skewed morsel costs, oversubscription beyond the hardware
+// thread count), PhaseBarrier reuse across many phases, sub-morsel inputs,
+// the parallel wrappers of the single-threaded operators, and the
+// determinism guarantee — parallel radixsort and the max-partition join
+// produce byte-identical output for every thread count and run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <set>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "agg/group_by.h"
+#include "bloom/bloom_filter.h"
+#include "join/hash_join.h"
+#include "scan/selection_scan.h"
+#include "sort/radix_sort.h"
+#include "util/aligned_buffer.h"
+#include "util/data_gen.h"
+#include "util/task_pool.h"
+
+namespace simddb {
+namespace {
+
+TEST(TaskPoolTest, RunsEveryTaskExactlyOnce) {
+  constexpr size_t kTasks = 1000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  TaskPool::Get().ParallelFor(kTasks, 8, [&](int worker, size_t task) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, 8);
+    hits[task].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(hits[t].load(), 1) << "task " << t;
+  }
+}
+
+TEST(TaskPoolTest, SingleTaskAndSingleWorkerRunInlineOnCaller) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  TaskPool::Get().ParallelFor(1, 8, [&](int worker, size_t task) {
+    EXPECT_EQ(worker, 0);
+    EXPECT_EQ(task, 0u);
+    ran_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(ran_on, caller);
+  size_t count = 0;
+  TaskPool::Get().ParallelFor(64, 1, [&](int worker, size_t) {
+    EXPECT_EQ(worker, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++count;  // safe: inline fast path is sequential
+  });
+  EXPECT_EQ(count, 64u);
+}
+
+TEST(TaskPoolTest, OversubscriptionBeyondHardwareThreads) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int workers = std::min(TaskPool::MaxWorkers(), 2 * std::max(hw, 8));
+  constexpr size_t kTasks = 4096;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  TaskPool::Get().ParallelFor(kTasks, workers, [&](int, size_t task) {
+    hits[task].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t t = 0; t < kTasks; ++t) {
+    ASSERT_EQ(hits[t].load(), 1) << "task " << t;
+  }
+  EXPECT_LE(TaskPool::Get().SpawnedWorkers(), TaskPool::MaxWorkers());
+}
+
+TEST(TaskPoolTest, StealingRebalancesSkewedTaskCosts) {
+  // Lane 0's first task blocks for a long time; its remaining contiguous
+  // tasks must migrate to other lanes while it sleeps.
+  constexpr size_t kTasks = 64;
+  const int workers = 4;
+  std::vector<std::atomic<int>> ran_by(kTasks);
+  for (auto& r : ran_by) r.store(-1);
+  TaskPool::Get().ParallelFor(kTasks, workers, [&](int worker, size_t task) {
+    if (task == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    ran_by[task].store(worker, std::memory_order_relaxed);
+  });
+  for (size_t t = 0; t < kTasks; ++t) {
+    ASSERT_GE(ran_by[t].load(), 0) << "task " << t << " never ran";
+  }
+  // Lane 0 initially owns tasks [0, 16); while it sleeps in task 0, at
+  // least one of them must have been stolen by another lane.
+  int stolen = 0;
+  for (size_t t = 1; t < kTasks / workers; ++t) {
+    if (ran_by[t].load() != 0) ++stolen;
+  }
+  EXPECT_GT(stolen, 0);
+}
+
+TEST(TaskPoolTest, PhaseBarrierReusedAcrossManyPhases) {
+  constexpr int kPhases = 10;
+  const int workers = 8;
+  std::atomic<int> counter{0};
+  std::atomic<bool> ok{true};
+  TaskPool::Get().ParallelPhases(
+      workers, [&](int lane, int n_lanes, PhaseBarrier& barrier) {
+        EXPECT_EQ(barrier.parties(), n_lanes);
+        EXPECT_GE(lane, 0);
+        EXPECT_LT(lane, n_lanes);
+        for (int phase = 0; phase < kPhases; ++phase) {
+          counter.fetch_add(1, std::memory_order_relaxed);
+          barrier.Wait();
+          // After the barrier every lane of this phase has incremented.
+          if (counter.load(std::memory_order_relaxed) <
+              n_lanes * (phase + 1)) {
+            ok.store(false);
+          }
+          barrier.Wait();  // keep phases separated for the next increment
+        }
+      });
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(counter.load(), 8 * kPhases);
+}
+
+TEST(TaskPoolTest, NestedParallelForRunsInline) {
+  std::atomic<size_t> total{0};
+  TaskPool::Get().ParallelFor(8, 4, [&](int, size_t) {
+    // A nested call from inside a pool job must not deadlock; it runs
+    // inline on the worker.
+    TaskPool::Get().ParallelFor(16, 4, [&](int worker, size_t) {
+      EXPECT_EQ(worker, 0);
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 8u * 16u);
+}
+
+TEST(TaskPoolTest, BoundedMorselSizeStaysAlignedAndBounded) {
+  for (size_t n : {size_t{0}, size_t{1}, kMorselTuples - 1, kMorselTuples,
+                   kMorselTuples* kMaxMorselsPerPass,
+                   kMorselTuples* kMaxMorselsPerPass + 1, size_t{1} << 26}) {
+    const size_t morsel = BoundedMorselSize(n);
+    EXPECT_EQ(morsel % 16, 0u) << n;
+    EXPECT_GE(morsel, kMorselTuples) << n;
+    EXPECT_LE(MorselGrid(n, morsel).count(), kMaxMorselsPerPass) << n;
+  }
+}
+
+TEST(ParallelOperatorsTest, SelectionScanParallelMatchesSerial) {
+  for (size_t n : {size_t{0}, size_t{100}, kMorselTuples - 5,
+                   size_t{5} * kMorselTuples + 123}) {
+    AlignedBuffer<uint32_t> keys(n + 16), pays(n + 16);
+    FillUniform(keys.data(), n, 7, 0, 1000);
+    FillSequential(pays.data(), n, 0);
+    AlignedBuffer<uint32_t> sk(n + kSelectionScanPad),
+        sp(n + kSelectionScanPad);
+    const size_t cap = SelectionScanParallelCapacity(n);
+    AlignedBuffer<uint32_t> pk(cap), pp(cap);
+    for (ScanVariant v :
+         {ScanVariant::kScalarBranching, ScanVariant::kVectorStoreIndirect}) {
+      if (!ScanVariantSupported(v)) continue;
+      const size_t want =
+          SelectionScan(v, keys.data(), pays.data(), n, 100, 600, sk.data(),
+                        sp.data());
+      for (int threads : {1, 2, 8}) {
+        const size_t got =
+            SelectionScanParallel(v, keys.data(), pays.data(), n, 100, 600,
+                                  pk.data(), pp.data(), threads);
+        ASSERT_EQ(got, want) << ScanVariantName(v) << " t=" << threads;
+        EXPECT_EQ(std::memcmp(pk.data(), sk.data(), want * 4), 0);
+        EXPECT_EQ(std::memcmp(pp.data(), sp.data(), want * 4), 0);
+      }
+    }
+  }
+}
+
+TEST(ParallelOperatorsTest, BloomProbeParallelMatchesSerial) {
+  const size_t n = 3 * kMorselTuples + 777;
+  AlignedBuffer<uint32_t> keys(n + 16), pays(n + 16);
+  FillUniform(keys.data(), n, 11, 1, 1u << 20);
+  FillSequential(pays.data(), n, 0);
+  BloomFilter bf = BloomFilter::ForItems(10000, 10, 4);
+  AlignedBuffer<uint32_t> members(10000);
+  FillUniform(members.data(), 10000, 13, 1, 1u << 20);
+  bf.Add(members.data(), 10000);
+  AlignedBuffer<uint32_t> sk(n + 16), sp(n + 16);
+  const size_t cap = BloomFilter::ProbeParallelCapacity(n);
+  AlignedBuffer<uint32_t> pk(cap), pp(cap);
+  for (Isa isa : {Isa::kScalar, Isa::kAvx512}) {
+    if (!IsaSupported(isa)) continue;
+    const size_t want =
+        bf.Probe(isa, keys.data(), pays.data(), n, sk.data(), sp.data());
+    for (int threads : {1, 2, 8}) {
+      const size_t got = bf.ProbeParallel(isa, keys.data(), pays.data(), n,
+                                          pk.data(), pp.data(), threads);
+      ASSERT_EQ(got, want) << IsaName(isa) << " t=" << threads;
+      if (isa == Isa::kScalar) {
+        // Scalar probes preserve input order, so the parallel morsel-order
+        // compaction reproduces the serial output exactly.
+        EXPECT_EQ(std::memcmp(pk.data(), sk.data(), want * 4), 0);
+        EXPECT_EQ(std::memcmp(pp.data(), sp.data(), want * 4), 0);
+      } else {
+        // Vector probes emit out of order; compare as multisets of pairs.
+        std::multiset<std::pair<uint32_t, uint32_t>> a, b;
+        for (size_t i = 0; i < want; ++i) {
+          a.emplace(sk[i], sp[i]);
+          b.emplace(pk[i], pp[i]);
+        }
+        EXPECT_EQ(a, b);
+      }
+    }
+  }
+}
+
+TEST(ParallelOperatorsTest, GroupByAccumulateParallelMatchesSerial) {
+  const size_t n = 4 * kMorselTuples + 99;
+  const size_t n_groups = 1000;
+  AlignedBuffer<uint32_t> keys(n), vals(n);
+  FillUniform(keys.data(), n, 17, 1, static_cast<uint32_t>(n_groups));
+  FillUniform(vals.data(), n, 19, 0, 10000);
+  for (Isa isa : {Isa::kScalar, Isa::kAvx512}) {
+    if (!IsaSupported(isa)) continue;
+    GroupByAggregator serial(n_groups);
+    serial.Accumulate(isa, keys.data(), vals.data(), n);
+    std::vector<uint32_t> sg(serial.num_groups()), sc(serial.num_groups()),
+        smin(serial.num_groups()), smax(serial.num_groups());
+    std::vector<uint64_t> ss(serial.num_groups());
+    serial.Extract(Isa::kScalar, sg.data(), ss.data(), sc.data(), smin.data(),
+                   smax.data());
+    std::map<uint32_t, std::tuple<uint64_t, uint32_t, uint32_t, uint32_t>>
+        want;
+    for (size_t i = 0; i < sg.size(); ++i) {
+      want[sg[i]] = {ss[i], sc[i], smin[i], smax[i]};
+    }
+    for (int threads : {2, 8}) {
+      GroupByAggregator par(n_groups);
+      par.AccumulateParallel(isa, keys.data(), vals.data(), n, threads);
+      ASSERT_EQ(par.num_groups(), serial.num_groups())
+          << IsaName(isa) << " t=" << threads;
+      std::vector<uint32_t> pg(par.num_groups()), pc(par.num_groups()),
+          pmin(par.num_groups()), pmax(par.num_groups());
+      std::vector<uint64_t> ps(par.num_groups());
+      par.Extract(Isa::kScalar, pg.data(), ps.data(), pc.data(), pmin.data(),
+                  pmax.data());
+      for (size_t i = 0; i < pg.size(); ++i) {
+        auto it = want.find(pg[i]);
+        ASSERT_NE(it, want.end()) << "unexpected group " << pg[i];
+        EXPECT_EQ(std::get<0>(it->second), ps[i]) << "sum of " << pg[i];
+        EXPECT_EQ(std::get<1>(it->second), pc[i]) << "count of " << pg[i];
+        EXPECT_EQ(std::get<2>(it->second), pmin[i]) << "min of " << pg[i];
+        EXPECT_EQ(std::get<3>(it->second), pmax[i]) << "max of " << pg[i];
+      }
+    }
+  }
+}
+
+// Byte-identical output across thread counts and runs: the acceptance bar
+// for dynamic scheduling (layout must depend on the morsel grid only).
+TEST(DeterminismTest, RadixSortPairsByteIdenticalAcrossThreadsAndRuns) {
+  const size_t n = (size_t{1} << 18) + 345;  // 17 morsels
+  AlignedBuffer<uint32_t> base_k(n + 16), base_p(n + 16);
+  FillUniform(base_k.data(), n, 23, 0, 0xFFFFFFFFu);
+  FillSequential(base_p.data(), n, 0);
+  for (Isa isa : {Isa::kScalar, Isa::kAvx512}) {
+    if (!IsaSupported(isa)) continue;
+    std::vector<uint32_t> ref_k, ref_p;
+    for (int threads : {1, 2, 8}) {
+      for (int run = 0; run < (threads == 8 ? 3 : 1); ++run) {
+        AlignedBuffer<uint32_t> k(n + 16), p(n + 16), sk(n + 16), sp(n + 16);
+        std::memcpy(k.data(), base_k.data(), n * 4);
+        std::memcpy(p.data(), base_p.data(), n * 4);
+        RadixSortConfig cfg;
+        cfg.isa = isa;
+        cfg.threads = threads;
+        RadixSortPairs(k.data(), p.data(), sk.data(), sp.data(), n, cfg);
+        if (ref_k.empty()) {
+          ref_k.assign(k.data(), k.data() + n);
+          ref_p.assign(p.data(), p.data() + n);
+          for (size_t i = 1; i < n; ++i) ASSERT_LE(ref_k[i - 1], ref_k[i]);
+        } else {
+          ASSERT_EQ(std::memcmp(k.data(), ref_k.data(), n * 4), 0)
+              << IsaName(isa) << " t=" << threads << " run=" << run;
+          ASSERT_EQ(std::memcmp(p.data(), ref_p.data(), n * 4), 0)
+              << IsaName(isa) << " t=" << threads << " run=" << run;
+        }
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, RadixSortMultiColumnByteIdenticalAcrossThreads) {
+  const size_t n = (size_t{1} << 17) + 77;
+  AlignedBuffer<uint32_t> base_k(n + 16);
+  FillUniform(base_k.data(), n, 29, 0, 0xFFFFFFFFu);
+  std::vector<uint16_t> base_c16(n);
+  std::vector<uint64_t> base_c64(n);
+  for (size_t i = 0; i < n; ++i) {
+    base_c16[i] = static_cast<uint16_t>(i);
+    base_c64[i] = i * 1000003ull;
+  }
+  for (Isa isa : {Isa::kScalar, Isa::kAvx512}) {
+    if (!IsaSupported(isa)) continue;
+    std::vector<uint32_t> ref_k;
+    std::vector<uint16_t> ref_c16;
+    std::vector<uint64_t> ref_c64;
+    for (int threads : {1, 2, 8}) {
+      AlignedBuffer<uint32_t> k(n + 16), sk(n + 16);
+      std::memcpy(k.data(), base_k.data(), n * 4);
+      std::vector<uint16_t> c16 = base_c16, s16(n + 16);
+      std::vector<uint64_t> c64 = base_c64, s64(n + 16);
+      c16.resize(n + 16);
+      c64.resize(n + 16);
+      SortColumn cols[2] = {{c16.data(), s16.data(), 2},
+                            {c64.data(), s64.data(), 8}};
+      RadixSortConfig cfg;
+      cfg.isa = isa;
+      cfg.threads = threads;
+      RadixSortMultiColumn(k.data(), sk.data(), n, cols, 2, cfg);
+      if (ref_k.empty()) {
+        ref_k.assign(k.data(), k.data() + n);
+        ref_c16.assign(c16.begin(), c16.begin() + n);
+        ref_c64.assign(c64.begin(), c64.begin() + n);
+        for (size_t i = 1; i < n; ++i) ASSERT_LE(ref_k[i - 1], ref_k[i]);
+      } else {
+        ASSERT_EQ(std::memcmp(k.data(), ref_k.data(), n * 4), 0)
+            << IsaName(isa) << " t=" << threads;
+        ASSERT_EQ(std::memcmp(c16.data(), ref_c16.data(), n * 2), 0)
+            << IsaName(isa) << " t=" << threads;
+        ASSERT_EQ(std::memcmp(c64.data(), ref_c64.data(), n * 8), 0)
+            << IsaName(isa) << " t=" << threads;
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, MaxPartitionJoinByteIdenticalAcrossThreadsAndRuns) {
+  const size_t rn = size_t{1} << 16;
+  const size_t sn = (size_t{1} << 18) + 513;
+  AlignedBuffer<uint32_t> rk(rn + 16), rp(rn + 16), sk(sn + 16), sp(sn + 16);
+  FillUniqueShuffled(rk.data(), rn, 31, 1);
+  FillSequential(rp.data(), rn, 0);
+  FillProbeKeys(sk.data(), sn, rk.data(), rn, 0.9, 37);
+  FillSequential(sp.data(), sn, 0);
+  JoinRelation r{rk.data(), rp.data(), rn};
+  JoinRelation s{sk.data(), sp.data(), sn};
+  for (Isa isa : {Isa::kScalar, Isa::kAvx512}) {
+    if (!IsaSupported(isa)) continue;
+    std::vector<uint32_t> ref_k, ref_rp, ref_sp;
+    size_t ref_matches = 0;
+    for (int threads : {1, 2, 8}) {
+      for (int run = 0; run < (threads == 8 ? 3 : 1); ++run) {
+        AlignedBuffer<uint32_t> ok(sn + 16), orp(sn + 16), osp(sn + 16);
+        JoinConfig cfg;
+        cfg.isa = isa;
+        cfg.threads = threads;
+        const size_t matches = HashJoinMaxPartition(r, s, cfg, ok.data(),
+                                                    orp.data(), osp.data());
+        if (ref_k.empty()) {
+          ref_matches = matches;
+          ASSERT_GT(matches, 0u);
+          ref_k.assign(ok.data(), ok.data() + matches);
+          ref_rp.assign(orp.data(), orp.data() + matches);
+          ref_sp.assign(osp.data(), osp.data() + matches);
+        } else {
+          ASSERT_EQ(matches, ref_matches)
+              << IsaName(isa) << " t=" << threads << " run=" << run;
+          ASSERT_EQ(std::memcmp(ok.data(), ref_k.data(), matches * 4), 0)
+              << IsaName(isa) << " t=" << threads << " run=" << run;
+          ASSERT_EQ(std::memcmp(orp.data(), ref_rp.data(), matches * 4), 0)
+              << IsaName(isa) << " t=" << threads << " run=" << run;
+          ASSERT_EQ(std::memcmp(osp.data(), ref_sp.data(), matches * 4), 0)
+              << IsaName(isa) << " t=" << threads << " run=" << run;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simddb

@@ -7,16 +7,27 @@
 // tuples per second ("Gtps"), the unit the paper's figures use.
 //
 // Every binary uses SIMDDB_BENCH_MAIN() instead of BENCHMARK_MAIN(), which
-// adds a `--json <path>` flag: besides the normal console output, each
-// completed case appends one JSON object per line (JSONL) with the case
-// name, its label-encoded k=v fields (variant/isa/threads/...), and the
-// throughput in tuples per second, so results can be collected and diffed
-// by scripts without scraping console tables.
+// adds harness flags on top of google-benchmark's:
+//
+//   --json <path>   append (never truncate: collection scripts accumulate
+//                   rows across binaries) one JSON object per completed
+//                   case: name, label-encoded k=v fields (variant/isa/
+//                   threads/...), throughput in tuples per second, and —
+//                   when metrics are on — every obs counter/timer delta
+//                   (steals, morsels, barrier_wait_ns, *_ns phases).
+//   --metrics       obs::EnableMetrics(true) for the whole run.
+//   --trace <path>  capture phase timings and write a chrome://tracing
+//                   JSON file at exit (implies --metrics).
+//
+// SIMDDB_PERF=1 in the environment additionally samples hardware events
+// (cycles / instructions / LLC-misses) per case via perf_event_open, when
+// the kernel allows it (rows silently omit the fields otherwise).
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -26,15 +37,67 @@
 #include <vector>
 
 #include "core/isa.h"
+#include "obs/jsonl.h"
+#include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "obs/trace.h"
 #include "util/aligned_buffer.h"
 #include "util/data_gen.h"
 
 namespace simddb::bench {
 
-/// Sets the standard throughput counter (billion tuples per second).
+/// True when SIMDDB_PERF requests hardware-event sampling per case.
+inline bool PerfRequested() {
+  static const bool on = [] {
+    const char* env = std::getenv("SIMDDB_PERF");
+    return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+  }();
+  return on;
+}
+
+/// Attaches the delta of every registered obs instrument (and, under
+/// SIMDDB_PERF=1, of the hardware events) since the previous call as plain
+/// user counters, so each case's row reports its own share. No-op while
+/// metrics are disabled. Called by SetTuplesPerSecond, i.e. once per case
+/// from the harness thread after the measured loop.
+inline void ExportMetricsCounters(benchmark::State& state) {
+  if (obs::MetricsEnabled()) {
+    static auto* last = new std::map<std::string, uint64_t>();
+    for (const obs::MetricSample& s :
+         obs::MetricsRegistry::Get().Snapshot()) {
+      uint64_t& prev = (*last)[s.name];
+      const uint64_t delta = s.value - prev;
+      prev = s.value;
+      state.counters[s.name] =
+          benchmark::Counter(static_cast<double>(delta));
+    }
+  }
+  if (PerfRequested()) {
+    static obs::PerfCounters* perf = [] {
+      auto* p = new obs::PerfCounters();
+      if (p->available()) p->Start();
+      return p;
+    }();
+    if (perf->available()) {
+      static obs::PerfCounters::Reading prev{};
+      const obs::PerfCounters::Reading now = perf->Read();
+      state.counters["cycles"] =
+          benchmark::Counter(static_cast<double>(now.cycles - prev.cycles));
+      state.counters["instructions"] = benchmark::Counter(
+          static_cast<double>(now.instructions - prev.instructions));
+      state.counters["llc_misses"] = benchmark::Counter(
+          static_cast<double>(now.llc_misses - prev.llc_misses));
+      prev = now;
+    }
+  }
+}
+
+/// Sets the standard throughput counter (billion tuples per second) and
+/// exports any active observability counters for this case.
 inline void SetTuplesPerSecond(benchmark::State& state, double tuples_per_iter) {
   state.counters["Gtps"] = benchmark::Counter(
       tuples_per_iter * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+  ExportMetricsCounters(state);
 }
 
 /// A lazily-built, cached uniform (key, payload) column pair, shared across
@@ -73,9 +136,9 @@ inline bool RequireIsa(benchmark::State& state, Isa isa) {
 }
 
 /// Console reporter that additionally appends one JSON object per finished
-/// case to a JSONL stream. Label tokens of the form `key=value` become JSON
-/// fields; a bare label token becomes the "variant" field; an "isa" field is
-/// inferred from the variant/label when not explicitly encoded.
+/// case to a JSONL stream. Line assembly (label parsing, quoting, number
+/// validity) lives in obs/jsonl.h so the unit suite can verify that every
+/// emitted line is valid JSON without a google-benchmark dependency.
 class JsonLinesReporter : public benchmark::ConsoleReporter {
  public:
   explicit JsonLinesReporter(std::ostream* json_out) : json_(json_out) {}
@@ -89,129 +152,51 @@ class JsonLinesReporter : public benchmark::ConsoleReporter {
   }
 
  private:
-  static void AppendEscaped(std::string* out, const std::string& s) {
-    for (char c : s) {
-      if (c == '"' || c == '\\') {
-        out->push_back('\\');
-        out->push_back(c);
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        char buf[8];
-        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-        out->append(buf);
-      } else {
-        out->push_back(c);
-      }
-    }
-  }
-
-  static void AppendField(std::string* out, const char* key,
-                          const std::string& value, bool quote) {
-    out->append(",\"");
-    out->append(key);
-    out->append("\":");
-    if (quote) out->push_back('"');
-    AppendEscaped(out, value);
-    if (quote) out->push_back('"');
-  }
-
-  static bool LooksNumeric(const std::string& s) {
-    if (s.empty()) return false;
-    size_t i = (s[0] == '-') ? 1 : 0;
-    if (i == s.size()) return false;
-    bool dot = false;
-    for (; i < s.size(); ++i) {
-      if (s[i] == '.' && !dot) {
-        dot = true;
-      } else if (s[i] < '0' || s[i] > '9') {
-        return false;
-      }
-    }
-    return true;
-  }
-
   void WriteRun(const Run& run) {
-    const std::string name = run.benchmark_name();
-    std::string line = "{\"name\":\"";
-    AppendEscaped(&line, name);
-    line.push_back('"');
-
-    // Split the label on spaces: `key=value` tokens become fields, the
-    // first bare token becomes "variant".
-    std::string variant;
-    bool saw_threads = false;
-    std::string isa;
-    const std::string& label = run.report_label;
-    size_t pos = 0;
-    while (pos < label.size()) {
-      size_t end = label.find(' ', pos);
-      if (end == std::string::npos) end = label.size();
-      std::string tok = label.substr(pos, end - pos);
-      pos = end + 1;
-      if (tok.empty()) continue;
-      size_t eq = tok.find('=');
-      if (eq != std::string::npos && eq > 0) {
-        std::string k = tok.substr(0, eq);
-        std::string v = tok.substr(eq + 1);
-        if (k == "threads") saw_threads = true;
-        if (k == "isa") isa = v;
-        AppendField(&line, k.c_str(), v, !LooksNumeric(v));
-      } else if (variant.empty()) {
-        variant = tok;
+    obs::BenchJsonRow row;
+    row.name = run.benchmark_name();
+    row.label = run.report_label;
+    row.threads = run.threads;
+    row.real_time = run.GetAdjustedRealTime();
+    row.time_unit = benchmark::GetTimeUnitString(run.time_unit);
+    row.iterations = static_cast<long long>(run.iterations);
+    for (const auto& [name, counter] : run.counters) {
+      if (name == "Gtps") {
+        // Rate counters divide by the measured time base: CPU time of the
+        // calling thread by default, wall-clock under UseRealTime(). For
+        // multithreaded operators the CPU base inflates throughput
+        // (workers' time isn't counted), so always report the wall-clock
+        // rate.
+        double rate = counter.value * 1e9;
+        if (run.run_name.time_type.find("real_time") == std::string::npos &&
+            run.real_accumulated_time > 0) {
+          rate *= run.cpu_accumulated_time / run.real_accumulated_time;
+        }
+        row.has_tuples_per_s = true;
+        row.tuples_per_s = rate;
+      } else {
+        // Observability counters / perf events from ExportMetricsCounters.
+        row.metrics.emplace_back(name, counter.value);
       }
     }
-    if (!variant.empty()) AppendField(&line, "variant", variant, true);
-    if (isa.empty()) {
-      // Heuristic for binaries that encode the ISA inside the variant name.
-      const std::string hay = variant.empty() ? label : variant;
-      if (hay.find("avx512") != std::string::npos ||
-          hay.find("vector") != std::string::npos) {
-        isa = "avx512";
-      } else if (hay.find("avx2") != std::string::npos) {
-        isa = "avx2";
-      } else if (hay.find("scalar") != std::string::npos) {
-        isa = "scalar";
-      }
-    }
-    if (!isa.empty()) AppendField(&line, "isa", isa, true);
-    if (!saw_threads) {
-      AppendField(&line, "threads", std::to_string(run.threads), false);
-    }
-
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", run.GetAdjustedRealTime());
-    AppendField(&line, "real_time", buf, false);
-    AppendField(&line, "time_unit",
-                benchmark::GetTimeUnitString(run.time_unit), true);
-    std::snprintf(buf, sizeof(buf), "%lld",
-                  static_cast<long long>(run.iterations));
-    AppendField(&line, "iterations", buf, false);
-    auto gtps = run.counters.find("Gtps");
-    if (gtps != run.counters.end()) {
-      // Rate counters divide by the measured time base: CPU time of the
-      // calling thread by default, wall-clock under UseRealTime(). For
-      // multithreaded operators the CPU base inflates throughput (workers'
-      // time isn't counted), so always report the wall-clock rate.
-      double rate = gtps->second.value * 1e9;
-      if (run.run_name.time_type.find("real_time") == std::string::npos &&
-          run.real_accumulated_time > 0) {
-        rate *= run.cpu_accumulated_time / run.real_accumulated_time;
-      }
-      std::snprintf(buf, sizeof(buf), "%.17g", rate);
-      AppendField(&line, "tuples_per_s", buf, false);
-    }
-    line.append("}\n");
-    *json_ << line;
+    *json_ << obs::BuildBenchJsonLine(row);
     json_->flush();
   }
 
   std::ostream* json_;
 };
 
-/// main() body behind SIMDDB_BENCH_MAIN(): strips `--json <path>` (or
-/// `--json=<path>`) from argv, hands the rest to google-benchmark, and runs
-/// with the JSONL-teeing console reporter when a path was given.
+/// main() body behind SIMDDB_BENCH_MAIN(): strips the harness flags
+/// (`--json <path>`, `--metrics`, `--trace <path>`; `=`-forms accepted)
+/// from argv and hands the rest to google-benchmark. Runs with the
+/// JSONL-teeing console reporter when a --json path was given; the JSONL
+/// file is opened in append mode so collection scripts can accumulate rows
+/// from several binaries into one file (the old truncating open silently
+/// discarded every binary's rows but the last).
 inline int BenchMain(int argc, char** argv) {
   std::string json_path;
+  std::string trace_path;
+  bool metrics_flag = false;
   std::vector<char*> args;
   args.reserve(argc + 1);
   for (int i = 0; i < argc; ++i) {
@@ -219,6 +204,12 @@ inline int BenchMain(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_flag = true;
     } else {
       args.push_back(argv[i]);
     }
@@ -227,16 +218,28 @@ inline int BenchMain(int argc, char** argv) {
   int n_args = static_cast<int>(args.size()) - 1;
   benchmark::Initialize(&n_args, args.data());
   if (benchmark::ReportUnrecognizedArguments(n_args, args.data())) return 1;
+  if (metrics_flag) obs::EnableMetrics(true);
+  if (!trace_path.empty()) obs::StartTrace();  // also enables metrics
   if (json_path.empty()) {
     benchmark::RunSpecifiedBenchmarks();
   } else {
-    std::ofstream out(json_path);
+    std::ofstream out(json_path, std::ios::app);
     if (!out) {
       std::fprintf(stderr, "cannot open --json file %s\n", json_path.c_str());
       return 1;
     }
     JsonLinesReporter reporter(&out);
     benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  if (!trace_path.empty()) {
+    obs::StopTrace();
+    std::ofstream tf(trace_path);
+    if (!tf) {
+      std::fprintf(stderr, "cannot open --trace file %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    obs::WriteChromeTrace(tf);
   }
   benchmark::Shutdown();
   return 0;

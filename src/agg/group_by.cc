@@ -1,15 +1,22 @@
 #include "agg/group_by.h"
 
-#include <cassert>
 #include <cstring>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "hash/hash_table.h"
+#include "obs/metrics.h"
 #include "util/bits.h"
 #include "util/task_pool.h"
 
 namespace simddb {
+namespace {
+
+obs::PhaseTimer g_agg_partial_ns("agg_partial_ns");  // parallel partial folds
+obs::PhaseTimer g_agg_merge_ns("agg_merge_ns");      // serial partial merge
+
+}  // namespace
 
 GroupByAggregator::GroupByAggregator(size_t max_groups, uint64_t seed)
     : n_buckets_(NextPowerOfTwo(max_groups * 2 + 32)),
@@ -33,23 +40,61 @@ void GroupByAggregator::Clear() {
   n_groups_ = 0;
 }
 
-void GroupByAggregator::FoldScalar(uint32_t key, uint32_t val) {
-  uint32_t nb = static_cast<uint32_t>(n_buckets_);
-  uint32_t h = MultHash32(key, factor_, nb);
+uint32_t GroupByAggregator::FindOrClaim(uint32_t key) {
   for (;;) {
-    if (gkeys_[h] == key) break;
-    if (gkeys_[h] == kEmptyKey) {
-      // The table must keep headroom or probing would stop terminating;
-      // callers size the aggregator by the expected group cardinality.
-      assert(n_groups_ + 1 < n_buckets_);
-      gkeys_[h] = key;
-      mins_[h] = 0xFFFFFFFFu;
-      maxs_[h] = 0;
-      ++n_groups_;
-      break;
+    const uint32_t nb = static_cast<uint32_t>(n_buckets_);
+    uint32_t h = MultHash32(key, factor_, nb);
+    for (;;) {
+      if (gkeys_[h] == key) return h;
+      if (gkeys_[h] == kEmptyKey) {
+        if (n_groups_ >= grow_limit()) break;  // double first, then claim
+        gkeys_[h] = key;
+        mins_[h] = 0xFFFFFFFFu;
+        maxs_[h] = 0;
+        ++n_groups_;
+        return h;
+      }
+      if (++h == nb) h = 0;
     }
-    if (++h == nb) h = 0;
+    Grow();
   }
+}
+
+void GroupByAggregator::Grow() {
+  AlignedBuffer<uint32_t> old_keys = std::move(gkeys_);
+  AlignedBuffer<uint64_t> old_sums = std::move(sums_);
+  AlignedBuffer<uint32_t> old_counts = std::move(counts_);
+  AlignedBuffer<uint32_t> old_mins = std::move(mins_);
+  AlignedBuffer<uint32_t> old_maxs = std::move(maxs_);
+  const size_t old_nb = n_buckets_;
+  n_buckets_ *= 2;
+  gkeys_.Reset(n_buckets_);
+  sums_.Reset(n_buckets_);
+  counts_.Reset(n_buckets_);
+  mins_.Reset(n_buckets_);
+  maxs_.Reset(n_buckets_);
+  std::memset(gkeys_.data(), 0xFF, n_buckets_ * sizeof(uint32_t));
+  sums_.Clear();
+  counts_.Clear();
+  mins_.Clear();
+  maxs_.Clear();
+  const uint32_t nb = static_cast<uint32_t>(n_buckets_);
+  for (size_t i = 0; i < old_nb; ++i) {
+    if (old_keys[i] == kEmptyKey) continue;
+    uint32_t h = MultHash32(old_keys[i], factor_, nb);
+    while (gkeys_[h] != kEmptyKey) {
+      if (++h == nb) h = 0;
+    }
+    gkeys_[h] = old_keys[i];
+    sums_[h] = old_sums[i];
+    counts_[h] = old_counts[i];
+    mins_[h] = old_mins[i];
+    maxs_[h] = old_maxs[i];
+  }
+}
+
+void GroupByAggregator::FoldScalar(uint32_t key, uint32_t val) {
+  const uint32_t h = FindOrClaim(key);
   sums_[h] += val;
   counts_[h] += 1;
   if (val < mins_[h]) mins_[h] = val;
@@ -63,20 +108,7 @@ void GroupByAggregator::AccumulateScalar(const uint32_t* keys,
 
 void GroupByAggregator::FoldMerge(uint32_t key, uint64_t sum, uint32_t count,
                                   uint32_t min, uint32_t max) {
-  uint32_t nb = static_cast<uint32_t>(n_buckets_);
-  uint32_t h = MultHash32(key, factor_, nb);
-  for (;;) {
-    if (gkeys_[h] == key) break;
-    if (gkeys_[h] == kEmptyKey) {
-      assert(n_groups_ + 1 < n_buckets_);
-      gkeys_[h] = key;
-      mins_[h] = 0xFFFFFFFFu;
-      maxs_[h] = 0;
-      ++n_groups_;
-      break;
-    }
-    if (++h == nb) h = 0;
-  }
+  const uint32_t h = FindOrClaim(key);
   sums_[h] += sum;
   counts_[h] += count;
   if (min < mins_[h]) mins_[h] = min;
@@ -97,10 +129,14 @@ void GroupByAggregator::AccumulateParallel(Isa isa, const uint32_t* keys,
   for (int l = 0; l < lanes; ++l) {
     partials[l] = std::make_unique<GroupByAggregator>(max_groups_, seed_);
   }
-  TaskPool::Get().ParallelFor(m_count, threads, [&](int worker, size_t m) {
-    const size_t b = grid.begin(m);
-    partials[worker]->Accumulate(isa, keys + b, vals + b, grid.size(m));
-  });
+  {
+    obs::ScopedPhase phase(g_agg_partial_ns);
+    TaskPool::Get().ParallelFor(m_count, threads, [&](int worker, size_t m) {
+      const size_t b = grid.begin(m);
+      partials[worker]->Accumulate(isa, keys + b, vals + b, grid.size(m));
+    });
+  }
+  obs::ScopedPhase phase(g_agg_merge_ns);
   for (int l = 0; l < lanes; ++l) {
     const GroupByAggregator& p = *partials[l];
     for (size_t h = 0; h < p.n_buckets_; ++h) {

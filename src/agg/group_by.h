@@ -27,7 +27,11 @@ namespace simddb {
 class GroupByAggregator {
  public:
   /// Aggregates for up to max_groups distinct keys (table sized 2x, power
-  /// of two). Keys must differ from kEmptyKey (0xFFFFFFFF).
+  /// of two). Keys must differ from kEmptyKey (0xFFFFFFFF). max_groups is
+  /// a sizing hint, not a hard limit: if more distinct keys arrive, the
+  /// table grows (doubling + rehash) in every build mode — the previous
+  /// assert-only headroom check made a release build probe forever once
+  /// the table filled up.
   explicit GroupByAggregator(size_t max_groups, uint64_t seed = 42);
 
   /// Drops all groups.
@@ -73,6 +77,18 @@ class GroupByAggregator {
   void FoldScalar(uint32_t key, uint32_t val);
   void FoldMerge(uint32_t key, uint64_t sum, uint32_t count, uint32_t min,
                  uint32_t max);
+
+  /// Returns key's bucket, claiming (and initializing min/max sentinels
+  /// for) a fresh one when absent; doubles the table first whenever a new
+  /// claim would exceed the 50% load limit, so probe chains always hit an
+  /// empty bucket and terminate regardless of build mode.
+  uint32_t FindOrClaim(uint32_t key);
+  void Grow();
+
+  /// New groups are only claimed while n_groups_ < grow_limit_; the AVX-512
+  /// accumulate drains to the (growable) scalar path when a vector of 16
+  /// potential claims could cross it.
+  size_t grow_limit() const { return n_buckets_ / 2; }
 
   AlignedBuffer<uint32_t> gkeys_;
   AlignedBuffer<uint64_t> sums_;

@@ -60,6 +60,12 @@ void GroupByAggregator::AccumulateAvx512(const uint32_t* keys,
   __mmask16 need = 0xFFFF;
   size_t i = 0;
   while (i + 16 <= n) {
+    // One iteration can claim up to 16 fresh buckets. Once that could cross
+    // the 50% load limit, hand everything (in-flight lanes + remaining
+    // input) to the scalar drain below, which grows the table as needed —
+    // the vector loop caches n_buckets_/factor_ in registers and must never
+    // run across a rehash.
+    if (n_groups_ + 16 > grow_limit()) break;
     key = v::SelectiveLoad(key, need, keys + i);
     val = v::SelectiveLoad(val, need, vals + i);
     i += __builtin_popcount(need);

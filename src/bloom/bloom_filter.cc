@@ -5,10 +5,17 @@
 #include <vector>
 
 #include "hash/hash_table.h"
+#include "obs/metrics.h"
 #include "util/bits.h"
 #include "util/task_pool.h"
 
 namespace simddb {
+namespace {
+
+obs::PhaseTimer g_bloom_probe_ns("bloom_probe_parallel_ns");
+obs::PhaseTimer g_bloom_compact_ns("bloom_compact_ns");
+
+}  // namespace
 
 BloomFilter::BloomFilter(size_t n_bits, int k, uint64_t seed)
     : n_bits_(NextPowerOfTwo(n_bits < 512 ? 512 : n_bits)), k_(k) {
@@ -88,12 +95,16 @@ size_t BloomFilter::ProbeParallel(Isa isa, const uint32_t* keys,
   // Staging slots with 16*m slack + sequential in-order compaction; same
   // scheme (and same overlap argument) as SelectionScanParallel.
   std::vector<size_t> cnt(m_count);
-  TaskPool::Get().ParallelFor(m_count, threads, [&](int, size_t m) {
-    const size_t b = grid.begin(m);
-    const size_t ob = b + 16 * m;
-    cnt[m] = Probe(isa, keys + b, pays + b, grid.size(m), out_keys + ob,
-                   out_pays + ob);
-  });
+  {
+    obs::ScopedPhase phase(g_bloom_probe_ns);
+    TaskPool::Get().ParallelFor(m_count, threads, [&](int, size_t m) {
+      const size_t b = grid.begin(m);
+      const size_t ob = b + 16 * m;
+      cnt[m] = Probe(isa, keys + b, pays + b, grid.size(m), out_keys + ob,
+                     out_pays + ob);
+    });
+  }
+  obs::ScopedPhase phase(g_bloom_compact_ns);
   size_t cursor = 0;
   for (size_t m = 0; m < m_count; ++m) {
     const size_t src = grid.begin(m) + 16 * m;

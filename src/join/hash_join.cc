@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "hash/hash_table.h"
+#include "obs/metrics.h"
 #include "partition/parallel_partition.h"
 #include "partition/partition_fn.h"
 #include "util/aligned_buffer.h"
@@ -73,6 +74,16 @@ using detail::BuildFlatAvx512;
 using detail::BuildFlatScalar;
 using detail::ProbeTableBankAvx512;
 using detail::ProbeTableBankScalar;
+
+// Join phase timers fed from the same Timer measurements as JoinTimings,
+// so JSONL rows and the paper-figure CSVs agree on the split.
+obs::PhaseTimer g_join_partition_ns("join_partition_ns");
+obs::PhaseTimer g_join_build_ns("join_build_ns");
+obs::PhaseTimer g_join_probe_ns("join_probe_ns");
+
+uint64_t SecondsToNs(double s) {
+  return s <= 0 ? 0 : static_cast<uint64_t>(s * 1e9);
+}
 
 // Compacts per-thread (or per-part) output segments written at seg_begin[i]
 // with seg_count[i] tuples into a contiguous prefix. Returns the total.
@@ -172,9 +183,12 @@ size_t HashJoinNoPartition(const JoinRelation& r, const JoinRelation& s,
                                        out_spays + b, out_rpays + b);
         }
       });
+  const double probe_s = timer.Seconds() - build_s;
+  g_join_build_ns.Record(SecondsToNs(build_s));
+  g_join_probe_ns.Record(SecondsToNs(probe_s));
   if (timings != nullptr) {
     timings->build_s = build_s;
-    timings->probe_s = timer.Seconds() - build_s;
+    timings->probe_s = probe_s;
   }
   size_t total = CompactSegments(s_morsels, seg_begin.data(),
                                  seg_count.data(), out_keys, out_rpays,
@@ -200,7 +214,9 @@ size_t HashJoinMinPartition(const JoinRelation& r, const JoinRelation& s,
   ParallelPartitionPass(part_fn, r.keys, r.pays, r.n, rp_keys.data(),
                         rp_pays.data(), cfg.isa, t_count, &res,
                         r_starts.data());
-  if (timings != nullptr) timings->partition_s = timer.Seconds();
+  const double partition_s = timer.Seconds();
+  g_join_partition_ns.Record(SecondsToNs(partition_s));
+  if (timings != nullptr) timings->partition_s = partition_s;
 
   // Phase 2: per-part table builds, laid out in one flat bank so the
   // vectorized probe can address any part's buckets.
@@ -230,7 +246,9 @@ size_t HashJoinMinPartition(const JoinRelation& r, const JoinRelation& s,
                       rp_pays.data() + b, n_part);
     }
   });
-  if (timings != nullptr) timings->build_s = timer.Seconds();
+  const double build_s = timer.Seconds();
+  g_join_build_ns.Record(SecondsToNs(build_s));
+  if (timings != nullptr) timings->build_s = build_s;
 
   // Phase 3: probe across the bank (part chosen per key by the hash),
   // morsel-wise with work stealing; per-morsel output segments keep the
@@ -251,7 +269,9 @@ size_t HashJoinMinPartition(const JoinRelation& r, const JoinRelation& s,
   size_t total = CompactSegments(s_morsels, seg_begin.data(),
                                  seg_count.data(), out_keys, out_rpays,
                                  out_spays);
-  if (timings != nullptr) timings->probe_s = timer.Seconds();
+  const double probe_s = timer.Seconds();
+  g_join_probe_ns.Record(SecondsToNs(probe_s));
+  if (timings != nullptr) timings->probe_s = probe_s;
   return total;
 }
 
@@ -389,7 +409,9 @@ size_t HashJoinMaxPartition(const JoinRelation& r, const JoinRelation& s,
     sk = s_keys_a.data();
     sp = s_pays_a.data();
   }
-  if (timings != nullptr) timings->partition_s = timer.Seconds();
+  const double partition_s = timer.Seconds();
+  g_join_partition_ns.Record(SecondsToNs(partition_s));
+  if (timings != nullptr) timings->partition_s = partition_s;
 
   // Per-part cache-resident build + probe, parts distributed across threads.
   timer.Reset();
@@ -439,13 +461,15 @@ size_t HashJoinMaxPartition(const JoinRelation& r, const JoinRelation& s,
   });
   size_t total = CompactSegments(p_total, seg_begin.data(), seg_count.data(),
                                  out_keys, out_rpays, out_spays);
+  // The paper reports build and probe separately; per-part interleaving
+  // makes an exact split impossible, so attribute the whole phase to
+  // build+probe proportionally by |R| vs |S|.
+  const double phase = timer.Seconds();
+  const double frac =
+      r.n + s.n == 0 ? 0.5 : static_cast<double>(r.n) / (r.n + s.n);
+  g_join_build_ns.Record(SecondsToNs(phase * frac));
+  g_join_probe_ns.Record(SecondsToNs(phase * (1 - frac)));
   if (timings != nullptr) {
-    // The paper reports build and probe separately; per-part interleaving
-    // makes an exact split impossible, so attribute the whole phase to
-    // build+probe proportionally by |R| vs |S|.
-    double phase = timer.Seconds();
-    double frac =
-        r.n + s.n == 0 ? 0.5 : static_cast<double>(r.n) / (r.n + s.n);
     timings->build_s = phase * frac;
     timings->probe_s = phase * (1 - frac);
   }

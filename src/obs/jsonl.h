@@ -1,0 +1,182 @@
+#ifndef SIMDDB_OBS_JSONL_H_
+#define SIMDDB_OBS_JSONL_H_
+
+// Strict JSON-line assembly, shared by the bench harness's JSONL reporter
+// (bench/bench_common.h) and the chrome-trace writer (obs/trace.cc), and
+// unit-testable without a google-benchmark dependency (tests/obs_test.cc
+// re-parses every emitted line with a strict JSON grammar).
+//
+// The helpers exist because the first JSONL reporter emitted invalid JSON
+// in two ways: label values like "1." passed its numeric sniff and were
+// written unquoted (JSON numbers require a digit after the '.'), and
+// %.17g-formatted degenerate rates printed bare nan/inf. Here a value is
+// only ever written unquoted if it matches the actual JSON number grammar,
+// and non-finite doubles are written as null.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace simddb::obs {
+
+/// Appends s with JSON string escaping (quotes, backslash, control chars).
+inline void JsonAppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+/// True iff s is a valid JSON number token (RFC 8259 grammar):
+/// -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)? — notably rejects "1."
+/// (trailing dot), ".5", "01", "-", "nan" and "inf".
+inline bool JsonIsNumberToken(std::string_view s) {
+  size_t i = 0;
+  const size_t n = s.size();
+  auto digit = [&](size_t k) { return k < n && s[k] >= '0' && s[k] <= '9'; };
+  if (i < n && s[i] == '-') ++i;
+  if (!digit(i)) return false;
+  if (s[i] == '0') {
+    ++i;
+  } else {
+    while (digit(i)) ++i;
+  }
+  if (i < n && s[i] == '.') {
+    ++i;
+    if (!digit(i)) return false;  // "1." is not a JSON number
+    while (digit(i)) ++i;
+  }
+  if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < n && (s[i] == '+' || s[i] == '-')) ++i;
+    if (!digit(i)) return false;
+    while (digit(i)) ++i;
+  }
+  return i == n;
+}
+
+/// Appends a double as a JSON value: %.17g when finite (round-trippable),
+/// null for nan/inf so the line stays parseable.
+inline void JsonAppendNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    out->append("null");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+/// Appends ,"key":value — quoted unless the value is a JSON number token.
+inline void JsonAppendField(std::string* out, std::string_view key,
+                            std::string_view value) {
+  out->append(",\"");
+  JsonAppendEscaped(out, key);
+  out->append("\":");
+  const bool quote = !JsonIsNumberToken(value);
+  if (quote) out->push_back('"');
+  JsonAppendEscaped(out, value);
+  if (quote) out->push_back('"');
+}
+
+/// Appends ,"key":<number or null>.
+inline void JsonAppendNumberField(std::string* out, std::string_view key,
+                                  double value) {
+  out->append(",\"");
+  JsonAppendEscaped(out, key);
+  out->append("\":");
+  JsonAppendNumber(out, value);
+}
+
+/// One benchmark case, decoupled from google-benchmark's Run type so line
+/// assembly is testable in the unit suite.
+struct BenchJsonRow {
+  std::string name;
+  std::string label;  // space-separated `key=value` and bare tokens
+  int threads = 1;
+  double real_time = 0;
+  std::string time_unit;
+  long long iterations = 0;
+  bool has_tuples_per_s = false;
+  double tuples_per_s = 0;
+  /// Extra numeric fields (metrics counters, perf events), appended as-is.
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Builds one JSONL object (newline-terminated) for a finished case. Label
+/// tokens `key=value` become fields; the first bare token becomes
+/// "variant"; an "isa" field is inferred from the variant/label when not
+/// explicitly encoded; "threads" falls back to the harness thread count.
+inline std::string BuildBenchJsonLine(const BenchJsonRow& row) {
+  std::string line = "{\"name\":\"";
+  JsonAppendEscaped(&line, row.name);
+  line.push_back('"');
+
+  std::string variant;
+  std::string isa;
+  bool saw_threads = false;
+  const std::string& label = row.label;
+  size_t pos = 0;
+  while (pos < label.size()) {
+    size_t end = label.find(' ', pos);
+    if (end == std::string::npos) end = label.size();
+    std::string tok = label.substr(pos, end - pos);
+    pos = end + 1;
+    if (tok.empty()) continue;
+    size_t eq = tok.find('=');
+    if (eq != std::string::npos && eq > 0) {
+      std::string k = tok.substr(0, eq);
+      std::string v = tok.substr(eq + 1);
+      if (k == "threads") saw_threads = true;
+      if (k == "isa") isa = v;
+      JsonAppendField(&line, k, v);
+    } else if (variant.empty()) {
+      variant = tok;
+    }
+  }
+  if (!variant.empty()) JsonAppendField(&line, "variant", variant);
+  if (isa.empty()) {
+    // Heuristic for binaries that encode the ISA inside the variant name.
+    const std::string& hay = variant.empty() ? label : variant;
+    if (hay.find("avx512") != std::string::npos ||
+        hay.find("vector") != std::string::npos) {
+      isa = "avx512";
+    } else if (hay.find("avx2") != std::string::npos) {
+      isa = "avx2";
+    } else if (hay.find("scalar") != std::string::npos) {
+      isa = "scalar";
+    }
+  }
+  if (!isa.empty()) JsonAppendField(&line, "isa", isa);
+  if (!saw_threads) {
+    JsonAppendField(&line, "threads", std::to_string(row.threads));
+  }
+
+  JsonAppendNumberField(&line, "real_time", row.real_time);
+  JsonAppendField(&line, "time_unit", row.time_unit);
+  JsonAppendField(&line, "iterations", std::to_string(row.iterations));
+  if (row.has_tuples_per_s) {
+    JsonAppendNumberField(&line, "tuples_per_s", row.tuples_per_s);
+  }
+  for (const auto& [key, value] : row.metrics) {
+    JsonAppendNumberField(&line, key, value);
+  }
+  line.append("}\n");
+  return line;
+}
+
+}  // namespace simddb::obs
+
+#endif  // SIMDDB_OBS_JSONL_H_

@@ -1,0 +1,97 @@
+#include "obs/metrics.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/trace.h"
+
+namespace simddb::obs {
+namespace detail {
+
+namespace {
+bool EnvEnablesMetrics() {
+  const char* env = std::getenv("SIMDDB_METRICS");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+         std::strcmp(env, "true") == 0 || std::strcmp(env, "ON") == 0;
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{EnvEnablesMetrics()};
+
+uint32_t ThisThreadShard() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t shard =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+
+}  // namespace detail
+
+void EnableMetrics(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Counter::Counter(const char* name) : name_(name) {
+  MetricsRegistry::Get().Register(this);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t sum = 0;
+  for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Counter::Reset() {
+  for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+PhaseTimer::PhaseTimer(const char* name) : name_(name) {
+  MetricsRegistry::Get().Register(this);
+}
+
+void PhaseTimer::Reset() {
+  total_ns_.store(0, std::memory_order_relaxed);
+  calls_.store(0, std::memory_order_relaxed);
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (!active_) return;
+  const uint64_t dur = NowNs() - start_ns_;
+  timer_.RecordAlways(dur);
+  EmitTraceEvent(timer_.name(), start_ns_, dur);
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void MetricsRegistry::Register(Counter* c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.push_back(c);
+}
+
+void MetricsRegistry::Register(PhaseTimer* t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timers_.push_back(t);
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + timers_.size());
+  for (const Counter* c : counters_) out.push_back({c->name(), c->Value()});
+  for (const PhaseTimer* t : timers_) {
+    out.push_back({t->name(), t->TotalNs()});
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Counter* c : counters_) c->Reset();
+  for (PhaseTimer* t : timers_) t->Reset();
+}
+
+}  // namespace simddb::obs

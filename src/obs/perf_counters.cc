@@ -1,0 +1,99 @@
+#include "obs/perf_counters.h"
+
+#ifdef __linux__
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <initializer_list>
+
+namespace simddb::obs {
+namespace {
+
+int OpenEvent(uint32_t type, uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // Count threads created after the open too (the pool's lazy workers).
+  // inherit forbids PERF_FORMAT_GROUP reads, which is why each event is a
+  // separate fd instead of one group.
+  attr.inherit = 1;
+  long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                    /*group_fd=*/-1, /*flags=*/0);
+  return static_cast<int>(fd);  // -1 on EPERM/ENOSYS/EINVAL: fall back
+}
+
+uint64_t ReadValue(int fd) {
+  if (fd < 0) return 0;
+  uint64_t v = 0;
+  if (read(fd, &v, sizeof(v)) != static_cast<ssize_t>(sizeof(v))) return 0;
+  return v;
+}
+
+void Ioctl(int fd, unsigned long req) {
+  if (fd >= 0) ioctl(fd, req, 0);
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  fd_cycles_ = OpenEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  fd_instructions_ =
+      OpenEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  fd_llc_misses_ =
+      OpenEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+}
+
+PerfCounters::~PerfCounters() {
+  if (fd_cycles_ >= 0) close(fd_cycles_);
+  if (fd_instructions_ >= 0) close(fd_instructions_);
+  if (fd_llc_misses_ >= 0) close(fd_llc_misses_);
+}
+
+void PerfCounters::Start() {
+  for (int fd : {fd_cycles_, fd_instructions_, fd_llc_misses_}) {
+    Ioctl(fd, PERF_EVENT_IOC_RESET);
+    Ioctl(fd, PERF_EVENT_IOC_ENABLE);
+  }
+}
+
+PerfCounters::Reading PerfCounters::Read() const {
+  Reading r;
+  r.cycles = ReadValue(fd_cycles_);
+  r.instructions = ReadValue(fd_instructions_);
+  r.llc_misses = ReadValue(fd_llc_misses_);
+  r.valid = available();
+  return r;
+}
+
+PerfCounters::Reading PerfCounters::Stop() {
+  for (int fd : {fd_cycles_, fd_instructions_, fd_llc_misses_}) {
+    Ioctl(fd, PERF_EVENT_IOC_DISABLE);
+  }
+  return Read();
+}
+
+}  // namespace simddb::obs
+
+#else  // !__linux__
+
+namespace simddb::obs {
+
+// Stub: the syscall does not exist; every reading is invalid.
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::Start() {}
+PerfCounters::Reading PerfCounters::Read() const { return Reading{}; }
+PerfCounters::Reading PerfCounters::Stop() { return Reading{}; }
+
+}  // namespace simddb::obs
+
+#endif  // __linux__

@@ -1,0 +1,60 @@
+#ifndef SIMDDB_OBS_PERF_COUNTERS_H_
+#define SIMDDB_OBS_PERF_COUNTERS_H_
+
+// Hardware-event sampling per measured region via perf_event_open(2).
+//
+// The paper's §10 arguments are hardware-event arguments (gathers/scatters
+// bound by L1 ports, conflict rates); cycles / instructions / LLC-misses
+// per region is what makes a SIMD speedup claim defensible (cf. Hofmann et
+// al., PAPERS.md). The wrapper degrades gracefully everywhere the syscall
+// is unavailable: non-Linux builds, seccomp-filtered containers, and
+// perf_event_paranoid lockdowns all yield available() == false and
+// Reading{valid=false} — callers never branch on platform, only on the
+// reading's validity. Each event is opened as its own fd with inherit=1,
+// so worker threads spawned after Start() (the lazily-spawned TaskPool
+// lanes) are included in the counts.
+
+#include <cstdint>
+
+namespace simddb::obs {
+
+class PerfCounters {
+ public:
+  struct Reading {
+    bool valid = false;  // at least one event was actually counted
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t llc_misses = 0;
+  };
+
+  /// Tries to open the three events for the calling thread (+ inherited
+  /// children). Failure is recorded, not thrown.
+  PerfCounters();
+  ~PerfCounters();
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True if at least one event opened successfully.
+  bool available() const {
+    return fd_cycles_ >= 0 || fd_instructions_ >= 0 || fd_llc_misses_ >= 0;
+  }
+
+  /// Resets and enables all opened events.
+  void Start();
+
+  /// Reads current values without stopping. Unopened events stay 0.
+  Reading Read() const;
+
+  /// Disables counting and returns the final values.
+  Reading Stop();
+
+ private:
+  int fd_cycles_ = -1;
+  int fd_instructions_ = -1;
+  int fd_llc_misses_ = -1;
+};
+
+}  // namespace simddb::obs
+
+#endif  // SIMDDB_OBS_PERF_COUNTERS_H_

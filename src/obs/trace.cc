@@ -1,0 +1,87 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "obs/jsonl.h"
+#include "obs/metrics.h"
+
+namespace simddb::obs {
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  uint64_t start_ns;
+  uint64_t dur_ns;
+  uint32_t tid;
+};
+
+std::atomic<bool> g_tracing{false};
+std::atomic<uint64_t> g_dropped{0};
+std::mutex g_mu;
+std::vector<TraceEvent>& Buffer() {
+  static std::vector<TraceEvent>* buf = new std::vector<TraceEvent>();
+  return *buf;
+}
+
+}  // namespace
+
+bool TraceEnabled() { return g_tracing.load(std::memory_order_relaxed); }
+
+void StartTrace() {
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    Buffer().clear();
+    Buffer().reserve(4096);
+  }
+  g_dropped.store(0, std::memory_order_relaxed);
+  EnableMetrics(true);
+  g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void StopTrace() { g_tracing.store(false, std::memory_order_relaxed); }
+
+void EmitTraceEvent(const char* name, uint64_t start_ns, uint64_t dur_ns) {
+  if (!TraceEnabled()) return;
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::vector<TraceEvent>& buf = Buffer();
+  if (buf.size() >= kMaxTraceEvents) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.push_back({name, start_ns, dur_ns, detail::ThisThreadShard()});
+}
+
+uint64_t TraceDroppedEvents() {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+void WriteChromeTrace(std::ostream& os) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  const std::vector<TraceEvent>& buf = Buffer();
+  uint64_t base_ns = buf.empty() ? 0 : buf.front().start_ns;
+  for (const TraceEvent& e : buf) {
+    if (e.start_ns < base_ns) base_ns = e.start_ns;
+  }
+  os << "{\"traceEvents\":[";
+  std::string line;
+  for (size_t i = 0; i < buf.size(); ++i) {
+    const TraceEvent& e = buf[i];
+    line.clear();
+    if (i > 0) line.append(",\n");
+    line.append("{\"name\":\"");
+    JsonAppendEscaped(&line, e.name);
+    line.append("\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+    line.append(std::to_string(e.tid));
+    line.append(",\"ts\":");
+    JsonAppendNumber(&line, static_cast<double>(e.start_ns - base_ns) * 1e-3);
+    line.append(",\"dur\":");
+    JsonAppendNumber(&line, static_cast<double>(e.dur_ns) * 1e-3);
+    line.append("}");
+    os << line;
+  }
+  os << "]}\n";
+}
+
+}  // namespace simddb::obs

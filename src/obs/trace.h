@@ -1,0 +1,45 @@
+#ifndef SIMDDB_OBS_TRACE_H_
+#define SIMDDB_OBS_TRACE_H_
+
+// Chrome-trace capture for phase timings. Every ScopedPhase (obs/metrics.h)
+// that completes while tracing is active records one complete ("ph":"X")
+// event; WriteChromeTrace dumps the buffer in the chrome://tracing /
+// Perfetto JSON format. Collection is bounded (kMaxTraceEvents) — past the
+// cap events are dropped and counted, never reallocated mid-run — and the
+// whole facility is off unless StartTrace() was called, so it adds nothing
+// to the disabled-metrics fast path.
+
+#include <cstdint>
+#include <ostream>
+
+namespace simddb::obs {
+
+/// Collection cap; one event is 32 bytes, so the buffer tops out at 8 MiB.
+inline constexpr size_t kMaxTraceEvents = size_t{1} << 18;
+
+/// True while trace collection is active.
+bool TraceEnabled();
+
+/// Clears the buffer and starts collecting phase events. Also enables
+/// metrics (a trace of no-op phases would be empty).
+void StartTrace();
+
+/// Stops collecting (the buffer is kept for WriteChromeTrace).
+void StopTrace();
+
+/// Records one complete event (called by ScopedPhase; no-op unless
+/// tracing). Timestamps are NowNs() values; thread ids are the metrics
+/// shard of the recording thread.
+void EmitTraceEvent(const char* name, uint64_t start_ns, uint64_t dur_ns);
+
+/// Number of events dropped because the buffer was full.
+uint64_t TraceDroppedEvents();
+
+/// Writes the captured events as {"traceEvents":[...]} JSON. Timestamps
+/// are rebased to the first event and expressed in microseconds, as the
+/// trace-event format expects.
+void WriteChromeTrace(std::ostream& os);
+
+}  // namespace simddb::obs
+
+#endif  // SIMDDB_OBS_TRACE_H_

@@ -1,9 +1,18 @@
 #include "partition/parallel_partition.h"
 
+#include "obs/metrics.h"
 #include "util/prefix_sum.h"
 #include "util/task_pool.h"
 
 namespace simddb {
+namespace {
+
+// One timer per pass phase, matching the paper's Fig. 13 breakdown.
+obs::PhaseTimer g_part_hist_ns("part_hist_ns");
+obs::PhaseTimer g_part_shuffle_ns("part_shuffle_ns");
+obs::PhaseTimer g_part_cleanup_ns("part_cleanup_ns");
+
+}  // namespace
 
 // Morsel-driven schedule: the input is decomposed into a fixed grid of
 // kMorselTuples-sized morsels and every morsel gets its own histogram row
@@ -33,19 +42,21 @@ void ParallelPartitionPass(const PartitionFn& fn, const uint32_t* keys,
   uint32_t* hists = res->hists.data();
   TaskPool& pool = TaskPool::Get();
 
-  // Phase 1: one histogram row per morsel.
-  pool.ParallelFor(m_count, t_count, [&](int worker, size_t m) {
-    uint32_t* h = hists + m * p_count;
-    if (vec) {
-      HistogramReplicatedAvx512(fn, keys + grid.begin(m), grid.size(m), h,
-                                &res->hist_ws[worker]);
-    } else {
-      HistogramScalar(fn, keys + grid.begin(m), grid.size(m), h);
-    }
-  });
-
-  // Serial cross-morsel interleaved prefix sum (cheap: m_count * fanout).
-  InterleavedPrefixSum(hists, m_count, p_count);
+  // Phase 1: one histogram row per morsel. The serial cross-morsel prefix
+  // sum rides in the same timer (cheap: m_count * fanout).
+  {
+    obs::ScopedPhase phase(g_part_hist_ns);
+    pool.ParallelFor(m_count, t_count, [&](int worker, size_t m) {
+      uint32_t* h = hists + m * p_count;
+      if (vec) {
+        HistogramReplicatedAvx512(fn, keys + grid.begin(m), grid.size(m), h,
+                                  &res->hist_ws[worker]);
+      } else {
+        HistogramScalar(fn, keys + grid.begin(m), grid.size(m), h);
+      }
+    });
+    InterleavedPrefixSum(hists, m_count, p_count);
+  }
   if (starts != nullptr) {
     // Morsel 0's offsets are the global partition begin positions.
     for (uint32_t p = 0; p < p_count; ++p) starts[p] = hists[p];
@@ -56,31 +67,37 @@ void ParallelPartitionPass(const PartitionFn& fn, const uint32_t* keys,
   // multiples of 16, so the streaming-flush alignment contract holds; the
   // aligned flushes may clobber <= 15 tuples of a neighbouring morsel's
   // still-buffered tail, repaired in phase 3 (see shuffle.h).
-  pool.ParallelFor(m_count, t_count, [&](int, size_t m) {
-    uint32_t* offsets = hists + m * p_count;
-    const size_t b = grid.begin(m);
-    if (pays != nullptr) {
-      if (vec) {
-        ShuffleVectorBufferedMainAvx512(fn, keys + b, pays + b, grid.size(m),
-                                        offsets, out_keys, out_pays,
-                                        &res->bufs[m]);
+  {
+    obs::ScopedPhase phase(g_part_shuffle_ns);
+    pool.ParallelFor(m_count, t_count, [&](int, size_t m) {
+      uint32_t* offsets = hists + m * p_count;
+      const size_t b = grid.begin(m);
+      if (pays != nullptr) {
+        if (vec) {
+          ShuffleVectorBufferedMainAvx512(fn, keys + b, pays + b, grid.size(m),
+                                          offsets, out_keys, out_pays,
+                                          &res->bufs[m]);
+        } else {
+          ShuffleScalarBufferedMain(fn, keys + b, pays + b, grid.size(m),
+                                    offsets, out_keys, out_pays,
+                                    &res->bufs[m]);
+        }
       } else {
-        ShuffleScalarBufferedMain(fn, keys + b, pays + b, grid.size(m),
-                                  offsets, out_keys, out_pays, &res->bufs[m]);
+        if (vec) {
+          ShuffleKeysVectorBufferedMainAvx512(fn, keys + b, grid.size(m),
+                                              offsets, out_keys,
+                                              &res->bufs[m]);
+        } else {
+          ShuffleKeysScalarBufferedMain(fn, keys + b, grid.size(m), offsets,
+                                        out_keys, &res->bufs[m]);
+        }
       }
-    } else {
-      if (vec) {
-        ShuffleKeysVectorBufferedMainAvx512(fn, keys + b, grid.size(m),
-                                            offsets, out_keys, &res->bufs[m]);
-      } else {
-        ShuffleKeysScalarBufferedMain(fn, keys + b, grid.size(m), offsets,
-                                      out_keys, &res->bufs[m]);
-      }
-    }
-  });
+    });
+  }
 
   // Phase 3 (after the implicit barrier of the ParallelFor join): repair
   // the 16-aligned flush overshoot by writing every morsel's buffered tails.
+  obs::ScopedPhase cleanup_phase(g_part_cleanup_ns);
   pool.ParallelFor(m_count, t_count, [&](int, size_t m) {
     uint32_t* offsets = hists + m * p_count;
     if (pays != nullptr) {

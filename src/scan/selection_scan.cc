@@ -4,9 +4,19 @@
 #include <vector>
 
 #include "core/isa.h"
+#include "obs/metrics.h"
 #include "util/task_pool.h"
 
 namespace simddb {
+namespace {
+
+// Phase timers for the parallel scan (obs/metrics.h): the morsel fan-out vs
+// the serial in-order compaction, so bench rows can show how much of the
+// wall time the sequential tail costs.
+obs::PhaseTimer g_scan_parallel_ns("scan_parallel_ns");
+obs::PhaseTimer g_scan_compact_ns("scan_compact_ns");
+
+}  // namespace
 
 const char* ScanVariantName(ScanVariant v) {
   switch (v) {
@@ -81,16 +91,20 @@ size_t SelectionScanParallel(ScanVariant variant, const uint32_t* keys,
   // plus 16*m of slack, so a vector kernel's <= 16-element overshoot past
   // its returned count can never clobber a neighbour morsel's segment.
   std::vector<size_t> cnt(m_count);
-  TaskPool::Get().ParallelFor(m_count, threads, [&](int, size_t m) {
-    const size_t b = grid.begin(m);
-    const size_t ob = b + 16 * m;
-    cnt[m] = SelectionScan(variant, keys + b, pays + b, grid.size(m), k_lo,
-                           k_hi, out_keys + ob, out_pays + ob);
-  });
+  {
+    obs::ScopedPhase phase(g_scan_parallel_ns);
+    TaskPool::Get().ParallelFor(m_count, threads, [&](int, size_t m) {
+      const size_t b = grid.begin(m);
+      const size_t ob = b + 16 * m;
+      cnt[m] = SelectionScan(variant, keys + b, pays + b, grid.size(m), k_lo,
+                             k_hi, out_keys + ob, out_pays + ob);
+    });
+  }
   // In-order forward compaction. Sequential on purpose: a morsel's target
   // range can overlap an earlier neighbour's still-unread source, so the
   // moves must retire in morsel order (each move's target ends before every
   // later morsel's source starts).
+  obs::ScopedPhase phase(g_scan_compact_ns);
   size_t cursor = 0;
   for (size_t m = 0; m < m_count; ++m) {
     const size_t src = grid.begin(m) + 16 * m;

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "partition/histogram.h"
 #include "partition/parallel_partition.h"
 #include "partition/partition_fn.h"
@@ -13,6 +14,11 @@
 
 namespace simddb {
 namespace {
+
+// Multi-column sort pass phases (the pair/key-only sorts reuse the
+// part_*_ns timers via ParallelPartitionPass).
+obs::PhaseTimer g_sort_hist_ns("sort_hist_ns");
+obs::PhaseTimer g_sort_scatter_ns("sort_scatter_ns");
 
 void RadixSortImpl(uint32_t* keys, uint32_t* pays, uint32_t* scratch_keys,
                    uint32_t* scratch_pays, size_t n,
@@ -91,19 +97,23 @@ void RadixSortMultiColumn(uint32_t* keys, uint32_t* scratch_keys, size_t n,
     if (lo + pass_bits > 32) pass_bits = 32 - lo;
     PartitionFn fn = PartitionFn::Radix(static_cast<uint32_t>(pass_bits),
                                         static_cast<uint32_t>(lo));
-    pool.ParallelFor(m_count, t_count, [&](int worker, size_t m) {
-      uint32_t* h = hists.data() + m * fn.fanout;
-      if (vec) {
-        HistogramReplicatedAvx512(fn, in_k + grid.begin(m), grid.size(m), h,
-                                  &ws[worker]);
-      } else {
-        HistogramScalar(fn, in_k + grid.begin(m), grid.size(m), h);
-      }
-    });
-    InterleavedPrefixSum(hists.data(), m_count, fn.fanout);
+    {
+      obs::ScopedPhase phase(g_sort_hist_ns);
+      pool.ParallelFor(m_count, t_count, [&](int worker, size_t m) {
+        uint32_t* h = hists.data() + m * fn.fanout;
+        if (vec) {
+          HistogramReplicatedAvx512(fn, in_k + grid.begin(m), grid.size(m), h,
+                                    &ws[worker]);
+        } else {
+          HistogramScalar(fn, in_k + grid.begin(m), grid.size(m), h);
+        }
+      });
+      InterleavedPrefixSum(hists.data(), m_count, fn.fanout);
+    }
     // One destination computation, replayed over the key and all payload
     // columns with width-specialized scatters (the paper's temporary-array
     // scheme for multi-column shuffling).
+    obs::ScopedPhase scatter_phase(g_sort_scatter_ns);
     pool.ParallelFor(m_count, t_count, [&](int, size_t m) {
       const size_t b = grid.begin(m);
       const size_t mn = grid.size(m);

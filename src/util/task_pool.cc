@@ -1,10 +1,23 @@
 #include "util/task_pool.h"
 
-#include <cassert>
+#include <cstdio>
 #include <cstdlib>
+
+#include "obs/metrics.h"
 
 namespace simddb {
 namespace {
+
+// Scheduler metrics (obs/metrics.h). Sharded per worker; zero-cost when
+// metrics are disabled beyond one relaxed load per event, and every event
+// amortizes over >= one morsel of work.
+obs::Counter g_steals("steals");            // successful back-half steals
+obs::Counter g_stolen_tasks("stolen_tasks");  // tasks migrated by steals
+obs::Counter g_morsels("morsels");          // tasks executed via ParallelFor
+obs::Counter g_inline_runs("inline_runs");  // jobs run inline on the caller
+obs::Counter g_dispatches("dispatches");    // pooled job dispatches
+obs::Counter g_range_splits("range_splits");  // oversized-range sub-dispatches
+obs::Counter g_barrier_wait_ns("barrier_wait_ns");
 
 // True while the current thread is executing inside a pool job (workers
 // always; the submitting thread while it runs its own lane). Nested parallel
@@ -26,6 +39,23 @@ constexpr uint32_t RangeBegin(uint64_t r) {
 constexpr uint32_t RangeEnd(uint64_t r) { return static_cast<uint32_t>(r); }
 
 }  // namespace
+
+void PhaseBarrier::Wait() {
+  const bool timed = obs::MetricsEnabled();
+  const uint64_t t0 = timed ? obs::NowNs() : 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    bool my_sense = sense_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      sense_ = !sense_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return sense_ != my_sense; });
+    }
+  }
+  if (timed) g_barrier_wait_ns.AddAlways(obs::NowNs() - t0);
+}
 
 TaskPool& TaskPool::Get() {
   static TaskPool pool;
@@ -108,6 +138,10 @@ bool TaskPool::PopOrSteal(int lane, int n_lanes, size_t* task) {
           mine.range.store(PackRange(split + 1, ve),
                            std::memory_order_release);
         }
+        if (obs::MetricsEnabled()) {
+          g_steals.AddAlways(1);
+          g_stolen_tasks.AddAlways(take);
+        }
         *task = split;
         return true;
       }
@@ -119,9 +153,12 @@ bool TaskPool::PopOrSteal(int lane, int n_lanes, size_t* task) {
 void TaskPool::RunLane(int lane, int n_lanes,
                        const std::function<void(int, size_t)>& fn) {
   size_t task;
+  uint64_t executed = 0;
   while (PopOrSteal(lane, n_lanes, &task)) {
     fn(lane, task);
+    ++executed;
   }
+  if (executed > 0) g_morsels.Add(executed);
 }
 
 void TaskPool::WorkerLoop(int self) {
@@ -152,13 +189,56 @@ void TaskPool::WorkerLoop(int self) {
 
 void TaskPool::ParallelFor(size_t n_tasks, int max_workers,
                            const std::function<void(int, size_t)>& fn) {
-  if (n_tasks == 0) return;
-  assert(n_tasks < UINT32_MAX);
-  const int lanes = LaneCount(n_tasks, max_workers);
-  if (lanes <= 1 || tls_in_pool_job) {
-    for (size_t t = 0; t < n_tasks; ++t) fn(0, t);
+  if (n_tasks <= kMaxTasksPerDispatch) {
+    DispatchFor(n_tasks, max_workers, fn);
     return;
   }
+  // Hard guard, active in every build mode: the packed 32-bit lane deques
+  // cannot represent this range in one dispatch, so split it. (Previously
+  // an assert that compiled out under NDEBUG, after which PackRange
+  // silently truncated task indices.)
+  ParallelForChunked(n_tasks, kMaxTasksPerDispatch, max_workers, fn);
+}
+
+void TaskPool::ParallelForChunked(
+    size_t n_tasks, size_t max_tasks_per_dispatch, int max_workers,
+    const std::function<void(int, size_t)>& fn) {
+  size_t chunk = max_tasks_per_dispatch;
+  if (chunk == 0) chunk = 1;
+  if (chunk > kMaxTasksPerDispatch) chunk = kMaxTasksPerDispatch;
+  if (n_tasks <= chunk) {
+    DispatchFor(n_tasks, max_workers, fn);
+    return;
+  }
+  for (size_t base = 0; base < n_tasks; base += chunk) {
+    const size_t take = n_tasks - base < chunk ? n_tasks - base : chunk;
+    g_range_splits.Add(1);
+    DispatchFor(take, max_workers, [&fn, base](int worker, size_t task) {
+      fn(worker, base + task);
+    });
+  }
+}
+
+void TaskPool::DispatchFor(size_t n_tasks, int max_workers,
+                           const std::function<void(int, size_t)>& fn) {
+  if (n_tasks == 0) return;
+  if (n_tasks > kMaxTasksPerDispatch) {
+    // Unreachable via the public entry points; abort loudly rather than
+    // let PackRange wrap 32-bit task indices.
+    std::fprintf(stderr,
+                 "TaskPool::DispatchFor: %zu tasks exceed the %zu-task "
+                 "dispatch limit\n",
+                 n_tasks, kMaxTasksPerDispatch);
+    std::abort();
+  }
+  const int lanes = LaneCount(n_tasks, max_workers);
+  if (lanes <= 1 || tls_in_pool_job) {
+    g_inline_runs.Add(1);
+    for (size_t t = 0; t < n_tasks; ++t) fn(0, t);
+    if (obs::MetricsEnabled()) g_morsels.AddAlways(n_tasks);
+    return;
+  }
+  g_dispatches.Add(1);
 
   std::lock_guard<std::mutex> jobs_lock(jobs_mu_);
   EnsureWorkers(lanes - 1);
@@ -199,10 +279,12 @@ void TaskPool::ParallelPhases(
   int lanes = max_workers < MaxWorkers() ? max_workers : MaxWorkers();
   if (lanes < 1) lanes = 1;
   if (lanes == 1 || tls_in_pool_job) {
+    g_inline_runs.Add(1);
     PhaseBarrier barrier(1);
     fn(0, 1, barrier);
     return;
   }
+  g_dispatches.Add(1);
 
   std::lock_guard<std::mutex> jobs_lock(jobs_mu_);
   EnsureWorkers(lanes - 1);

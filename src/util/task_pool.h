@@ -72,18 +72,9 @@ class PhaseBarrier {
   explicit PhaseBarrier(int parties)
       : parties_(parties), waiting_(0), sense_(false) {}
 
-  /// Blocks until all `parties` threads have arrived.
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    bool my_sense = sense_;
-    if (++waiting_ == parties_) {
-      waiting_ = 0;
-      sense_ = !sense_;
-      cv_.notify_all();
-    } else {
-      cv_.wait(lock, [&] { return sense_ != my_sense; });
-    }
-  }
+  /// Blocks until all `parties` threads have arrived. Time spent blocked is
+  /// accumulated into the `barrier_wait_ns` metric when metrics are on.
+  void Wait();
 
   int parties() const { return parties_; }
 
@@ -127,15 +118,32 @@ class TaskPool {
   /// allows the oversubscription sweeps (max(hardware_concurrency, 64)).
   static int MaxWorkers();
 
+  /// Largest task count one pool dispatch can represent: lane deques pack
+  /// [begin,end) task indices into 32 bits each. ParallelFor transparently
+  /// splits larger ranges into sequential sub-dispatches of at most this
+  /// many tasks, so any size_t range is safe in every build mode (the old
+  /// assert-only guard silently wrapped indices under NDEBUG).
+  static constexpr size_t kMaxTasksPerDispatch = size_t{0xFFFF0000};
+
   /// Runs fn(worker, task) exactly once for every task in [0, n_tasks).
   /// At most max_workers lanes run concurrently (the caller is lane 0 and
   /// always participates; worker ids are in [0, max_workers)). Tasks are
   /// distributed over per-lane deques and rebalanced by stealing, so lanes
   /// that finish early take over tasks of slower lanes. Blocks until every
   /// task completed. Runs inline when max_workers <= 1, n_tasks <= 1, or
-  /// when called from inside a pool worker (no nested parallelism).
+  /// when called from inside a pool worker (no nested parallelism). Ranges
+  /// beyond kMaxTasksPerDispatch are split (see ParallelForChunked).
   void ParallelFor(size_t n_tasks, int max_workers,
                    const std::function<void(int worker, size_t task)>& fn);
+
+  /// ParallelFor over [0, n_tasks) split into sequential sub-dispatches of
+  /// at most max_tasks_per_dispatch tasks (clamped to [1,
+  /// kMaxTasksPerDispatch]); each sub-dispatch joins before the next one
+  /// starts. ParallelFor delegates here for oversized ranges; exposed so
+  /// the splitting path is testable without dispatching 2^32 real tasks.
+  void ParallelForChunked(
+      size_t n_tasks, size_t max_tasks_per_dispatch, int max_workers,
+      const std::function<void(int worker, size_t task)>& fn);
 
   /// Runs fn(lane, n_lanes, barrier) once per lane with n_lanes =
   /// min(max_workers, MaxWorkers()) lanes running *concurrently* (the
@@ -171,6 +179,8 @@ class TaskPool {
   };
 
   void EnsureWorkers(int needed);  // callers hold jobs_mu_
+  void DispatchFor(size_t n_tasks, int max_workers,
+                   const std::function<void(int worker, size_t task)>& fn);
   void WorkerLoop(int self);
   void RunLane(int lane, int n_lanes, const std::function<void(int, size_t)>& fn);
   bool PopOrSteal(int lane, int n_lanes, size_t* task);

@@ -118,6 +118,56 @@ TEST(GroupBy, SingleGroupAllConflicts) {
   EXPECT_EQ(got[42], Reference(keys, vals)[42]);
 }
 
+// Regression for the assert-only headroom check in FoldScalar/FoldMerge: a
+// release build fed more distinct keys than the table could hold probed
+// forever (the assert compiled out under NDEBUG, and linear probing never
+// finds an empty bucket in a full table). max_groups is now a sizing hint:
+// the table doubles + rehashes in every build mode.
+TEST(GroupBy, AcceptsOneGroupPastSizingHint) {
+  const size_t hint = 100;
+  for (Isa isa : {Isa::kScalar, Isa::kAvx512}) {
+    if (!IsaSupported(isa)) continue;
+    const size_t n = hint + 1;  // max_groups_ + 1 distinct keys
+    std::vector<uint32_t> keys(n), vals(n);
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = static_cast<uint32_t>(i * 2 + 1);
+      vals[i] = static_cast<uint32_t>(i);
+    }
+    GroupByAggregator agg(hint);
+    agg.Accumulate(isa, keys.data(), vals.data(), n);
+    EXPECT_EQ(agg.num_groups(), n) << IsaName(isa);
+    EXPECT_EQ(Collect(agg, isa), Reference(keys, vals)) << IsaName(isa);
+  }
+}
+
+TEST(GroupBy, GrowsRepeatedlyFarPastSizingHint) {
+  // ~64x the hint: forces several doubling + rehash rounds mid-accumulate,
+  // on the scalar, vectorized, and parallel-merge (FoldMerge) paths.
+  const size_t hint = 64;
+  const size_t n_groups = 4096;
+  const size_t n = 50'000;
+  std::vector<uint32_t> keys(n), vals(n);
+  FillWithRepeats(keys.data(), n, n_groups, 3, 1);
+  FillUniform(vals.data(), n, 5, 0, 1'000'000);
+  const auto want = Reference(keys, vals);
+  for (Isa isa : {Isa::kScalar, Isa::kAvx512}) {
+    if (!IsaSupported(isa)) continue;
+    GroupByAggregator agg(hint);
+    const size_t buckets_before = agg.num_buckets();
+    agg.Accumulate(isa, keys.data(), vals.data(), n);
+    EXPECT_EQ(agg.num_groups(), want.size()) << IsaName(isa);
+    EXPECT_GT(agg.num_buckets(), buckets_before) << IsaName(isa);
+    EXPECT_EQ(Collect(agg, isa), want) << IsaName(isa);
+
+    // Parallel: per-lane partials grow independently, and the serial
+    // FoldMerge into this undersized table grows it again.
+    GroupByAggregator par(hint);
+    par.AccumulateParallel(isa, keys.data(), vals.data(), n, 8);
+    EXPECT_EQ(par.num_groups(), want.size()) << IsaName(isa);
+    EXPECT_EQ(Collect(par, isa), want) << IsaName(isa);
+  }
+}
+
 TEST(GroupBy, ClearResets) {
   GroupByAggregator agg(32);
   std::vector<uint32_t> keys = {1, 2, 3}, vals = {10, 20, 30};

@@ -21,6 +21,7 @@
 #include "agg/group_by.h"
 #include "bloom/bloom_filter.h"
 #include "join/hash_join.h"
+#include "obs/metrics.h"
 #include "scan/selection_scan.h"
 #include "sort/radix_sort.h"
 #include "util/aligned_buffer.h"
@@ -29,6 +30,24 @@
 
 namespace simddb {
 namespace {
+
+/// Current value of the named obs instrument (0 + test failure if absent).
+uint64_t Metric(const char* name) {
+  for (const obs::MetricSample& s : obs::MetricsRegistry::Get().Snapshot()) {
+    if (std::strcmp(s.name, name) == 0) return s.value;
+  }
+  ADD_FAILURE() << "metric " << name << " not registered";
+  return 0;
+}
+
+/// Turns metrics on for one test and restores the default-off state.
+struct ScopedMetrics {
+  ScopedMetrics() {
+    obs::EnableMetrics(true);
+    obs::MetricsRegistry::Get().ResetAll();
+  }
+  ~ScopedMetrics() { obs::EnableMetrics(false); }
+};
 
 TEST(TaskPoolTest, RunsEveryTaskExactlyOnce) {
   constexpr size_t kTasks = 1000;
@@ -140,6 +159,102 @@ TEST(TaskPoolTest, NestedParallelForRunsInline) {
   EXPECT_EQ(total.load(), 8u * 16u);
 }
 
+// The release-build guard for ranges past kMaxTasksPerDispatch: ParallelFor
+// delegates to ParallelForChunked, exercised here with a small chunk so the
+// splitting path is covered without dispatching 2^32 real tasks. (The old
+// guard was an assert that compiled out under NDEBUG, after which PackRange
+// silently truncated task indices to 32 bits.)
+TEST(TaskPoolTest, ParallelForChunkedRunsEveryTaskExactlyOnce) {
+  constexpr size_t kTasks = 1000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  TaskPool::Get().ParallelForChunked(kTasks, 64, 8, [&](int, size_t task) {
+    ASSERT_LT(task, kTasks);
+    hits[task].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t t = 0; t < kTasks; ++t) {
+    ASSERT_EQ(hits[t].load(), 1) << "task " << t;
+  }
+}
+
+TEST(TaskPoolTest, ParallelForChunkedHandlesDegenerateChunkSizes) {
+  constexpr size_t kTasks = 10;
+  for (size_t chunk : {size_t{0}, size_t{1}, size_t{3}, kTasks,
+                       TaskPool::kMaxTasksPerDispatch + 1}) {
+    std::vector<std::atomic<int>> hits(kTasks);
+    for (auto& h : hits) h.store(0);
+    TaskPool::Get().ParallelForChunked(kTasks, chunk, 4,
+                                       [&](int, size_t task) {
+                                         hits[task].fetch_add(
+                                             1, std::memory_order_relaxed);
+                                       });
+    for (size_t t = 0; t < kTasks; ++t) {
+      ASSERT_EQ(hits[t].load(), 1) << "chunk " << chunk << " task " << t;
+    }
+  }
+}
+
+TEST(TaskPoolMetricsTest, CountsMorselsAndRangeSplits) {
+  ScopedMetrics metrics;
+  constexpr size_t kTasks = 100;
+  std::atomic<size_t> ran{0};
+  TaskPool::Get().ParallelForChunked(kTasks, 10, 4, [&](int, size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), kTasks);
+  // Every executed task is one morsel; the 100-task range split into ten
+  // 10-task sub-dispatches.
+  EXPECT_EQ(Metric("morsels"), kTasks);
+  EXPECT_EQ(Metric("range_splits"), 10u);
+}
+
+TEST(TaskPoolMetricsTest, CountsInlineRuns) {
+  ScopedMetrics metrics;
+  TaskPool::Get().ParallelFor(64, 1, [](int, size_t) {});
+  EXPECT_EQ(Metric("inline_runs"), 1u);
+  EXPECT_EQ(Metric("morsels"), 64u);
+  EXPECT_EQ(Metric("dispatches"), 0u);
+}
+
+TEST(TaskPoolMetricsTest, CountsStealsUnderSkewedTaskCosts) {
+  ScopedMetrics metrics;
+  // Same skew as StealingRebalancesSkewedTaskCosts: lane 0 blocks in its
+  // first task, so its remaining contiguous tasks must be stolen.
+  constexpr size_t kTasks = 64;
+  TaskPool::Get().ParallelFor(kTasks, 4, [&](int, size_t task) {
+    if (task == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  });
+  EXPECT_EQ(Metric("morsels"), kTasks);
+  EXPECT_EQ(Metric("dispatches"), 1u);
+  EXPECT_GT(Metric("steals"), 0u);
+  EXPECT_GT(Metric("stolen_tasks"), 0u);
+}
+
+TEST(TaskPoolMetricsTest, AccumulatesBarrierWaitTime) {
+  ScopedMetrics metrics;
+  TaskPool::Get().ParallelPhases(
+      4, [](int lane, int, PhaseBarrier& barrier) {
+        if (lane == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        barrier.Wait();
+      });
+  // Every lane but the sleeper blocked ~50 ms at the barrier.
+  EXPECT_GT(Metric("barrier_wait_ns"), 0u);
+}
+
+TEST(TaskPoolMetricsTest, DisabledMetricsStayZero) {
+  if (obs::kMetricsForced) GTEST_SKIP() << "metrics forced on at compile time";
+  obs::EnableMetrics(false);
+  obs::MetricsRegistry::Get().ResetAll();
+  TaskPool::Get().ParallelFor(256, 4, [](int, size_t) {});
+  EXPECT_EQ(Metric("morsels"), 0u);
+  EXPECT_EQ(Metric("dispatches"), 0u);
+  EXPECT_EQ(Metric("steals"), 0u);
+}
+
 TEST(TaskPoolTest, BoundedMorselSizeStaysAlignedAndBounded) {
   for (size_t n : {size_t{0}, size_t{1}, kMorselTuples - 1, kMorselTuples,
                    kMorselTuples* kMaxMorselsPerPass,
@@ -174,6 +289,72 @@ TEST(ParallelOperatorsTest, SelectionScanParallelMatchesSerial) {
         ASSERT_EQ(got, want) << ScanVariantName(v) << " t=" << threads;
         EXPECT_EQ(std::memcmp(pk.data(), sk.data(), want * 4), 0);
         EXPECT_EQ(std::memcmp(pp.data(), sp.data(), want * 4), 0);
+      }
+    }
+  }
+}
+
+// Adversarial sizes for the parallel wrappers: empty input, a single tuple,
+// exact morsel multiples (no tail), and 100% selectivity (every staging
+// segment full, so the in-order compaction moves the maximum volume).
+TEST(ParallelOperatorsTest, SelectionScanParallelAdversarialSizes) {
+  for (size_t n : {size_t{0}, size_t{1}, kMorselTuples,
+                   2 * kMorselTuples}) {
+    AlignedBuffer<uint32_t> keys(n + 16), pays(n + 16);
+    FillUniform(keys.data(), n, 41, 0, 1000);
+    FillSequential(pays.data(), n, 0);
+    AlignedBuffer<uint32_t> sk(n + kSelectionScanPad),
+        sp(n + kSelectionScanPad);
+    const size_t cap = SelectionScanParallelCapacity(n);
+    AlignedBuffer<uint32_t> pk(cap), pp(cap);
+    for (ScanVariant v :
+         {ScanVariant::kScalarBranchless, ScanVariant::kVectorStoreDirect}) {
+      if (!ScanVariantSupported(v)) continue;
+      // 100% selectivity: the full key domain passes.
+      const size_t want = SelectionScan(v, keys.data(), pays.data(), n, 0,
+                                        0xFFFFFFFFu, sk.data(), sp.data());
+      ASSERT_EQ(want, n) << ScanVariantName(v);
+      for (int threads : {2, 8}) {
+        const size_t got =
+            SelectionScanParallel(v, keys.data(), pays.data(), n, 0,
+                                  0xFFFFFFFFu, pk.data(), pp.data(), threads);
+        ASSERT_EQ(got, want) << ScanVariantName(v) << " n=" << n
+                             << " t=" << threads;
+        EXPECT_EQ(std::memcmp(pk.data(), sk.data(), want * 4), 0);
+        EXPECT_EQ(std::memcmp(pp.data(), sp.data(), want * 4), 0);
+      }
+    }
+  }
+}
+
+TEST(ParallelOperatorsTest, BloomProbeParallelAdversarialSizes) {
+  const size_t max_n = 2 * kMorselTuples;
+  AlignedBuffer<uint32_t> keys(max_n + 16), pays(max_n + 16);
+  FillUniform(keys.data(), max_n, 43, 1, 1u << 16);
+  FillSequential(pays.data(), max_n, 0);
+  // Add every probe key: 100% of tuples pass the filter.
+  BloomFilter bf = BloomFilter::ForItems(max_n, 10, 4);
+  bf.Add(keys.data(), max_n);
+  for (size_t n : {size_t{0}, size_t{1}, kMorselTuples, max_n}) {
+    AlignedBuffer<uint32_t> sk(n + 16), sp(n + 16);
+    const size_t cap = BloomFilter::ProbeParallelCapacity(n);
+    AlignedBuffer<uint32_t> pk(cap), pp(cap);
+    for (Isa isa : {Isa::kScalar, Isa::kAvx512}) {
+      if (!IsaSupported(isa)) continue;
+      const size_t want =
+          bf.Probe(isa, keys.data(), pays.data(), n, sk.data(), sp.data());
+      ASSERT_EQ(want, n) << IsaName(isa) << " n=" << n;
+      for (int threads : {2, 8}) {
+        const size_t got = bf.ProbeParallel(isa, keys.data(), pays.data(), n,
+                                            pk.data(), pp.data(), threads);
+        ASSERT_EQ(got, want) << IsaName(isa) << " n=" << n
+                             << " t=" << threads;
+        std::multiset<std::pair<uint32_t, uint32_t>> a, b;
+        for (size_t i = 0; i < want; ++i) {
+          a.emplace(sk[i], sp[i]);
+          b.emplace(pk[i], pp[i]);
+        }
+        EXPECT_EQ(a, b) << IsaName(isa) << " n=" << n << " t=" << threads;
       }
     }
   }

@@ -1,12 +1,17 @@
 // Fig. 13: out-of-cache radix shuffling throughput vs. fanout (2^3..2^13):
 // scalar unbuffered, scalar buffered, vector unbuffered (Alg. 14), vector
-// buffered (Alg. 15), and the unstable hash-partitioning variant.
+// buffered (Alg. 15), the unstable hash-partitioning variant, and the SWWC
+// write-combining kernels (swwc.h). swwc_planned additionally runs the full
+// fanout-aware planner end-to-end (MultiPassRadixPartition), so its rows
+// include histogram + prefix-sum work the kernel-only rows exclude.
 
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "partition/histogram.h"
+#include "partition/plan.h"
 #include "partition/shuffle.h"
+#include "partition/swwc.h"
 
 namespace simddb::bench {
 namespace {
@@ -19,12 +24,20 @@ enum Variant {
   kVectorUnbuffered,
   kVectorBuffered,
   kVectorBufferedHashUnstable,
+  kSwwcScalar,
+  kSwwcAvx512,
+  kSwwcPlanned,
 };
+
+bool NeedsAvx512(Variant v) {
+  return v == kVectorUnbuffered || v == kVectorBuffered ||
+         v == kVectorBufferedHashUnstable || v == kSwwcAvx512;
+}
 
 void BM_Shuffle(benchmark::State& state) {
   const auto variant = static_cast<Variant>(state.range(0));
   const auto bits = static_cast<uint32_t>(state.range(1));
-  if (variant >= kVectorUnbuffered && !RequireIsa(state, Isa::kAvx512)) {
+  if (NeedsAvx512(variant) && !RequireIsa(state, Isa::kAvx512)) {
     return;
   }
   const auto& cols = KeyPayColumns::Get(kTuples, 0, 0xFFFFFFFFu, 1);
@@ -33,8 +46,17 @@ void BM_Shuffle(benchmark::State& state) {
                        : PartitionFn::Radix(bits, 32 - bits);
   std::vector<uint32_t> hist(fn.fanout), offsets(fn.fanout);
   HistogramScalar(fn, cols.keys.data(), kTuples, hist.data());
-  AlignedBuffer<uint32_t> out_k(kTuples + 16), out_p(kTuples + 16);
+  AlignedBuffer<uint32_t> out_k(ShuffleCapacity(kTuples)),
+      out_p(ShuffleCapacity(kTuples));
+  AlignedBuffer<uint32_t> scratch_k, scratch_p;
+  std::vector<uint32_t> starts;
+  if (variant == kSwwcPlanned) {
+    scratch_k.Reset(ShuffleCapacity(kTuples));
+    scratch_p.Reset(ShuffleCapacity(kTuples));
+    starts.resize(fn.fanout + 1);
+  }
   ShuffleBuffers bufs;
+  SwwcBuffers wc_bufs;
   for (auto _ : state) {
     uint32_t sum = 0;
     for (uint32_t p = 0; p < fn.fanout; ++p) {
@@ -67,19 +89,40 @@ void BM_Shuffle(benchmark::State& state) {
             fn, cols.keys.data(), cols.pays.data(), kTuples, offsets.data(),
             out_k.data(), out_p.data(), &bufs);
         break;
+      case kSwwcScalar:
+        ShuffleSwwcScalar(fn, cols.keys.data(), cols.pays.data(), kTuples,
+                          offsets.data(), out_k.data(), out_p.data(),
+                          &wc_bufs);
+        break;
+      case kSwwcAvx512:
+        ShuffleSwwcAvx512(fn, cols.keys.data(), cols.pays.data(), kTuples,
+                          offsets.data(), out_k.data(), out_p.data(),
+                          &wc_bufs);
+        break;
+      case kSwwcPlanned:
+        // End-to-end planned partition (histograms included), single thread
+        // to stay comparable with the kernel-only rows.
+        MultiPassRadixPartition(cols.keys.data(), cols.pays.data(), kTuples,
+                                bits, out_k.data(), out_p.data(),
+                                scratch_k.data(), scratch_p.data(), BestIsa(),
+                                1, PartitionBudget::Default(), starts.data());
+        break;
     }
     benchmark::DoNotOptimize(out_k.data());
   }
   SetTuplesPerSecond(state, static_cast<double>(kTuples));
-  static const char* kNames[] = {"scalar_unbuffered", "scalar_buffered",
-                                 "vector_unbuffered", "vector_buffered",
-                                 "vector_buffered_hash_unstable"};
+  static const char* kNames[] = {
+      "scalar_unbuffered", "scalar_buffered",
+      "vector_unbuffered", "vector_buffered",
+      "vector_buffered_hash_unstable", "swwc_scalar",
+      "swwc_avx512", "swwc_planned"};
   state.SetLabel(kNames[variant]);
 }
 
 BENCHMARK(BM_Shuffle)
     ->ArgsProduct({{kScalarUnbuffered, kScalarBuffered, kVectorUnbuffered,
-                    kVectorBuffered, kVectorBufferedHashUnstable},
+                    kVectorBuffered, kVectorBufferedHashUnstable, kSwwcScalar,
+                    kSwwcAvx512, kSwwcPlanned},
                    {3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}})
     ->Unit(benchmark::kMillisecond);
 

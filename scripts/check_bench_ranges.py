@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Counter-driven benchmark regression gate.
+
+Validates JSONL benchmark rows (bench_common.h's --json output) against
+per-bench baseline ranges:
+
+    python3 scripts/check_bench_ranges.py scripts/bench_baselines.json \
+        smoke.jsonl fig13.jsonl
+
+Baselines are a JSON list of entries:
+
+    {
+      "name": "human-readable id",
+      "name_re": "^BM_Shuffle/5/1[23]$",   # matched against row["name"]
+      "variant_re": "^swwc_scalar$",       # optional, row["variant"]
+      "require": true,                     # fail if nothing matched
+      "metrics": {
+        "wc_line_flushes": {"min": 4e5, "max": 5e6, "per_iteration": true}
+      }
+    }
+
+With "per_iteration" the metric is divided by the row's iteration count
+first. The ranges are deliberately WIDE, structural checks ("the SWWC
+shuffle flushed roughly 2*n/16 lines", "the planner planned at least one
+pass"), not tight performance assertions: google-benchmark's warmup
+iterations are included in the counter deltas but not in `iterations`, so
+per-iteration values can legitimately sit 2-3x above nominal. The gate
+exists to catch structural drift — a kernel silently falling back to the
+non-streaming path, a planner splitting into the wrong number of passes, a
+counter that stopped being incremented — not a few percent of throughput.
+
+Exit status: 0 when every matched row is in range and every required
+baseline matched at least one row; 1 otherwise.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_rows(paths):
+    rows = []
+    for path in paths:
+        with open(path) as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rows.append((f"{path}:{lineno}", json.loads(line)))
+                except json.JSONDecodeError as e:
+                    raise SystemExit(f"{path}:{lineno}: invalid JSON: {e}")
+    return rows
+
+
+def check(baselines, rows):
+    failures = []
+    for entry in baselines:
+        name_re = re.compile(entry["name_re"])
+        variant_re = re.compile(entry.get("variant_re", ""))
+        matched = 0
+        for where, row in rows:
+            if not name_re.search(row.get("name", "")):
+                continue
+            if "variant_re" in entry and not variant_re.search(
+                    row.get("variant", "")):
+                continue
+            matched += 1
+            iters = max(1, int(row.get("iterations", 1)))
+            for metric, rng in entry.get("metrics", {}).items():
+                if metric not in row:
+                    failures.append(
+                        f"{where}: [{entry['name']}] missing metric "
+                        f"'{metric}' (row: {row.get('name')})")
+                    continue
+                value = float(row[metric])
+                if rng.get("per_iteration", False):
+                    value /= iters
+                lo = rng.get("min", float("-inf"))
+                hi = rng.get("max", float("inf"))
+                if not (lo <= value <= hi):
+                    failures.append(
+                        f"{where}: [{entry['name']}] {metric}="
+                        f"{value:g} outside [{lo:g}, {hi:g}] "
+                        f"(row: {row.get('name')})")
+        if entry.get("require", False) and matched == 0:
+            failures.append(
+                f"[{entry['name']}] required but no row matched "
+                f"name_re={entry['name_re']!r}")
+        else:
+            print(f"[{entry['name']}] checked {matched} row(s)")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baselines", help="baseline ranges JSON")
+    ap.add_argument("jsonl", nargs="+", help="bench JSONL file(s)")
+    args = ap.parse_args()
+
+    with open(args.baselines) as f:
+        baselines = json.load(f)
+    rows = load_rows(args.jsonl)
+    if not rows:
+        print("no JSONL rows found", file=sys.stderr)
+        return 1
+
+    failures = check(baselines, rows)
+    for msg in failures:
+        print(f"FAIL {msg}", file=sys.stderr)
+    if failures:
+        print(f"{len(failures)} baseline violation(s)", file=sys.stderr)
+        return 1
+    print(f"all {len(rows)} row(s) within baseline ranges")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "partition/parallel_partition.h"
 #include "partition/partition_fn.h"
+#include "partition/plan.h"
 #include "util/aligned_buffer.h"
 #include "util/bits.h"
 #include "util/prefix_sum.h"
@@ -208,7 +209,8 @@ size_t HashJoinMinPartition(const JoinRelation& r, const JoinRelation& s,
 
   // Phase 1: hash-partition R so each thread owns one part (no atomics).
   Timer timer;
-  AlignedBuffer<uint32_t> rp_keys(r.n + 16), rp_pays(r.n + 16);
+  AlignedBuffer<uint32_t> rp_keys(ShuffleCapacity(r.n)),
+      rp_pays(ShuffleCapacity(r.n));
   std::vector<uint32_t> r_starts(parts + 1);
   ParallelPartitionResources res;
   ParallelPartitionPass(part_fn, r.keys, r.pays, r.n, rp_keys.data(),
@@ -275,60 +277,6 @@ size_t HashJoinMinPartition(const JoinRelation& r, const JoinRelation& s,
   return total;
 }
 
-namespace {
-
-// Second partitioning pass for the max-partition join: refine every
-// first-pass part by the low hash bits, with parts as the stealable work
-// unit (a part is one self-contained histogram + shuffle whose output range
-// is fixed by starts1, so any worker may run any part), and the
-// buffered-shuffle cleanup deferred behind the dispatch barrier so
-// 16-aligned flushes cannot race with a neighbour part's final tuples.
-void SecondPass(const PartitionFn& fn2, uint32_t p1, uint32_t p2,
-                const uint32_t* in_keys, const uint32_t* in_pays,
-                const uint32_t* starts1, uint32_t* out_keys,
-                uint32_t* out_pays, uint32_t* bounds /* p1*p2 + 1 */,
-                bool vec, int t_count) {
-  std::vector<ShuffleBuffers> bufs(p1);
-  std::vector<uint32_t> all_offsets(static_cast<size_t>(p1) * p2);
-  TaskPool& pool = TaskPool::Get();
-  const int lanes = TaskPool::LaneCount(p1, t_count);
-  std::vector<HistogramWorkspace> ws(lanes);
-  pool.ParallelFor(p1, t_count, [&](int worker, size_t task) {
-    uint32_t p = static_cast<uint32_t>(task);
-    uint32_t b = starts1[p];
-    uint32_t n_part = starts1[p + 1] - b;
-    uint32_t* offsets = all_offsets.data() + static_cast<size_t>(p) * p2;
-    if (vec) {
-      HistogramReplicatedAvx512(fn2, in_keys + b, n_part, offsets,
-                                &ws[worker]);
-    } else {
-      HistogramScalar(fn2, in_keys + b, n_part, offsets);
-    }
-    uint32_t sum = b;
-    for (uint32_t q = 0; q < p2; ++q) {
-      uint32_t c = offsets[q];
-      offsets[q] = sum;
-      bounds[static_cast<size_t>(p) * p2 + q] = sum;
-      sum += c;
-    }
-    if (vec) {
-      ShuffleVectorBufferedMainAvx512(fn2, in_keys + b, in_pays + b, n_part,
-                                      offsets, out_keys, out_pays, &bufs[p]);
-    } else {
-      ShuffleScalarBufferedMain(fn2, in_keys + b, in_pays + b, n_part,
-                                offsets, out_keys, out_pays, &bufs[p]);
-    }
-  });
-  // All Main calls joined; now repair buffered tails.
-  pool.ParallelFor(p1, t_count, [&](int, size_t p) {
-    ShuffleBufferedCleanup(
-        p2, all_offsets.data() + static_cast<size_t>(p) * p2, bufs[p],
-        out_keys, out_pays);
-  });
-}
-
-}  // namespace
-
 size_t HashJoinMaxPartition(const JoinRelation& r, const JoinRelation& s,
                             const JoinConfig& cfg, uint32_t* out_keys,
                             uint32_t* out_rpays, uint32_t* out_spays,
@@ -344,8 +292,10 @@ size_t HashJoinMaxPartition(const JoinRelation& r, const JoinRelation& s,
   const uint32_t table_factor = HashFactor(cfg.seed, 0);
 
   Timer timer;
-  AlignedBuffer<uint32_t> r_keys_a(r.n + 16), r_pays_a(r.n + 16);
-  AlignedBuffer<uint32_t> s_keys_a(s.n + 16), s_pays_a(s.n + 16);
+  AlignedBuffer<uint32_t> r_keys_a(ShuffleCapacity(r.n)),
+      r_pays_a(ShuffleCapacity(r.n));
+  AlignedBuffer<uint32_t> s_keys_a(ShuffleCapacity(s.n)),
+      s_pays_a(ShuffleCapacity(s.n));
   std::vector<uint32_t> r_bounds(p_total + 1), s_bounds(p_total + 1);
   ParallelPartitionResources res;
 
@@ -363,47 +313,35 @@ size_t HashJoinMaxPartition(const JoinRelation& r, const JoinRelation& s,
     r_bounds[1] = static_cast<uint32_t>(r.n);
     s_bounds[0] = 0;
     s_bounds[1] = static_cast<uint32_t>(s.n);
-  } else if (total_bits <= 8) {
-    PartitionFn fn = PartitionFn::HashRadix(total_bits, 0, p_total,
-                                            cfg.seed + 1);
-    ParallelPartitionPass(fn, r.keys, r.pays, r.n, r_keys_a.data(),
-                          r_pays_a.data(), cfg.isa, t_count, &res,
-                          r_bounds.data());
-    ParallelPartitionPass(fn, s.keys, s.pays, s.n, s_keys_a.data(),
-                          s_pays_a.data(), cfg.isa, t_count, &res,
-                          s_bounds.data());
-    rk = r_keys_a.data();
-    rp = r_pays_a.data();
-    sk = s_keys_a.data();
-    sp = s_pays_a.data();
   } else {
-    // Two passes: high bits across threads, low bits per part.
-    const uint32_t b1 = total_bits / 2;
-    const uint32_t b2 = total_bits - b1;
-    const uint32_t p1 = 1u << b1;
-    const uint32_t p2 = 1u << b2;
-    PartitionFn fn1 = PartitionFn::HashRadix(b1, b2, p_total, cfg.seed + 1);
-    PartitionFn fn2 = PartitionFn::HashRadix(b2, 0, p_total, cfg.seed + 1);
-    AlignedBuffer<uint32_t> mid_keys(std::max(r.n, s.n) + 16);
-    AlignedBuffer<uint32_t> mid_pays(std::max(r.n, s.n) + 16);
-    std::vector<uint32_t> starts1(p1 + 1);
-
-    ParallelPartitionPass(fn1, r.keys, r.pays, r.n, mid_keys.data(),
-                          mid_pays.data(), cfg.isa, t_count, &res,
-                          starts1.data());
-    SecondPass(fn2, p1, p2, mid_keys.data(), mid_pays.data(), starts1.data(),
-               r_keys_a.data(), r_pays_a.data(), r_bounds.data(), vec,
-               t_count);
-    r_bounds[p_total] = static_cast<uint32_t>(r.n);
-
-    ParallelPartitionPass(fn1, s.keys, s.pays, s.n, mid_keys.data(),
-                          mid_pays.data(), cfg.isa, t_count, &res,
-                          starts1.data());
-    SecondPass(fn2, p1, p2, mid_keys.data(), mid_pays.data(), starts1.data(),
-               s_keys_a.data(), s_pays_a.data(), s_bounds.data(), vec,
-               t_count);
-    s_bounds[p_total] = static_cast<uint32_t>(s.n);
-
+    // The planner splits total_bits into as many passes as the budget
+    // demands (one for the common small-table cases); every pass partitions
+    // by `bits` hash bits with `rem` hash bits below them, all derived from
+    // the one shared hash value, so the final layout equals a single
+    // total_bits-wide hash partition.
+    const PartitionBudget budget = PartitionBudget::Default();
+    const uint32_t p_arg = p_total;
+    const uint32_t seed = cfg.seed;
+    PassFnMaker maker = [p_arg, seed](uint32_t bits, uint32_t rem) {
+      return PartitionFn::HashRadix(bits, rem, p_arg, seed + 1);
+    };
+    // Shared mid buffers across both relations; MultiPassPartition only
+    // touches scratch when the plan has more than one pass.
+    AlignedBuffer<uint32_t> mid_keys, mid_pays;
+    uint32_t* mk = nullptr;
+    uint32_t* mp = nullptr;
+    if (PlanRadixPasses(total_bits, budget).passes.size() > 1) {
+      mid_keys.Reset(ShuffleCapacity(std::max(r.n, s.n)));
+      mid_pays.Reset(ShuffleCapacity(std::max(r.n, s.n)));
+      mk = mid_keys.data();
+      mp = mid_pays.data();
+    }
+    MultiPassPartition(maker, total_bits, r.keys, r.pays, r.n,
+                       r_keys_a.data(), r_pays_a.data(), mk, mp, cfg.isa,
+                       t_count, budget, r_bounds.data(), &res);
+    MultiPassPartition(maker, total_bits, s.keys, s.pays, s.n,
+                       s_keys_a.data(), s_pays_a.data(), mk, mp, cfg.isa,
+                       t_count, budget, s_bounds.data(), &res);
     rk = r_keys_a.data();
     rp = r_pays_a.data();
     sk = s_keys_a.data();

@@ -1,6 +1,9 @@
 #include "partition/parallel_partition.h"
 
+#include <cassert>
+
 #include "obs/metrics.h"
+#include "partition/shuffle_dispatch.h"
 #include "util/prefix_sum.h"
 #include "util/task_pool.h"
 
@@ -26,11 +29,30 @@ obs::PhaseTimer g_part_cleanup_ns("part_cleanup_ns");
 void ParallelPartitionPass(const PartitionFn& fn, const uint32_t* keys,
                            const uint32_t* pays, size_t n, uint32_t* out_keys,
                            uint32_t* out_pays, Isa isa, int threads,
-                           ParallelPartitionResources* res, uint32_t* starts) {
+                           ParallelPartitionResources* res, uint32_t* starts,
+                           ShuffleVariant variant, size_t out_capacity) {
+  assert(out_capacity == 0 || out_capacity >= ShuffleCapacity(n));
+  (void)out_capacity;
   const int t_count = threads < 1 ? 1 : threads;
   const uint32_t p_count = fn.fanout;
   const bool vec = isa == Isa::kAvx512 && IsaSupported(Isa::kAvx512);
-  const MorselGrid grid(n, BoundedMorselSize(n));
+  if (variant == ShuffleVariant::kAuto) {
+    variant = ChooseShuffleVariant(p_count, PartitionBudget::Default());
+  }
+  const bool swwc = variant == ShuffleVariant::kSwwc;
+  const internal::SwwcFill fill =
+      internal::ChooseSwwcFill(isa, p_count, PartitionBudget::Default());
+  // SWWC passes run at fanouts where a 16K morsel averages only a few
+  // tuples per partition — staged lines would never fill and every tuple
+  // would fall to the cleanup copy. Grow the morsel so a morsel averages a
+  // full line per partition; the grid still depends only on (n, fn,
+  // variant), and a stable partition's output layout is independent of the
+  // morsel decomposition, so determinism and variant byte-identity hold.
+  size_t morsel = BoundedMorselSize(n);
+  if (swwc && morsel < static_cast<size_t>(p_count) * 16) {
+    morsel = static_cast<size_t>(p_count) * 16;
+  }
+  const MorselGrid grid(n, morsel);
   const size_t m_count = grid.count();
   if (m_count == 0) {
     if (starts != nullptr) {
@@ -38,7 +60,11 @@ void ParallelPartitionPass(const PartitionFn& fn, const uint32_t* keys,
     }
     return;
   }
-  res->Reserve(m_count, t_count, p_count);
+  if (swwc) {
+    res->ReserveSwwc(m_count, t_count, p_count);
+  } else {
+    res->Reserve(m_count, t_count, p_count);
+  }
   uint32_t* hists = res->hists.data();
   TaskPool& pool = TaskPool::Get();
 
@@ -73,7 +99,11 @@ void ParallelPartitionPass(const PartitionFn& fn, const uint32_t* keys,
       uint32_t* offsets = hists + m * p_count;
       const size_t b = grid.begin(m);
       if (pays != nullptr) {
-        if (vec) {
+        if (swwc) {
+          internal::SwwcPairMain(fill, fn, keys + b, pays + b, grid.size(m),
+                                 offsets, out_keys, out_pays,
+                                 &res->wc_bufs[m]);
+        } else if (vec) {
           ShuffleVectorBufferedMainAvx512(fn, keys + b, pays + b, grid.size(m),
                                           offsets, out_keys, out_pays,
                                           &res->bufs[m]);
@@ -83,7 +113,10 @@ void ParallelPartitionPass(const PartitionFn& fn, const uint32_t* keys,
                                     &res->bufs[m]);
         }
       } else {
-        if (vec) {
+        if (swwc) {
+          internal::SwwcKeysMain(fill, fn, keys + b, grid.size(m), offsets,
+                                 out_keys, &res->wc_bufs[m]);
+        } else if (vec) {
           ShuffleKeysVectorBufferedMainAvx512(fn, keys + b, grid.size(m),
                                               offsets, out_keys,
                                               &res->bufs[m]);
@@ -101,10 +134,19 @@ void ParallelPartitionPass(const PartitionFn& fn, const uint32_t* keys,
   pool.ParallelFor(m_count, t_count, [&](int, size_t m) {
     uint32_t* offsets = hists + m * p_count;
     if (pays != nullptr) {
-      ShuffleBufferedCleanup(p_count, offsets, res->bufs[m], out_keys,
-                             out_pays);
+      if (swwc) {
+        ShuffleSwwcCleanup(p_count, offsets, res->wc_bufs[m], out_keys,
+                           out_pays);
+      } else {
+        ShuffleBufferedCleanup(p_count, offsets, res->bufs[m], out_keys,
+                               out_pays);
+      }
     } else {
-      ShuffleKeysBufferedCleanup(p_count, offsets, res->bufs[m], out_keys);
+      if (swwc) {
+        ShuffleKeysSwwcCleanup(p_count, offsets, res->wc_bufs[m], out_keys);
+      } else {
+        ShuffleKeysBufferedCleanup(p_count, offsets, res->bufs[m], out_keys);
+      }
     }
   });
 }

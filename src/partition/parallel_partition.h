@@ -19,15 +19,20 @@
 #include "core/isa.h"
 #include "partition/histogram.h"
 #include "partition/partition_fn.h"
+#include "partition/plan.h"
 #include "partition/shuffle.h"
+#include "partition/swwc.h"
 #include "util/aligned_buffer.h"
 
 namespace simddb {
 
-/// Reusable scratch for ParallelPartitionPass: shuffle buffers and a
-/// histogram row per *morsel*, histogram workspaces per worker lane.
+/// Reusable scratch for ParallelPartitionPass: shuffle (or SWWC staging)
+/// buffers and a histogram row per *morsel*, histogram workspaces per
+/// worker lane. Only the buffer family the pass's variant needs is
+/// populated.
 struct ParallelPartitionResources {
-  std::vector<ShuffleBuffers> bufs;        ///< one per morsel
+  std::vector<ShuffleBuffers> bufs;        ///< one per morsel (buffered-16)
+  std::vector<SwwcBuffers> wc_bufs;        ///< one per morsel (SWWC)
   std::vector<HistogramWorkspace> hist_ws; ///< one per worker lane
   AlignedBuffer<uint32_t> hists;           ///< morsels x fanout
 
@@ -38,16 +43,31 @@ struct ParallelPartitionResources {
       hists.Reset(morsels * fanout);
     }
   }
+
+  void ReserveSwwc(size_t morsels, int lanes, uint32_t fanout) {
+    if (wc_bufs.size() < morsels) wc_bufs.resize(morsels);
+    if (hist_ws.size() < static_cast<size_t>(lanes)) hist_ws.resize(lanes);
+    if (hists.size() < morsels * fanout) {
+      hists.Reset(morsels * fanout);
+    }
+  }
 };
 
 /// Partitions (keys[, pays]) of size n into (out_keys[, out_pays]); pays and
 /// out_pays may be null for a key-only pass. Output arrays need capacity
-/// n + 16 (streaming flush overshoot). If `starts` is non-null it receives
-/// fanout+1 entries: global begin offset of each partition plus n.
+/// ShuffleCapacity(n) (streaming flush overshoot; see shuffle.h). If
+/// `starts` is non-null it receives fanout+1 entries: global begin offset of
+/// each partition plus n. `variant` picks the shuffle kernel; kAuto resolves
+/// via ChooseShuffleVariant(fn.fanout, PartitionBudget::Default()), which
+/// keeps buffered-16 for every fanout within the default TLB/L1 budget.
+/// `out_capacity`, when nonzero, is asserted to satisfy the
+/// ShuffleCapacity(n) contract at entry.
 void ParallelPartitionPass(const PartitionFn& fn, const uint32_t* keys,
                            const uint32_t* pays, size_t n, uint32_t* out_keys,
                            uint32_t* out_pays, Isa isa, int threads,
-                           ParallelPartitionResources* res, uint32_t* starts);
+                           ParallelPartitionResources* res, uint32_t* starts,
+                           ShuffleVariant variant = ShuffleVariant::kAuto,
+                           size_t out_capacity = 0);
 
 }  // namespace simddb
 

@@ -1,0 +1,47 @@
+#ifndef SIMDDB_PARTITION_PARTITION_VEC_AVX2_H_
+#define SIMDDB_PARTITION_PARTITION_VEC_AVX2_H_
+
+// Vectorized evaluation of PartitionFn (radix / hash / hash-radix) on 8
+// keys. Internal header for AVX2 translation units only; mirrors
+// partition_vec_avx512.h one register width down.
+
+#if defined(__AVX2__)
+
+#include "core/avx2_ops.h"
+#include "partition/partition_fn.h"
+
+namespace simddb::internal {
+
+class PartitionVecCtxAvx2 {
+ public:
+  explicit PartitionVecCtxAvx2(const PartitionFn& fn)
+      : factor_(_mm256_set1_epi32(static_cast<int>(fn.factor))),
+        total_(_mm256_set1_epi32(static_cast<int>(fn.total))),
+        mask_(_mm256_set1_epi32(static_cast<int>(fn.fanout - 1))),
+        shift_(static_cast<int>(fn.shift)),
+        radix_(fn.kind == PartitionFn::Kind::kRadix),
+        plain_hash_(fn.shift == 0 && fn.total == fn.fanout) {}
+
+  __m256i operator()(__m256i keys) const {
+    const __m128i count = _mm_cvtsi32_si128(shift_);
+    if (radix_) {
+      return _mm256_and_si256(_mm256_srl_epi32(keys, count), mask_);
+    }
+    __m256i h = simddb::avx2::MultHash(keys, factor_, total_);
+    if (plain_hash_) return h;
+    return _mm256_and_si256(_mm256_srl_epi32(h, count), mask_);
+  }
+
+ private:
+  __m256i factor_;
+  __m256i total_;
+  __m256i mask_;
+  int shift_;
+  bool radix_;
+  bool plain_hash_;
+};
+
+}  // namespace simddb::internal
+
+#endif  // __AVX2__
+#endif  // SIMDDB_PARTITION_PARTITION_VEC_AVX2_H_

@@ -24,9 +24,9 @@
 // thread, barriers, then *Cleanup (App. F's "fix the first cache line of
 // each partition after synchronizing").
 //
-// Output buffers need capacity total+16 (aligned flushes may overshoot the
-// last partition's end). Stable variants preserve input order within each
-// partition (required by LSB radixsort).
+// Output buffers need capacity ShuffleCapacity(total) (aligned flushes may
+// overshoot the last partition's end). Stable variants preserve input order
+// within each partition (required by LSB radixsort).
 
 #include <cstddef>
 #include <cstdint>
@@ -35,6 +35,21 @@
 #include "util/aligned_buffer.h"
 
 namespace simddb {
+
+/// Spare capacity every shuffle output and scratch array needs beyond its
+/// tuple count: the 16-tuple-aligned streaming flushes of the buffered
+/// variants may overshoot the last partition's end by up to 15 tuples, and
+/// the SWWC kernels (swwc.h) stage on a cacheline grid with the same worst
+/// case. This is THE slack constant — radix_sort.h, parallel_partition.h,
+/// and the join partitioners all state their buffer contracts in terms of
+/// it, and ParallelPartitionPass asserts it when told the real capacity.
+inline constexpr size_t kShuffleSlackTuples = 16;
+
+/// Required allocation size for a shuffle output or scratch array of n
+/// tuples.
+inline constexpr size_t ShuffleCapacity(size_t n) {
+  return n + kShuffleSlackTuples;
+}
 
 /// Per-thread scratch for buffered shuffles: 16 (key, payload) slots per
 /// partition, plus the snapshot of partition start offsets that the cleanup

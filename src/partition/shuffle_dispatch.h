@@ -1,0 +1,74 @@
+#ifndef SIMDDB_PARTITION_SHUFFLE_DISPATCH_H_
+#define SIMDDB_PARTITION_SHUFFLE_DISPATCH_H_
+
+// Internal shuffle-kernel dispatch shared by ParallelPartitionPass and
+// RefinePartitionsPass, so the two parallel drivers agree on which fill
+// path an SWWC pass uses.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/isa.h"
+#include "partition/partition_fn.h"
+#include "partition/plan.h"
+#include "partition/shuffle.h"
+#include "partition/swwc.h"
+
+namespace simddb::internal {
+
+/// How an SWWC Main fills its staging lines.
+enum class SwwcFill { kScalar, kAvx2, kAvx512 };
+
+/// The AVX-512 gather/scatter fill amortizes while the staging area is
+/// cache-hot at buffered-16 scale; at wider fanouts the measured winner is
+/// the branch-light scalar core (the whole point of the SWWC variant), so
+/// the vector fill is only picked inside the buffered-16 fanout budget.
+inline SwwcFill ChooseSwwcFill(Isa isa, uint32_t fanout,
+                               const PartitionBudget& budget) {
+  if (isa == Isa::kAvx512 && IsaSupported(Isa::kAvx512) &&
+      fanout <= budget.MaxBuffered16Fanout()) {
+    return SwwcFill::kAvx512;
+  }
+  if (isa == Isa::kAvx2 && IsaSupported(Isa::kAvx2)) return SwwcFill::kAvx2;
+  return SwwcFill::kScalar;
+}
+
+inline void SwwcPairMain(SwwcFill fill, const PartitionFn& fn,
+                         const uint32_t* keys, const uint32_t* pays, size_t n,
+                         uint32_t* offsets, uint32_t* out_keys,
+                         uint32_t* out_pays, SwwcBuffers* bufs) {
+  switch (fill) {
+    case SwwcFill::kAvx512:
+      ShuffleSwwcAvx512Main(fn, keys, pays, n, offsets, out_keys, out_pays,
+                            bufs);
+      break;
+    case SwwcFill::kAvx2:
+      ShuffleSwwcAvx2Main(fn, keys, pays, n, offsets, out_keys, out_pays,
+                          bufs);
+      break;
+    case SwwcFill::kScalar:
+      ShuffleSwwcScalarMain(fn, keys, pays, n, offsets, out_keys, out_pays,
+                            bufs);
+      break;
+  }
+}
+
+inline void SwwcKeysMain(SwwcFill fill, const PartitionFn& fn,
+                         const uint32_t* keys, size_t n, uint32_t* offsets,
+                         uint32_t* out_keys, SwwcBuffers* bufs) {
+  switch (fill) {
+    case SwwcFill::kAvx512:
+      ShuffleKeysSwwcAvx512Main(fn, keys, n, offsets, out_keys, bufs);
+      break;
+    case SwwcFill::kAvx2:
+      ShuffleKeysSwwcAvx2Main(fn, keys, n, offsets, out_keys, bufs);
+      break;
+    case SwwcFill::kScalar:
+      ShuffleKeysSwwcScalarMain(fn, keys, n, offsets, out_keys, bufs);
+      break;
+  }
+}
+
+}  // namespace simddb::internal
+
+#endif  // SIMDDB_PARTITION_SHUFFLE_DISPATCH_H_

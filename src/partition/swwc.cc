@@ -1,0 +1,184 @@
+// Scalar SWWC shuffle kernels (see swwc.h). This TU is compiled without ISA
+// flags, so streaming stores use SSE2 (x86-64 baseline): a full staged line
+// flushes as four 16-byte non-temporal stores into one write-combining
+// buffer. The scalar core is deliberately branch-light — at radix fanouts
+// beyond TLB reach it outruns the AVX-512 gather/scatter fill, which is why
+// ParallelPartitionPass picks it for wide SWWC passes.
+
+#include "partition/swwc.h"
+
+#include <emmintrin.h>  // SSE2 streaming stores (baseline on x86-64)
+
+#include <cstring>
+
+#include "util/sanitizer.h"
+
+namespace simddb {
+namespace internal {
+
+obs::Counter g_wc_line_flushes("wc_line_flushes");
+obs::Counter g_wc_partial_flushes("wc_partial_flushes");
+
+}  // namespace internal
+
+namespace {
+
+// Streams one staged 64-byte line to dst (16-byte aligned at minimum; the
+// key-line destinations produced by the slid grid are 64-byte aligned, so
+// the four stores combine into a single full-line write).
+SIMDDB_NO_SANITIZE_THREAD
+inline void StreamLine(const uint32_t* line, uint32_t* dst) {
+  const __m128i* src = reinterpret_cast<const __m128i*>(line);
+  __m128i* d = reinterpret_cast<__m128i*>(dst);
+  for (int t = 0; t < 4; ++t) {
+    _mm_stream_si128(d + t, _mm_load_si128(src + t));
+  }
+}
+
+}  // namespace
+
+// SIMDDB_NO_SANITIZE_THREAD: the grid-aligned flushes may briefly overwrite
+// up to 15 tuples of a neighbour morsel's still-staged tail; the
+// post-barrier cleanup pass rewrites them (see util/sanitizer.h).
+SIMDDB_NO_SANITIZE_THREAD
+void ShuffleSwwcScalarMain(const PartitionFn& fn, const uint32_t* keys,
+                           const uint32_t* pays, size_t n, uint32_t* offsets,
+                           uint32_t* out_keys, uint32_t* out_pays,
+                           SwwcBuffers* bufs) {
+  bufs->Reserve(fn.fanout);
+  std::memcpy(bufs->starts.data(), offsets, fn.fanout * sizeof(uint32_t));
+  uint32_t* stage = bufs->stage.data();
+  const uint32_t* st = bufs->starts.data();
+  const uint32_t dk = SwwcGridPhase(out_keys);
+  // The payload line lands on a streamable boundary whenever the two output
+  // arrays are congruent mod 16 bytes (mod 64 for single-line combining);
+  // otherwise the key line keeps streaming and payloads take plain stores.
+  const bool pays_nt = ((reinterpret_cast<uintptr_t>(out_pays) -
+                         reinterpret_cast<uintptr_t>(out_keys)) &
+                        15u) == 0;
+  uint64_t lines = 0;
+  uint64_t partials = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t p = fn(keys[i]);
+    uint32_t o = offsets[p]++;
+    uint32_t slot = (o - dk) & 15u;
+    uint32_t* line = stage + p * kSwwcStageStride;
+    line[slot] = keys[i];
+    line[16 + slot] = pays[i];
+    if (slot == 15u) {
+      if (o >= 15u) {
+        uint32_t base = o - 15u;  // 64-byte aligned by the slid grid
+        StreamLine(line, out_keys + base);
+        if (pays_nt) {
+          StreamLine(line + 16, out_pays + base);
+        } else {
+          std::memcpy(out_pays + base, line + 16, 16 * sizeof(uint32_t));
+        }
+        lines += 2;
+      } else {
+        // Head: the full line would start before the array. Scalar-copy our
+        // own positions [starts[p], o] — all still staged, and positions
+        // below starts[p] belong to another subrange we must not touch.
+        for (uint32_t q = st[p]; q <= o; ++q) {
+          out_keys[q] = line[(q - dk) & 15u];
+          out_pays[q] = line[16 + ((q - dk) & 15u)];
+        }
+        ++partials;
+      }
+    }
+  }
+  _mm_sfence();
+  internal::g_wc_line_flushes.Add(lines);
+  internal::g_wc_partial_flushes.Add(partials);
+}
+
+SIMDDB_NO_SANITIZE_THREAD
+void ShuffleKeysSwwcScalarMain(const PartitionFn& fn, const uint32_t* keys,
+                               size_t n, uint32_t* offsets, uint32_t* out_keys,
+                               SwwcBuffers* bufs) {
+  bufs->Reserve(fn.fanout);
+  std::memcpy(bufs->starts.data(), offsets, fn.fanout * sizeof(uint32_t));
+  uint32_t* stage = bufs->stage.data();
+  const uint32_t* st = bufs->starts.data();
+  const uint32_t dk = SwwcGridPhase(out_keys);
+  uint64_t lines = 0;
+  uint64_t partials = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t p = fn(keys[i]);
+    uint32_t o = offsets[p]++;
+    uint32_t slot = (o - dk) & 15u;
+    uint32_t* line = stage + p * kSwwcStageStride;
+    line[slot] = keys[i];
+    if (slot == 15u) {
+      if (o >= 15u) {
+        StreamLine(line, out_keys + (o - 15u));
+        ++lines;
+      } else {
+        for (uint32_t q = st[p]; q <= o; ++q) {
+          out_keys[q] = line[(q - dk) & 15u];
+        }
+        ++partials;
+      }
+    }
+  }
+  _mm_sfence();
+  internal::g_wc_line_flushes.Add(lines);
+  internal::g_wc_partial_flushes.Add(partials);
+}
+
+void ShuffleSwwcCleanup(uint32_t p_count, const uint32_t* offsets,
+                        const SwwcBuffers& bufs, uint32_t* out_keys,
+                        uint32_t* out_pays) {
+  const uint32_t dk = SwwcGridPhase(out_keys);
+  const uint32_t* stage = bufs.stage.data();
+  uint64_t partials = 0;
+  for (uint32_t p = 0; p < p_count; ++p) {
+    uint32_t start = bufs.starts[p];
+    uint32_t end = offsets[p];
+    // First still-staged position: back off to the grid boundary, guarding
+    // the unsigned subtraction (end may sit below the first boundary), then
+    // clamp to the partition start.
+    uint32_t rem = (end - dk) & 15u;
+    uint32_t from = end >= rem ? end - rem : 0;
+    if (from < start) from = start;
+    if (from >= end) continue;
+    const uint32_t* line = stage + p * kSwwcStageStride;
+    for (uint32_t q = from; q < end; ++q) {
+      out_keys[q] = line[(q - dk) & 15u];
+      out_pays[q] = line[16 + ((q - dk) & 15u)];
+    }
+    ++partials;
+  }
+  internal::g_wc_partial_flushes.Add(partials);
+}
+
+void ShuffleKeysSwwcCleanup(uint32_t p_count, const uint32_t* offsets,
+                            const SwwcBuffers& bufs, uint32_t* out_keys) {
+  const uint32_t dk = SwwcGridPhase(out_keys);
+  const uint32_t* stage = bufs.stage.data();
+  uint64_t partials = 0;
+  for (uint32_t p = 0; p < p_count; ++p) {
+    uint32_t start = bufs.starts[p];
+    uint32_t end = offsets[p];
+    uint32_t rem = (end - dk) & 15u;
+    uint32_t from = end >= rem ? end - rem : 0;
+    if (from < start) from = start;
+    if (from >= end) continue;
+    const uint32_t* line = stage + p * kSwwcStageStride;
+    for (uint32_t q = from; q < end; ++q) {
+      out_keys[q] = line[(q - dk) & 15u];
+    }
+    ++partials;
+  }
+  internal::g_wc_partial_flushes.Add(partials);
+}
+
+void ShuffleSwwcScalar(const PartitionFn& fn, const uint32_t* keys,
+                       const uint32_t* pays, size_t n, uint32_t* offsets,
+                       uint32_t* out_keys, uint32_t* out_pays,
+                       SwwcBuffers* bufs) {
+  ShuffleSwwcScalarMain(fn, keys, pays, n, offsets, out_keys, out_pays, bufs);
+  ShuffleSwwcCleanup(fn.fanout, offsets, *bufs, out_keys, out_pays);
+}
+
+}  // namespace simddb

@@ -1,0 +1,143 @@
+#ifndef SIMDDB_PARTITION_SWWC_H_
+#define SIMDDB_PARTITION_SWWC_H_
+
+// Software write-combining (SWWC) shuffle. The buffered-16 variants of
+// shuffle.h keep one 16-tuple buffer per partition per column and flush at
+// 16-tuple-aligned *positions*; whether the flush is a non-temporal store
+// depends on the output array's own alignment (the all-or-nothing
+// `streamable` flag), and the key and payload buffers live in two separate
+// arrays, so one tuple insert touches two staging cache lines P*64 bytes
+// apart. At fanouts beyond TLB reach both costs dominate and throughput
+// collapses (Fig. 13, right edge).
+//
+// The SWWC kernels fix both:
+//
+//   - Combined staging: partition p owns ONE 128-byte block — 16 staged
+//     keys in its first cache line, the 16 matching payloads in its second
+//     — so an insert dirties two adjacent lines and the whole staging area
+//     for fanout P is P*128 bytes.
+//   - Slid alignment grid: flushes happen when the staged line is full at
+//     output position o with (o - dk) % 16 == 15, where
+//     dk = ((64 - (addr(out_keys) & 63)) >> 2) & 15 slides the grid so the
+//     flush destination out_keys + (o - 15) is ALWAYS 64-byte aligned —
+//     full-line non-temporal stores regardless of the caller's base
+//     alignment. The payload line streams too when out_pays is congruent to
+//     out_keys mod 64 (true for any pair of 64-byte-aligned arrays, e.g.
+//     AlignedBuffer); otherwise it degrades to an unaligned store while the
+//     key line keeps streaming.
+//
+// Head/tail handling on the slid grid: the first line of the array (when
+// dk > 0) would flush at a negative base, so those positions are
+// scalar-copied from staging instead ("head"); every partition's unflushed
+// tail is written by ShuffleSwwcCleanup after the parallel barrier, exactly
+// like the buffered-16 cleanup. The offsets/starts protocol, the
+// may-clobber-up-to-15-tuples-before-a-partition-start behaviour, and the
+// ShuffleCapacity(n) output contract are identical to shuffle.h, so
+// ParallelPartitionPass can swap the kernel per pass (see plan.h's
+// ShuffleVariant).
+//
+// Observability: wc_line_flushes counts full 64-byte lines written by Main
+// flushes (key and payload lines separately); wc_partial_flushes counts
+// partial-line writes (heads in Main, tail repairs in Cleanup).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "partition/partition_fn.h"
+#include "util/aligned_buffer.h"
+
+namespace simddb {
+
+/// uint32 elements each partition owns in the combined staging area: one
+/// 16-key cache line plus one 16-payload cache line (128 bytes).
+inline constexpr size_t kSwwcStageStride = 32;
+
+/// Bytes of staging one partition costs an SWWC pass — the planner's unit
+/// for fitting a pass's staging area into a cache-level budget.
+inline constexpr size_t kSwwcStageBytesPerPartition =
+    kSwwcStageStride * sizeof(uint32_t);
+
+/// The alignment-grid slide for an output array: the number of leading
+/// elements before out's first 64-byte boundary, i.e. flushes cover
+/// positions [b, b+16) with (b - dk) % 16 == 0 and out + b 64-byte aligned.
+inline uint32_t SwwcGridPhase(const uint32_t* out) {
+  return ((64u - (reinterpret_cast<uintptr_t>(out) & 63u)) >> 2) & 15u;
+}
+
+/// Per-morsel scratch for SWWC shuffles: the combined key/payload staging
+/// area plus the partition-start snapshot the cleanup pass needs.
+struct SwwcBuffers {
+  AlignedBuffer<uint32_t> stage;   ///< fanout x kSwwcStageStride
+  AlignedBuffer<uint32_t> starts;  ///< fanout
+
+  void Reserve(uint32_t p) {
+    if (stage.size() < static_cast<size_t>(p) * kSwwcStageStride) {
+      stage.Reset(static_cast<size_t>(p) * kSwwcStageStride);
+      starts.Reset(p);
+    }
+  }
+};
+
+namespace internal {
+extern obs::Counter g_wc_line_flushes;
+extern obs::Counter g_wc_partial_flushes;
+}  // namespace internal
+
+// Main kernels: same offsets protocol as shuffle.h (exclusive prefix sum in,
+// partition ends out). The scalar core is the fastest pair shuffle at large
+// fanout on wide-radix passes; the AVX-512 form keeps Alg. 15's
+// gather/scatter/conflict-serialization fill and wins at small fanout.
+void ShuffleSwwcScalarMain(const PartitionFn& fn, const uint32_t* keys,
+                           const uint32_t* pays, size_t n, uint32_t* offsets,
+                           uint32_t* out_keys, uint32_t* out_pays,
+                           SwwcBuffers* bufs);
+void ShuffleKeysSwwcScalarMain(const PartitionFn& fn, const uint32_t* keys,
+                               size_t n, uint32_t* offsets, uint32_t* out_keys,
+                               SwwcBuffers* bufs);
+
+/// AVX2: vectorized partition-function evaluation (8 keys at a time),
+/// scalar staging inserts, 32-byte non-temporal flushes.
+void ShuffleSwwcAvx2Main(const PartitionFn& fn, const uint32_t* keys,
+                         const uint32_t* pays, size_t n, uint32_t* offsets,
+                         uint32_t* out_keys, uint32_t* out_pays,
+                         SwwcBuffers* bufs);
+void ShuffleKeysSwwcAvx2Main(const PartitionFn& fn, const uint32_t* keys,
+                             size_t n, uint32_t* offsets, uint32_t* out_keys,
+                             SwwcBuffers* bufs);
+
+/// AVX-512: Alg. 15's vectorized fill (gather offsets, serialize conflicts,
+/// scatter into staging) on the combined layout and the slid grid.
+void ShuffleSwwcAvx512Main(const PartitionFn& fn, const uint32_t* keys,
+                           const uint32_t* pays, size_t n, uint32_t* offsets,
+                           uint32_t* out_keys, uint32_t* out_pays,
+                           SwwcBuffers* bufs);
+void ShuffleKeysSwwcAvx512Main(const PartitionFn& fn, const uint32_t* keys,
+                               size_t n, uint32_t* offsets,
+                               uint32_t* out_keys, SwwcBuffers* bufs);
+
+/// Writes the still-staged tail tuples of every partition (must run after
+/// *Main on all threads of a parallel shuffle).
+void ShuffleSwwcCleanup(uint32_t p_count, const uint32_t* offsets,
+                        const SwwcBuffers& bufs, uint32_t* out_keys,
+                        uint32_t* out_pays);
+void ShuffleKeysSwwcCleanup(uint32_t p_count, const uint32_t* offsets,
+                            const SwwcBuffers& bufs, uint32_t* out_keys);
+
+/// Single-threaded conveniences: Main + Cleanup.
+void ShuffleSwwcScalar(const PartitionFn& fn, const uint32_t* keys,
+                       const uint32_t* pays, size_t n, uint32_t* offsets,
+                       uint32_t* out_keys, uint32_t* out_pays,
+                       SwwcBuffers* bufs);
+void ShuffleSwwcAvx2(const PartitionFn& fn, const uint32_t* keys,
+                     const uint32_t* pays, size_t n, uint32_t* offsets,
+                     uint32_t* out_keys, uint32_t* out_pays,
+                     SwwcBuffers* bufs);
+void ShuffleSwwcAvx512(const PartitionFn& fn, const uint32_t* keys,
+                       const uint32_t* pays, size_t n, uint32_t* offsets,
+                       uint32_t* out_keys, uint32_t* out_pays,
+                       SwwcBuffers* bufs);
+
+}  // namespace simddb
+
+#endif  // SIMDDB_PARTITION_SWWC_H_

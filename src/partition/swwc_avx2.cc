@@ -1,0 +1,141 @@
+// AVX2 SWWC shuffle: the partition function is evaluated 8 keys at a time
+// (AVX2 has no scatter or conflict detection, so staging inserts stay
+// scalar and in input order — trivially stable), and full staged lines
+// flush as two 32-byte non-temporal stores. Shares the slid-grid protocol
+// of swwc.cc.
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "partition/partition_vec_avx2.h"
+#include "partition/swwc.h"
+#include "util/sanitizer.h"
+
+namespace simddb {
+namespace {
+
+using internal::PartitionVecCtxAvx2;
+
+SIMDDB_NO_SANITIZE_THREAD
+inline void StreamLine256(const uint32_t* line, uint32_t* dst) {
+  const __m256i* src = reinterpret_cast<const __m256i*>(line);
+  __m256i* d = reinterpret_cast<__m256i*>(dst);
+  _mm256_stream_si256(d, _mm256_load_si256(src));
+  _mm256_stream_si256(d + 1, _mm256_load_si256(src + 1));
+}
+
+}  // namespace
+
+// SIMDDB_NO_SANITIZE_THREAD: same benign clobber-and-repair protocol as the
+// scalar Main (see util/sanitizer.h).
+SIMDDB_NO_SANITIZE_THREAD
+void ShuffleSwwcAvx2Main(const PartitionFn& fn, const uint32_t* keys,
+                         const uint32_t* pays, size_t n, uint32_t* offsets,
+                         uint32_t* out_keys, uint32_t* out_pays,
+                         SwwcBuffers* bufs) {
+  bufs->Reserve(fn.fanout);
+  std::memcpy(bufs->starts.data(), offsets, fn.fanout * sizeof(uint32_t));
+  uint32_t* stage = bufs->stage.data();
+  const uint32_t* st = bufs->starts.data();
+  const uint32_t dk = SwwcGridPhase(out_keys);
+  // 32-byte congruence suffices for the two-store payload flush.
+  const bool pays_nt = ((reinterpret_cast<uintptr_t>(out_pays) -
+                         reinterpret_cast<uintptr_t>(out_keys)) &
+                        31u) == 0;
+  const PartitionVecCtxAvx2 part(fn);
+  alignas(32) uint32_t parts[8];
+  uint64_t lines = 0;
+  uint64_t partials = 0;
+  auto put = [&](uint32_t key, uint32_t pay, uint32_t p) {
+    uint32_t o = offsets[p]++;
+    uint32_t slot = (o - dk) & 15u;
+    uint32_t* line = stage + p * kSwwcStageStride;
+    line[slot] = key;
+    line[16 + slot] = pay;
+    if (slot == 15u) {
+      if (o >= 15u) {
+        uint32_t base = o - 15u;
+        StreamLine256(line, out_keys + base);
+        if (pays_nt) {
+          StreamLine256(line + 16, out_pays + base);
+        } else {
+          std::memcpy(out_pays + base, line + 16, 16 * sizeof(uint32_t));
+        }
+        lines += 2;
+      } else {
+        for (uint32_t q = st[p]; q <= o; ++q) {
+          out_keys[q] = line[(q - dk) & 15u];
+          out_pays[q] = line[16 + ((q - dk) & 15u)];
+        }
+        ++partials;
+      }
+    }
+  };
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(parts), part(k));
+    for (int lane = 0; lane < 8; ++lane) {
+      put(keys[i + lane], pays[i + lane], parts[lane]);
+    }
+  }
+  for (; i < n; ++i) put(keys[i], pays[i], fn(keys[i]));
+  _mm_sfence();
+  internal::g_wc_line_flushes.Add(lines);
+  internal::g_wc_partial_flushes.Add(partials);
+}
+
+SIMDDB_NO_SANITIZE_THREAD
+void ShuffleKeysSwwcAvx2Main(const PartitionFn& fn, const uint32_t* keys,
+                             size_t n, uint32_t* offsets, uint32_t* out_keys,
+                             SwwcBuffers* bufs) {
+  bufs->Reserve(fn.fanout);
+  std::memcpy(bufs->starts.data(), offsets, fn.fanout * sizeof(uint32_t));
+  uint32_t* stage = bufs->stage.data();
+  const uint32_t* st = bufs->starts.data();
+  const uint32_t dk = SwwcGridPhase(out_keys);
+  const PartitionVecCtxAvx2 part(fn);
+  alignas(32) uint32_t parts[8];
+  uint64_t lines = 0;
+  uint64_t partials = 0;
+  auto put = [&](uint32_t key, uint32_t p) {
+    uint32_t o = offsets[p]++;
+    uint32_t slot = (o - dk) & 15u;
+    uint32_t* line = stage + p * kSwwcStageStride;
+    line[slot] = key;
+    if (slot == 15u) {
+      if (o >= 15u) {
+        StreamLine256(line, out_keys + (o - 15u));
+        ++lines;
+      } else {
+        for (uint32_t q = st[p]; q <= o; ++q) {
+          out_keys[q] = line[(q - dk) & 15u];
+        }
+        ++partials;
+      }
+    }
+  };
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(parts), part(k));
+    for (int lane = 0; lane < 8; ++lane) put(keys[i + lane], parts[lane]);
+  }
+  for (; i < n; ++i) put(keys[i], fn(keys[i]));
+  _mm_sfence();
+  internal::g_wc_line_flushes.Add(lines);
+  internal::g_wc_partial_flushes.Add(partials);
+}
+
+void ShuffleSwwcAvx2(const PartitionFn& fn, const uint32_t* keys,
+                     const uint32_t* pays, size_t n, uint32_t* offsets,
+                     uint32_t* out_keys, uint32_t* out_pays,
+                     SwwcBuffers* bufs) {
+  ShuffleSwwcAvx2Main(fn, keys, pays, n, offsets, out_keys, out_pays, bufs);
+  ShuffleSwwcCleanup(fn.fanout, offsets, *bufs, out_keys, out_pays);
+}
+
+}  // namespace simddb

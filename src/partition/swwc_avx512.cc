@@ -1,0 +1,236 @@
+// AVX-512 SWWC shuffle: Alg. 15's vectorized fill (gather offsets,
+// serialize conflicts, scatter into per-partition staging) retargeted at
+// the combined 128-byte staging layout and the slid alignment grid of
+// swwc.h, so every full-line flush is a 64-byte non-temporal store no
+// matter how the caller's output arrays are aligned.
+
+#include <cstring>
+
+#include "core/avx512_ops.h"
+#include "partition/partition_vec_avx512.h"
+#include "partition/swwc.h"
+#include "util/sanitizer.h"
+
+namespace simddb {
+namespace {
+
+namespace v = simddb::avx512;
+
+using internal::PartitionVecCtx;
+
+}  // namespace
+
+// SIMDDB_NO_SANITIZE_THREAD: same benign clobber-and-repair protocol as the
+// scalar Main (see util/sanitizer.h).
+SIMDDB_NO_SANITIZE_THREAD
+void ShuffleSwwcAvx512Main(const PartitionFn& fn, const uint32_t* keys,
+                           const uint32_t* pays, size_t n, uint32_t* offsets,
+                           uint32_t* out_keys, uint32_t* out_pays,
+                           SwwcBuffers* bufs) {
+  bufs->Reserve(fn.fanout);
+  std::memcpy(bufs->starts.data(), offsets, fn.fanout * sizeof(uint32_t));
+  uint32_t* stage = bufs->stage.data();
+  const uint32_t* st = bufs->starts.data();
+  const uint32_t dk = SwwcGridPhase(out_keys);
+  // Full-line congruence: the payload line streams when the two arrays sit
+  // on the same 64-byte phase.
+  const bool pays_nt = ((reinterpret_cast<uintptr_t>(out_pays) -
+                         reinterpret_cast<uintptr_t>(out_keys)) &
+                        63u) == 0;
+  const __m512i one = _mm512_set1_epi32(1);
+  const __m512i fifteen = _mm512_set1_epi32(15);
+  const __m512i sixteen = _mm512_set1_epi32(16);
+  const __m512i stride =
+      _mm512_set1_epi32(static_cast<int>(kSwwcStageStride));
+  const __m512i dkv = _mm512_set1_epi32(static_cast<int>(dk));
+  const PartitionVecCtx part(fn);
+  alignas(64) uint32_t flush_part[16];
+  alignas(64) uint32_t flush_base[16];
+  uint64_t lines = 0;
+  uint64_t partials = 0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512i k = _mm512_loadu_si512(keys + i);
+    __m512i val = _mm512_loadu_si512(pays + i);
+    __m512i p = part(k);
+    __m512i o = v::Gather(offsets, p);
+    __m512i ser = v::SerializeConflicts(p);
+    o = _mm512_add_epi32(o, ser);
+    v::Scatter(offsets, p, _mm512_add_epi32(o, one));
+    // Staging slot on the slid grid; may exceed 15 for lanes of a partition
+    // whose line fills mid-vector.
+    __m512i slot = _mm512_add_epi32(
+        _mm512_and_si512(
+            _mm512_sub_epi32(_mm512_sub_epi32(o, ser), dkv), fifteen),
+        ser);
+    __m512i buf_idx = _mm512_add_epi32(_mm512_mullo_epi32(p, stride), slot);
+    __mmask16 fits = _mm512_cmple_epu32_mask(slot, fifteen);
+    v::MaskScatter(stage, fits, buf_idx, k);
+    v::MaskScatter(stage + 16, fits, buf_idx, val);
+    __mmask16 full = _mm512_cmpeq_epi32_mask(slot, fifteen);
+    if (full != 0) {
+      // At most one lane per partition can sit at slot 15, so the flush
+      // list has no duplicates.
+      v::SelectiveStore(flush_part, full, p);
+      v::SelectiveStore(flush_base, full, _mm512_sub_epi32(o, fifteen));
+      int n_flush = __builtin_popcount(full);
+      for (int f = 0; f < n_flush; ++f) {
+        uint32_t prt = flush_part[f];
+        uint32_t base = flush_base[f];
+        const uint32_t* line = stage + prt * kSwwcStageStride;
+        if (static_cast<int32_t>(base) >= 0) {
+          v::StreamStore(out_keys + base, _mm512_load_si512(line));
+          if (pays_nt) {
+            v::StreamStore(out_pays + base, _mm512_load_si512(line + 16));
+          } else {
+            _mm512_storeu_si512(out_pays + base,
+                                _mm512_load_si512(line + 16));
+          }
+          lines += 2;
+        } else {
+          // Head: see swwc.cc — copy only this partition's own positions.
+          uint32_t oo = base + 15u;
+          for (uint32_t q = st[prt]; q <= oo; ++q) {
+            out_keys[q] = line[(q - dk) & 15u];
+            out_pays[q] = line[16 + ((q - dk) & 15u)];
+          }
+          ++partials;
+        }
+      }
+      __mmask16 overflow = static_cast<__mmask16>(~fits);
+      if (overflow != 0) {
+        __m512i of_idx = _mm512_sub_epi32(buf_idx, sixteen);
+        v::MaskScatter(stage, overflow, of_idx, k);
+        v::MaskScatter(stage + 16, overflow, of_idx, val);
+      }
+    }
+  }
+  _mm_sfence();
+  // Scalar tail re-uses the same staging and flush protocol.
+  for (; i < n; ++i) {
+    uint32_t p = fn(keys[i]);
+    uint32_t o = offsets[p]++;
+    uint32_t slot = (o - dk) & 15u;
+    uint32_t* line = stage + p * kSwwcStageStride;
+    line[slot] = keys[i];
+    line[16 + slot] = pays[i];
+    if (slot == 15u) {
+      if (o >= 15u) {
+        uint32_t base = o - 15u;
+        v::StreamStore(out_keys + base, _mm512_load_si512(line));
+        if (pays_nt) {
+          v::StreamStore(out_pays + base, _mm512_load_si512(line + 16));
+        } else {
+          _mm512_storeu_si512(out_pays + base, _mm512_load_si512(line + 16));
+        }
+        lines += 2;
+      } else {
+        for (uint32_t q = st[p]; q <= o; ++q) {
+          out_keys[q] = line[(q - dk) & 15u];
+          out_pays[q] = line[16 + ((q - dk) & 15u)];
+        }
+        ++partials;
+      }
+    }
+  }
+  _mm_sfence();
+  internal::g_wc_line_flushes.Add(lines);
+  internal::g_wc_partial_flushes.Add(partials);
+}
+
+SIMDDB_NO_SANITIZE_THREAD
+void ShuffleKeysSwwcAvx512Main(const PartitionFn& fn, const uint32_t* keys,
+                               size_t n, uint32_t* offsets,
+                               uint32_t* out_keys, SwwcBuffers* bufs) {
+  bufs->Reserve(fn.fanout);
+  std::memcpy(bufs->starts.data(), offsets, fn.fanout * sizeof(uint32_t));
+  uint32_t* stage = bufs->stage.data();
+  const uint32_t* st = bufs->starts.data();
+  const uint32_t dk = SwwcGridPhase(out_keys);
+  const __m512i one = _mm512_set1_epi32(1);
+  const __m512i fifteen = _mm512_set1_epi32(15);
+  const __m512i sixteen = _mm512_set1_epi32(16);
+  const __m512i stride =
+      _mm512_set1_epi32(static_cast<int>(kSwwcStageStride));
+  const __m512i dkv = _mm512_set1_epi32(static_cast<int>(dk));
+  const PartitionVecCtx part(fn);
+  alignas(64) uint32_t flush_part[16];
+  alignas(64) uint32_t flush_base[16];
+  uint64_t lines = 0;
+  uint64_t partials = 0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512i k = _mm512_loadu_si512(keys + i);
+    __m512i p = part(k);
+    __m512i o = v::Gather(offsets, p);
+    __m512i ser = v::SerializeConflicts(p);
+    o = _mm512_add_epi32(o, ser);
+    v::Scatter(offsets, p, _mm512_add_epi32(o, one));
+    __m512i slot = _mm512_add_epi32(
+        _mm512_and_si512(
+            _mm512_sub_epi32(_mm512_sub_epi32(o, ser), dkv), fifteen),
+        ser);
+    __m512i buf_idx = _mm512_add_epi32(_mm512_mullo_epi32(p, stride), slot);
+    __mmask16 fits = _mm512_cmple_epu32_mask(slot, fifteen);
+    v::MaskScatter(stage, fits, buf_idx, k);
+    __mmask16 full = _mm512_cmpeq_epi32_mask(slot, fifteen);
+    if (full != 0) {
+      v::SelectiveStore(flush_part, full, p);
+      v::SelectiveStore(flush_base, full, _mm512_sub_epi32(o, fifteen));
+      int n_flush = __builtin_popcount(full);
+      for (int f = 0; f < n_flush; ++f) {
+        uint32_t prt = flush_part[f];
+        uint32_t base = flush_base[f];
+        const uint32_t* line = stage + prt * kSwwcStageStride;
+        if (static_cast<int32_t>(base) >= 0) {
+          v::StreamStore(out_keys + base, _mm512_load_si512(line));
+          ++lines;
+        } else {
+          uint32_t oo = base + 15u;
+          for (uint32_t q = st[prt]; q <= oo; ++q) {
+            out_keys[q] = line[(q - dk) & 15u];
+          }
+          ++partials;
+        }
+      }
+      __mmask16 overflow = static_cast<__mmask16>(~fits);
+      if (overflow != 0) {
+        v::MaskScatter(stage, overflow, _mm512_sub_epi32(buf_idx, sixteen),
+                       k);
+      }
+    }
+  }
+  _mm_sfence();
+  for (; i < n; ++i) {
+    uint32_t p = fn(keys[i]);
+    uint32_t o = offsets[p]++;
+    uint32_t slot = (o - dk) & 15u;
+    uint32_t* line = stage + p * kSwwcStageStride;
+    line[slot] = keys[i];
+    if (slot == 15u) {
+      if (o >= 15u) {
+        v::StreamStore(out_keys + (o - 15u), _mm512_load_si512(line));
+        ++lines;
+      } else {
+        for (uint32_t q = st[p]; q <= o; ++q) {
+          out_keys[q] = line[(q - dk) & 15u];
+        }
+        ++partials;
+      }
+    }
+  }
+  _mm_sfence();
+  internal::g_wc_line_flushes.Add(lines);
+  internal::g_wc_partial_flushes.Add(partials);
+}
+
+void ShuffleSwwcAvx512(const PartitionFn& fn, const uint32_t* keys,
+                       const uint32_t* pays, size_t n, uint32_t* offsets,
+                       uint32_t* out_keys, uint32_t* out_pays,
+                       SwwcBuffers* bufs) {
+  ShuffleSwwcAvx512Main(fn, keys, pays, n, offsets, out_keys, out_pays,
+                        bufs);
+  ShuffleSwwcCleanup(fn.fanout, offsets, *bufs, out_keys, out_pays);
+}
+
+}  // namespace simddb

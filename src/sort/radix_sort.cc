@@ -7,6 +7,7 @@
 #include "partition/histogram.h"
 #include "partition/parallel_partition.h"
 #include "partition/partition_fn.h"
+#include "partition/plan.h"
 #include "partition/shuffle.h"
 #include "util/aligned_buffer.h"
 #include "util/prefix_sum.h"
@@ -24,22 +25,25 @@ void RadixSortImpl(uint32_t* keys, uint32_t* pays, uint32_t* scratch_keys,
                    uint32_t* scratch_pays, size_t n,
                    const RadixSortConfig& cfg) {
   if (n < 2) return;
-  const int bits = cfg.bits_per_pass < 1 ? 8 : cfg.bits_per_pass;
-  const int passes = (32 + bits - 1) / bits;
+  const uint32_t req =
+      cfg.bits_per_pass < 1 ? 8 : static_cast<uint32_t>(cfg.bits_per_pass);
+  // LSB order: the cumulative shift makes any pass-width sequence summing to
+  // 32 a correct (stable) sort, so the planner's balanced split just rides.
+  const PartitionPlan plan =
+      PlanRadixPasses(32, PartitionBudget::Default(), req);
   ParallelPartitionResources res;
 
   uint32_t* in_k = keys;
   uint32_t* in_p = pays;
   uint32_t* out_k = scratch_keys;
   uint32_t* out_p = scratch_pays;
-  for (int pass = 0; pass < passes; ++pass) {
-    int lo = pass * bits;
-    int pass_bits = bits;
-    if (lo + pass_bits > 32) pass_bits = 32 - lo;
-    PartitionFn fn = PartitionFn::Radix(static_cast<uint32_t>(pass_bits),
-                                        static_cast<uint32_t>(lo));
+  uint32_t lo = 0;
+  for (const PartitionPassPlan& pass : plan.passes) {
+    PartitionFn fn = PartitionFn::Radix(pass.bits, lo);
     ParallelPartitionPass(fn, in_k, in_p, n, out_k, out_p, cfg.isa,
-                          cfg.threads, &res, nullptr);
+                          cfg.threads, &res, nullptr, pass.variant,
+                          ShuffleCapacity(n));
+    lo += pass.bits;
     std::swap(in_k, out_k);
     std::swap(in_p, out_p);
   }
@@ -66,8 +70,12 @@ void RadixSortMultiColumn(uint32_t* keys, uint32_t* scratch_keys, size_t n,
                           SortColumn* cols, size_t n_cols,
                           const RadixSortConfig& cfg) {
   if (n < 2) return;
-  const int bits = cfg.bits_per_pass < 1 ? 8 : cfg.bits_per_pass;
-  const int passes = (32 + bits - 1) / bits;
+  const uint32_t req =
+      cfg.bits_per_pass < 1 ? 8 : static_cast<uint32_t>(cfg.bits_per_pass);
+  const PartitionPlan plan =
+      PlanRadixPasses(32, PartitionBudget::Default(), req);
+  // Widest pass comes first in the plan, so it sizes the histogram rows.
+  const uint32_t max_bits = plan.passes.front().bits;
   const bool vec = cfg.isa == Isa::kAvx512 && IsaSupported(Isa::kAvx512);
   const int t_count = cfg.threads < 1 ? 1 : cfg.threads;
 
@@ -80,8 +88,8 @@ void RadixSortMultiColumn(uint32_t* keys, uint32_t* scratch_keys, size_t n,
   const size_t m_count = grid.count();
   TaskPool& pool = TaskPool::Get();
   const int lanes = TaskPool::LaneCount(m_count, t_count);
-  AlignedBuffer<uint32_t> hists(m_count << bits);
-  AlignedBuffer<uint32_t> dest(n + 16);
+  AlignedBuffer<uint32_t> hists(m_count << max_bits);
+  AlignedBuffer<uint32_t> dest(ShuffleCapacity(n));
   std::vector<HistogramWorkspace> ws(lanes);
   uint32_t* in_k = keys;
   uint32_t* out_k = scratch_keys;
@@ -91,12 +99,10 @@ void RadixSortMultiColumn(uint32_t* keys, uint32_t* scratch_keys, size_t n,
     out_c[c] = cols[c].scratch;
   }
 
-  for (int pass = 0; pass < passes; ++pass) {
-    int lo = pass * bits;
-    int pass_bits = bits;
-    if (lo + pass_bits > 32) pass_bits = 32 - lo;
-    PartitionFn fn = PartitionFn::Radix(static_cast<uint32_t>(pass_bits),
-                                        static_cast<uint32_t>(lo));
+  uint32_t lo = 0;
+  for (const PartitionPassPlan& pass : plan.passes) {
+    PartitionFn fn = PartitionFn::Radix(pass.bits, lo);
+    lo += pass.bits;
     {
       obs::ScopedPhase phase(g_sort_hist_ns);
       pool.ParallelFor(m_count, t_count, [&](int worker, size_t m) {

@@ -8,9 +8,13 @@
 // and interleaving their partition outputs via cross-thread prefix sums.
 //
 // Buffer contract: the key/payload arrays AND the scratch arrays must have
-// capacity n + 16 (streaming flushes are 16-tuple aligned and may overshoot
-// the last partition's end; see shuffle.h). Sorted data always ends up back
-// in the primary arrays.
+// capacity ShuffleCapacity(n) (streaming flushes may overshoot the last
+// partition's end; see shuffle.h). Sorted data always ends up back in the
+// primary arrays.
+//
+// Pass widths are planned by PlanRadixPasses (partition/plan.h):
+// bits_per_pass caps the width, the budget caps it further, and each pass
+// picks the buffered-16 or SWWC shuffle kernel by its fanout.
 
 #include <cstddef>
 #include <cstdint>
@@ -21,7 +25,8 @@ namespace simddb {
 
 struct RadixSortConfig {
   Isa isa = Isa::kScalar;  ///< kAvx512 => vectorized histogram + shuffle
-  int bits_per_pass = 8;   ///< paper: 5-8 radix bits per pass are optimal
+  int bits_per_pass = 8;   ///< per-pass radix cap (paper: 5-8 optimal);
+                           ///< further bounded by the partition budget
   int threads = 1;
 };
 

@@ -3,19 +3,22 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <cstdlib>
 #include <cstring>
 #include <utility>
+
+#include "util/alloc.h"
 
 namespace simddb {
 
 /// A move-only, cache-line-aligned heap buffer of trivially copyable T.
 ///
 /// All operator kernels in simddb read from and write to caller-owned
-/// buffers; this type is the canonical owner. Memory is aligned to 64 bytes
-/// (one cache line, and the width of one 512-bit vector) and the allocation
-/// is padded to a multiple of 64 bytes so vector loops may safely read one
-/// partial trailing vector.
+/// buffers; this type is the canonical owner. Memory comes from
+/// util/alloc.h: aligned to 64 bytes (one cache line, and the width of one
+/// 512-bit vector) and padded to a multiple of 64 bytes so vector loops may
+/// safely read one partial trailing vector. With SIMDDB_HUGEPAGES=1 in the
+/// environment, buffers of at least 2 MB are additionally huge-page-advised
+/// (see util/alloc.h).
 template <typename T>
 class AlignedBuffer {
  public:
@@ -45,9 +48,8 @@ class AlignedBuffer {
     Free();
     size_ = n;
     if (n == 0) return;
-    size_t bytes = n * sizeof(T);
-    bytes = (bytes + kAlignment - 1) / kAlignment * kAlignment;
-    data_ = static_cast<T*>(std::aligned_alloc(kAlignment, bytes));
+    data_ = static_cast<T*>(
+        AlignedAlloc(n * sizeof(T), kAlignment, HugePagesRequested()));
   }
 
   /// Zero-fills the buffer.
@@ -70,7 +72,7 @@ class AlignedBuffer {
 
  private:
   void Free() {
-    std::free(data_);
+    AlignedFree(data_);
     data_ = nullptr;
     size_ = 0;
   }

@@ -1,0 +1,201 @@
+// Fanout-aware partition planner: budget math, pass splitting, and the
+// multi-pass executor's equivalence to a single wide partitioning pass.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/isa.h"
+#include "partition/parallel_partition.h"
+#include "partition/partition_fn.h"
+#include "partition/plan.h"
+#include "partition/shuffle.h"
+#include "partition/swwc.h"
+#include "util/aligned_buffer.h"
+#include "util/data_gen.h"
+
+namespace simddb {
+namespace {
+
+TEST(PartitionPlanTest, DefaultBudgetShape) {
+  PartitionBudget b;  // compile-time defaults, no env overrides
+  EXPECT_EQ(b.MaxBuffered16Fanout(), 256u);  // min(512, 32K/128)
+  EXPECT_EQ(b.MaxSwwcFanout(), 4096u);       // 512K/128
+  EXPECT_EQ(b.MaxBitsPerPass(), 12u);
+  EXPECT_EQ(ChooseShuffleVariant(256, b), ShuffleVariant::kBuffered16);
+  EXPECT_EQ(ChooseShuffleVariant(512, b), ShuffleVariant::kSwwc);
+}
+
+TEST(PartitionPlanTest, SwwcFanoutNeverBelowBuffered16) {
+  PartitionBudget b;
+  b.l2_staging_bytes = 1;  // degenerate: SWWC budget smaller than L1's
+  EXPECT_GE(b.MaxSwwcFanout(), b.MaxBuffered16Fanout());
+}
+
+TEST(PartitionPlanTest, PassesRespectBudgetAndSumToTotal) {
+  // Acceptance criterion: the planner never emits a pass whose fanout
+  // exceeds the per-pass budget, for any total width and any budget.
+  std::vector<PartitionBudget> budgets(3);
+  budgets[1].l2_staging_bytes = 8 << 10;   // small L2: MaxBitsPerPass 8
+  budgets[1].l1_staging_bytes = 2 << 10;
+  budgets[1].tlb_partitions = 16;
+  budgets[2].l2_staging_bytes = 512;       // pathologically tiny
+  budgets[2].l1_staging_bytes = 512;
+  budgets[2].tlb_partitions = 2;
+  for (const PartitionBudget& b : budgets) {
+    for (uint32_t total = 0; total <= 32; ++total) {
+      PartitionPlan plan = PlanRadixPasses(total, b);
+      ASSERT_GE(plan.passes.size(), 1u);
+      uint32_t sum = 0;
+      uint32_t min_bits = 33, max_bits = 0;
+      for (const PartitionPassPlan& p : plan.passes) {
+        ASSERT_LE(p.bits, b.MaxBitsPerPass())
+            << "total=" << total << " exceeds per-pass budget";
+        ASSERT_LE(1u << p.bits, b.MaxSwwcFanout());
+        ASSERT_EQ(p.variant, ChooseShuffleVariant(1u << p.bits, b));
+        sum += p.bits;
+        if (p.bits < min_bits) min_bits = p.bits;
+        if (p.bits > max_bits) max_bits = p.bits;
+      }
+      ASSERT_EQ(sum, total);
+      // Balanced split: near-equal widths.
+      if (total > 0) ASSERT_LE(max_bits - min_bits, 1u);
+    }
+  }
+}
+
+TEST(PartitionPlanTest, RequestedBitsCapPasses) {
+  PartitionBudget b;
+  PartitionPlan plan = PlanRadixPasses(32, b, 8);
+  ASSERT_EQ(plan.passes.size(), 4u);
+  for (const PartitionPassPlan& p : plan.passes) {
+    EXPECT_EQ(p.bits, 8u);
+    EXPECT_EQ(p.variant, ShuffleVariant::kBuffered16);
+  }
+  // A request wider than the budget is clamped, not honoured.
+  plan = PlanRadixPasses(32, b, 16);
+  for (const PartitionPassPlan& p : plan.passes) {
+    EXPECT_LE(p.bits, b.MaxBitsPerPass());
+  }
+}
+
+// MultiPassRadixPartition must be byte-identical to one wide
+// ParallelPartitionPass over the same bits, for budgets that force 1, 2,
+// and 3 passes.
+TEST(MultiPassPartitionTest, MatchesSinglePass) {
+  const size_t n = 150'001;
+  const uint32_t total_bits = 9;  // fanout 512: single-pass reference fits
+  AlignedBuffer<uint32_t> keys(ShuffleCapacity(n)), pays(ShuffleCapacity(n));
+  FillUniform(keys.data(), n, 5, 0, 0xFFFFFFFFu);
+  FillSequential(pays.data(), n, 0);
+  const uint32_t p_total = 1u << total_bits;
+
+  // Reference: one SWWC pass over all 9 bits.
+  AlignedBuffer<uint32_t> ref_k(ShuffleCapacity(n)), ref_p(ShuffleCapacity(n));
+  std::vector<uint32_t> ref_starts(p_total + 1);
+  {
+    PartitionFn fn = PartitionFn::Radix(total_bits, 32 - total_bits);
+    ParallelPartitionResources res;
+    ParallelPartitionPass(fn, keys.data(), pays.data(), n, ref_k.data(),
+                          ref_p.data(), BestIsa(), 4, &res, ref_starts.data(),
+                          ShuffleVariant::kAuto, ShuffleCapacity(n));
+  }
+
+  // Budgets forcing 1, 2, and 3 passes of the same 9 bits. (MaxSwwcFanout
+  // never drops below MaxBuffered16Fanout, so narrow passes need the L1 and
+  // TLB budgets shrunk alongside L2.)
+  struct Case {
+    uint32_t tlb;
+    uint32_t l1_bytes;
+    uint32_t l2_bytes;
+    size_t want_passes;
+  };
+  const Case cases[] = {
+      // MaxBitsPerPass 12 -> [9]
+      {512, 32u << 10, 512u << 10, 1},
+      // b16 max 16, SWWC max 32 -> [5, 4]; pass 1 is SWWC, pass 2 buffered
+      {16, 16 * 128, (1u << 5) * 128, 2},
+      // b16 max == SWWC max == 8 -> [3, 3, 3]
+      {8, 8 * 128, 8 * 128, 3},
+  };
+  for (const Case& c : cases) {
+    PartitionBudget b;
+    b.tlb_partitions = c.tlb;
+    b.l1_staging_bytes = c.l1_bytes;
+    b.l2_staging_bytes = c.l2_bytes;
+    ASSERT_EQ(PlanRadixPasses(total_bits, b).passes.size(), c.want_passes);
+    for (int threads : {1, 8}) {
+      AlignedBuffer<uint32_t> out_k(ShuffleCapacity(n)),
+          out_p(ShuffleCapacity(n));
+      std::vector<uint32_t> starts(p_total + 1);
+      MultiPassRadixPartition(keys.data(), pays.data(), n, total_bits,
+                              out_k.data(), out_p.data(), nullptr, nullptr,
+                              BestIsa(), threads, b, starts.data());
+      ASSERT_EQ(starts, ref_starts)
+          << c.want_passes << " passes, t=" << threads;
+      ASSERT_EQ(0,
+                std::memcmp(out_k.data(), ref_k.data(), n * sizeof(uint32_t)))
+          << c.want_passes << " passes, t=" << threads;
+      ASSERT_EQ(0,
+                std::memcmp(out_p.data(), ref_p.data(), n * sizeof(uint32_t)))
+          << c.want_passes << " passes, t=" << threads;
+    }
+  }
+}
+
+TEST(MultiPassPartitionTest, CallerScratchAndEdgeSizes) {
+  // Caller-provided scratch and degenerate inputs (n = 0, 1; total_bits 0).
+  for (size_t n : {size_t{0}, size_t{1}, size_t{70'000}}) {
+    const uint32_t total_bits = 8;
+    const uint32_t p_total = 1u << total_bits;
+    AlignedBuffer<uint32_t> keys(ShuffleCapacity(n)),
+        pays(ShuffleCapacity(n));
+    FillUniform(keys.data(), n, 11, 0, 0xFFFFFFFFu);
+    FillSequential(pays.data(), n, 0);
+    AlignedBuffer<uint32_t> out_k(ShuffleCapacity(n)),
+        out_p(ShuffleCapacity(n));
+    AlignedBuffer<uint32_t> sk(ShuffleCapacity(n)), sp(ShuffleCapacity(n));
+    std::vector<uint32_t> starts(p_total + 1);
+    PartitionBudget b;  // force 2 passes of 4 bits
+    b.tlb_partitions = 16;
+    b.l1_staging_bytes = 16 * 128;
+    b.l2_staging_bytes = 16 * 128;
+    MultiPassRadixPartition(keys.data(), pays.data(), n, total_bits,
+                            out_k.data(), out_p.data(), sk.data(), sp.data(),
+                            Isa::kScalar, 2, b, starts.data());
+    ASSERT_EQ(starts[p_total], n);
+    // Every tuple present, keys partition-ordered, payloads ride along.
+    std::vector<bool> seen(n, false);
+    for (uint32_t p = 0; p < p_total; ++p) {
+      for (uint32_t q = starts[p]; q < starts[p + 1]; ++q) {
+        ASSERT_EQ(out_k[q] >> (32 - total_bits), p);
+        uint32_t orig = out_p[q];
+        ASSERT_LT(orig, n);
+        ASSERT_FALSE(seen[orig]);
+        seen[orig] = true;
+        ASSERT_EQ(out_k[q], keys[orig]);
+      }
+    }
+  }
+
+  // total_bits == 0: one identity pass, output = input.
+  const size_t n = 1000;
+  AlignedBuffer<uint32_t> keys(ShuffleCapacity(n)), pays(ShuffleCapacity(n));
+  FillUniform(keys.data(), n, 3, 0, 0xFFFFFFFFu);
+  FillSequential(pays.data(), n, 0);
+  AlignedBuffer<uint32_t> out_k(ShuffleCapacity(n)), out_p(ShuffleCapacity(n));
+  std::vector<uint32_t> starts(2);
+  MultiPassRadixPartition(keys.data(), pays.data(), n, 0, out_k.data(),
+                          out_p.data(), nullptr, nullptr, Isa::kScalar, 1,
+                          PartitionBudget(), starts.data());
+  ASSERT_EQ(starts[0], 0u);
+  ASSERT_EQ(starts[1], n);
+  ASSERT_EQ(0, std::memcmp(out_k.data(), keys.data(), n * sizeof(uint32_t)));
+  ASSERT_EQ(0, std::memcmp(out_p.data(), pays.data(), n * sizeof(uint32_t)));
+}
+
+}  // namespace
+}  // namespace simddb

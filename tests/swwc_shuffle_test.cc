@@ -1,0 +1,205 @@
+// SWWC shuffle correctness: every fill path (scalar / AVX2 / AVX-512) must
+// produce output byte-identical to the buffered-16 reference shuffle — same
+// stable order, same partition layout — for any fanout, size, and output
+// base alignment, including bases that defeat the buffered-16 `streamable`
+// flag (the whole point of the slid grid).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/isa.h"
+#include "partition/parallel_partition.h"
+#include "partition/partition_fn.h"
+#include "partition/plan.h"
+#include "partition/shuffle.h"
+#include "partition/swwc.h"
+#include "util/aligned_buffer.h"
+#include "util/data_gen.h"
+
+namespace simddb {
+namespace {
+
+enum class Fill { kScalar, kAvx2, kAvx512 };
+
+const char* FillName(Fill f) {
+  switch (f) {
+    case Fill::kScalar: return "scalar";
+    case Fill::kAvx2: return "avx2";
+    case Fill::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+bool FillSupported(Fill f) {
+  switch (f) {
+    case Fill::kScalar: return true;
+    case Fill::kAvx2: return IsaSupported(Isa::kAvx2);
+    case Fill::kAvx512: return IsaSupported(Isa::kAvx512);
+  }
+  return false;
+}
+
+void RunSwwc(Fill f, const PartitionFn& fn, const uint32_t* keys,
+             const uint32_t* pays, size_t n, uint32_t* offsets,
+             uint32_t* out_keys, uint32_t* out_pays, SwwcBuffers* bufs) {
+  switch (f) {
+    case Fill::kScalar:
+      ShuffleSwwcScalar(fn, keys, pays, n, offsets, out_keys, out_pays, bufs);
+      break;
+    case Fill::kAvx2:
+      ShuffleSwwcAvx2(fn, keys, pays, n, offsets, out_keys, out_pays, bufs);
+      break;
+    case Fill::kAvx512:
+      ShuffleSwwcAvx512(fn, keys, pays, n, offsets, out_keys, out_pays, bufs);
+      break;
+  }
+}
+
+// Exclusive prefix-sum offsets for one single-threaded shuffle.
+std::vector<uint32_t> MakeOffsets(const PartitionFn& fn, const uint32_t* keys,
+                                  size_t n) {
+  std::vector<uint32_t> offsets(fn.fanout, 0);
+  for (size_t i = 0; i < n; ++i) offsets[fn(keys[i])]++;
+  uint32_t sum = 0;
+  for (uint32_t p = 0; p < fn.fanout; ++p) {
+    uint32_t c = offsets[p];
+    offsets[p] = sum;
+    sum += c;
+  }
+  return offsets;
+}
+
+// (fill, bits, n, key offset elems, payload offset elems). Offset 1 makes
+// the output base 4-byte aligned only; unequal key/payload offsets break
+// the mod-64 congruence so the payload line takes the non-streaming path.
+class SwwcShuffleTest
+    : public ::testing::TestWithParam<
+          std::tuple<Fill, int, size_t, size_t, size_t>> {};
+
+TEST_P(SwwcShuffleTest, MatchesBuffered16) {
+  auto [fill, bits, n, ko, po] = GetParam();
+  if (!FillSupported(fill)) GTEST_SKIP();
+  PartitionFn fn = PartitionFn::Radix(bits, 32 - bits);
+
+  AlignedBuffer<uint32_t> keys(n + 16), pays(n + 16);
+  FillUniform(keys.data(), n, 42, 0, 0xFFFFFFFFu);
+  FillSequential(pays.data(), n, 0);
+
+  // Reference: buffered-16 scalar shuffle into 64-byte-aligned arrays.
+  std::vector<uint32_t> ref_off = MakeOffsets(fn, keys.data(), n);
+  AlignedBuffer<uint32_t> ref_k(ShuffleCapacity(n)), ref_p(ShuffleCapacity(n));
+  ShuffleBuffers ref_bufs;
+  ShuffleScalarBuffered(fn, keys.data(), pays.data(), n, ref_off.data(),
+                        ref_k.data(), ref_p.data(), &ref_bufs);
+
+  // SWWC into deliberately offset bases.
+  std::vector<uint32_t> off = MakeOffsets(fn, keys.data(), n);
+  AlignedBuffer<uint32_t> raw_k(ShuffleCapacity(n) + 16),
+      raw_p(ShuffleCapacity(n) + 16);
+  uint32_t* out_k = raw_k.data() + ko;
+  uint32_t* out_p = raw_p.data() + po;
+  SwwcBuffers bufs;
+  RunSwwc(fill, fn, keys.data(), pays.data(), n, off.data(), out_k, out_p,
+          &bufs);
+
+  ASSERT_EQ(0, std::memcmp(out_k, ref_k.data(), n * sizeof(uint32_t)));
+  ASSERT_EQ(0, std::memcmp(out_p, ref_p.data(), n * sizeof(uint32_t)));
+  // Main leaves offsets at the partition ends, like the buffered kernels.
+  for (uint32_t p = 0; p < fn.fanout; ++p) ASSERT_EQ(off[p], ref_off[p]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SwwcShuffleTest,
+    ::testing::Combine(
+        ::testing::Values(Fill::kScalar, Fill::kAvx2, Fill::kAvx512),
+        ::testing::Values(1, 6, 12, 13),
+        ::testing::Values<size_t>(0, 1, 1000, 100'003),
+        ::testing::Values<size_t>(0, 1),
+        ::testing::Values<size_t>(0, 5)),
+    [](const auto& info) {
+      return std::string(FillName(std::get<0>(info.param))) + "_b" +
+             std::to_string(std::get<1>(info.param)) + "_n" +
+             std::to_string(std::get<2>(info.param)) + "_k" +
+             std::to_string(std::get<3>(info.param)) + "_p" +
+             std::to_string(std::get<4>(info.param));
+    });
+
+TEST(SwwcShuffle, KeyOnlyMatchesBuffered16) {
+  const size_t n = 65'539;
+  for (int bits : {2, 12}) {
+    for (size_t ko : {size_t{0}, size_t{3}}) {
+      PartitionFn fn = PartitionFn::Radix(bits, 0);
+      AlignedBuffer<uint32_t> keys(n + 16);
+      FillUniform(keys.data(), n, 7, 0, 0xFFFFFFFFu);
+
+      std::vector<uint32_t> ref_off = MakeOffsets(fn, keys.data(), n);
+      AlignedBuffer<uint32_t> ref_k(ShuffleCapacity(n));
+      ShuffleBuffers ref_bufs;
+      ShuffleKeysScalarBufferedMain(fn, keys.data(), n, ref_off.data(),
+                                    ref_k.data(), &ref_bufs);
+      ShuffleKeysBufferedCleanup(fn.fanout, ref_off.data(), ref_bufs,
+                                 ref_k.data());
+
+      std::vector<uint32_t> off = MakeOffsets(fn, keys.data(), n);
+      AlignedBuffer<uint32_t> raw_k(ShuffleCapacity(n) + 16);
+      uint32_t* out_k = raw_k.data() + ko;
+      SwwcBuffers bufs;
+      ShuffleKeysSwwcScalarMain(fn, keys.data(), n, off.data(), out_k, &bufs);
+      ShuffleKeysSwwcCleanup(fn.fanout, off.data(), bufs, out_k);
+      ASSERT_EQ(0, std::memcmp(out_k, ref_k.data(), n * sizeof(uint32_t)))
+          << "bits=" << bits << " ko=" << ko;
+    }
+  }
+}
+
+// ParallelPartitionPass with the SWWC variant must reproduce the
+// buffered-16 output bit-for-bit at any thread count (the variant changes
+// the flush mechanics, never the layout).
+class SwwcParallelPartitionTest
+    : public ::testing::TestWithParam<std::tuple<Isa, int, int, size_t>> {};
+
+TEST_P(SwwcParallelPartitionTest, VariantsAgree) {
+  auto [isa, threads, bits, n] = GetParam();
+  if (!IsaSupported(isa)) GTEST_SKIP();
+  PartitionFn fn = PartitionFn::Radix(bits, 32 - bits);
+
+  AlignedBuffer<uint32_t> keys(ShuffleCapacity(n)), pays(ShuffleCapacity(n));
+  FillUniform(keys.data(), n, 17, 0, 0xFFFFFFFFu);
+  FillSequential(pays.data(), n, 0);
+
+  AlignedBuffer<uint32_t> b16_k(ShuffleCapacity(n)), b16_p(ShuffleCapacity(n));
+  AlignedBuffer<uint32_t> wc_k(ShuffleCapacity(n)), wc_p(ShuffleCapacity(n));
+  std::vector<uint32_t> b16_starts(fn.fanout + 1), wc_starts(fn.fanout + 1);
+  ParallelPartitionResources res;
+  ParallelPartitionPass(fn, keys.data(), pays.data(), n, b16_k.data(),
+                        b16_p.data(), isa, threads, &res, b16_starts.data(),
+                        ShuffleVariant::kBuffered16, ShuffleCapacity(n));
+  ParallelPartitionPass(fn, keys.data(), pays.data(), n, wc_k.data(),
+                        wc_p.data(), isa, threads, &res, wc_starts.data(),
+                        ShuffleVariant::kSwwc, ShuffleCapacity(n));
+
+  ASSERT_EQ(b16_starts, wc_starts);
+  ASSERT_EQ(0, std::memcmp(wc_k.data(), b16_k.data(), n * sizeof(uint32_t)));
+  ASSERT_EQ(0, std::memcmp(wc_p.data(), b16_p.data(), n * sizeof(uint32_t)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SwwcParallelPartitionTest,
+    ::testing::Combine(::testing::Values(Isa::kScalar, Isa::kAvx2,
+                                         Isa::kAvx512),
+                       ::testing::Values(1, 8), ::testing::Values(6, 12, 13),
+                       ::testing::Values<size_t>(0, 1, 100'003)),
+    [](const auto& info) {
+      return std::string(IsaName(std::get<0>(info.param))) + "_t" +
+             std::to_string(std::get<1>(info.param)) + "_b" +
+             std::to_string(std::get<2>(info.param)) + "_n" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+}  // namespace
+}  // namespace simddb

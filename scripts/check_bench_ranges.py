@@ -20,7 +20,11 @@ Baselines are a JSON list of entries:
     }
 
 With "per_iteration" the metric is divided by the row's iteration count
-first. The ranges are deliberately WIDE, structural checks ("the SWWC
+first. With "div_by": "<other_metric>" the metric is divided by that
+metric of the SAME row before the range check (after any per_iteration
+scaling of the numerator) — e.g. a per-phase time ratio
+part_hist_ns / part_shuffle_ns. A missing or non-positive denominator is
+a failure on matched rows, like a missing metric. The ranges are deliberately WIDE, structural checks ("the SWWC
 shuffle flushed roughly 2*n/16 lines", "the planner planned at least one
 pass"), not tight performance assertions: google-benchmark's warmup
 iterations are included in the counter deltas but not in `iterations`, so
@@ -77,6 +81,21 @@ def check(baselines, rows):
                 value = float(row[metric])
                 if rng.get("per_iteration", False):
                     value /= iters
+                div_by = rng.get("div_by")
+                if div_by is not None:
+                    if div_by not in row:
+                        failures.append(
+                            f"{where}: [{entry['name']}] missing div_by "
+                            f"metric '{div_by}' (row: {row.get('name')})")
+                        continue
+                    denom = float(row[div_by])
+                    if denom <= 0:
+                        failures.append(
+                            f"{where}: [{entry['name']}] div_by metric "
+                            f"'{div_by}'={denom:g} not positive "
+                            f"(row: {row.get('name')})")
+                        continue
+                    value /= denom
                 lo = rng.get("min", float("-inf"))
                 hi = rng.get("max", float("inf"))
                 if not (lo <= value <= hi):

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "hash/hash_table.h"
+#include "numa/placement.h"
 #include "obs/metrics.h"
 #include "partition/parallel_partition.h"
 #include "partition/partition_fn.h"
@@ -211,6 +212,14 @@ size_t HashJoinMinPartition(const JoinRelation& r, const JoinRelation& s,
   Timer timer;
   AlignedBuffer<uint32_t> rp_keys(ShuffleCapacity(r.n)),
       rp_pays(ShuffleCapacity(r.n));
+  // Partition output is fanout-strided (every morsel writes into every
+  // part) and each part is then rebuilt into the flat bank by an arbitrary
+  // lane, so interleaving spreads the traffic instead of hot-spotting one
+  // node. No-op on single-node hosts.
+  numa::PlaceBuffer(rp_keys.data(), rp_keys.size() * sizeof(uint32_t),
+                    t_count, numa::Placement::kInterleaved);
+  numa::PlaceBuffer(rp_pays.data(), rp_pays.size() * sizeof(uint32_t),
+                    t_count, numa::Placement::kInterleaved);
   std::vector<uint32_t> r_starts(parts + 1);
   ParallelPartitionResources res;
   ParallelPartitionPass(part_fn, r.keys, r.pays, r.n, rp_keys.data(),
@@ -233,6 +242,13 @@ size_t HashJoinMinPartition(const JoinRelation& r, const JoinRelation& s,
     bank_total += bank_size[p];
   }
   AlignedBuffer<uint32_t> tk(bank_total), tp(bank_total);
+  // The probe phase addresses the whole bank hash-randomly from every
+  // node, so interleave it rather than letting the memset below first-touch
+  // it all onto the submitting thread's node.
+  numa::PlaceBuffer(tk.data(), bank_total * sizeof(uint32_t), t_count,
+                    numa::Placement::kInterleaved);
+  numa::PlaceBuffer(tp.data(), bank_total * sizeof(uint32_t), t_count,
+                    numa::Placement::kInterleaved);
   std::memset(tk.data(), 0xFF, bank_total * sizeof(uint32_t));
   TaskPool::Get().ParallelFor(parts, t_count, [&](int, size_t task) {
     uint32_t p = static_cast<uint32_t>(task);
@@ -296,6 +312,17 @@ size_t HashJoinMaxPartition(const JoinRelation& r, const JoinRelation& s,
       r_pays_a(ShuffleCapacity(r.n));
   AlignedBuffer<uint32_t> s_keys_a(ShuffleCapacity(s.n)),
       s_pays_a(ShuffleCapacity(s.n));
+  // The refine pass writes part-major ranges and the per-part build/probe
+  // tasks map to contiguous lane blocks, so lane-block first touch keeps
+  // each part's tuples on the node that builds and probes it.
+  numa::PlaceBuffer(r_keys_a.data(), r_keys_a.size() * sizeof(uint32_t),
+                    t_count, numa::Placement::kNodeLocal);
+  numa::PlaceBuffer(r_pays_a.data(), r_pays_a.size() * sizeof(uint32_t),
+                    t_count, numa::Placement::kNodeLocal);
+  numa::PlaceBuffer(s_keys_a.data(), s_keys_a.size() * sizeof(uint32_t),
+                    t_count, numa::Placement::kNodeLocal);
+  numa::PlaceBuffer(s_pays_a.data(), s_pays_a.size() * sizeof(uint32_t),
+                    t_count, numa::Placement::kNodeLocal);
   std::vector<uint32_t> r_bounds(p_total + 1), s_bounds(p_total + 1);
   ParallelPartitionResources res;
 
@@ -333,6 +360,12 @@ size_t HashJoinMaxPartition(const JoinRelation& r, const JoinRelation& s,
     if (PlanRadixPasses(total_bits, budget).passes.size() > 1) {
       mid_keys.Reset(ShuffleCapacity(std::max(r.n, s.n)));
       mid_pays.Reset(ShuffleCapacity(std::max(r.n, s.n)));
+      numa::PlaceBuffer(mid_keys.data(),
+                        mid_keys.size() * sizeof(uint32_t), t_count,
+                        numa::Placement::kNodeLocal);
+      numa::PlaceBuffer(mid_pays.data(),
+                        mid_pays.size() * sizeof(uint32_t), t_count,
+                        numa::Placement::kNodeLocal);
       mk = mid_keys.data();
       mp = mid_pays.data();
     }

@@ -1,0 +1,80 @@
+#ifndef SIMDDB_NUMA_PLACEMENT_H_
+#define SIMDDB_NUMA_PLACEMENT_H_
+
+// Node-aware memory placement, layered on util/alloc.h.
+//
+// Linux places an anonymous page on the node of the thread that first
+// *touches* it, not the thread that malloc'd it ("first touch"). An
+// operator that allocates its output on the caller thread and then streams
+// into it from all nodes therefore pays remote-write bandwidth on roughly
+// (N-1)/N of its pages. These helpers give operator code two explicit
+// policies:
+//
+//   kNodeLocal   — fault each contiguous block of pages from a lane pinned
+//                  to the node that will process that block (the pool's
+//                  lane->node mapping, numa/topology.h). Right for inputs,
+//                  per-morsel histogram rows, and refine-pass outputs,
+//                  whose access pattern is block-contiguous per lane.
+//   kInterleaved — round-robin pages across nodes (mbind MPOL_INTERLEAVE
+//                  when available). Right for buffers every node reads or
+//                  writes uniformly (e.g. fanout-strided partition
+//                  output), and the neutral baseline the NUMA bench
+//                  compares against.
+//
+// Everything degrades gracefully: on a real single-node host every entry
+// point is a no-op beyond (at most) reading the topology, and fake
+// topologies (SIMDDB_NUMA_FAKE) exercise the touch loops and counters but
+// never issue mbind/move_pages. First touch is implemented as a
+// read + write-back of one byte per page, so placing a buffer never
+// changes its contents — callers may place buffers that already hold data.
+
+#include <cstddef>
+
+namespace simddb::numa {
+
+/// Placement policy for an operator buffer.
+enum class Placement { kInterleaved, kNodeLocal };
+
+/// Process default: SIMDDB_NUMA_PLACEMENT=interleaved selects kInterleaved;
+/// anything else (or unset) selects kNodeLocal.
+Placement DefaultPlacement();
+
+/// Touches one byte per page of [p, p+bytes) from the calling thread
+/// (value-preserving), counting obs `pages_first_touched`.
+void FirstTouchPages(void* p, size_t bytes);
+
+/// Applies `placement` to [p, p+bytes): kNodeLocal faults lane-blocks of
+/// pages via a pool dispatch with `threads` lanes (so blocks land on the
+/// node whose lanes will process them); kInterleaved asks the kernel to
+/// interleave (real multi-node topologies only). No-op on real single-node
+/// hosts. Contents are preserved.
+void PlaceBuffer(void* p, size_t bytes, int threads, Placement placement);
+void PlaceBuffer(void* p, size_t bytes, int threads);  // DefaultPlacement()
+
+/// AlignedAlloc + preferred-node binding (real multi-node only) + first
+/// touch from the calling thread. Debug builds assert the pages actually
+/// landed on `node` (move_pages, sampled). Release with AlignedFree.
+void* AllocOnNode(size_t bytes, int node);
+
+/// mbind(MPOL_PREFERRED -> node) over the fully-covered pages of
+/// [p, p+bytes). False when unavailable (non-Linux, fake or single-node
+/// topology, sub-page range) or the syscall failed.
+bool TryBindToNode(void* p, size_t bytes, int node);
+
+/// mbind(MPOL_INTERLEAVE over all nodes) over the fully-covered pages.
+/// Same availability rules as TryBindToNode.
+bool TryInterleave(void* p, size_t bytes);
+
+/// Node (topology index) currently backing the page of `p`, via
+/// move_pages; -1 when unknown or unavailable. The page must be resident
+/// (touch it first).
+int NodeOfAddress(const void* p);
+
+/// Debug assertion helper: true when every sampled page (<= 64, evenly
+/// spread) of [p, p+bytes) is resident on `node`. Trivially true whenever
+/// NodeOfAddress is unavailable (fake/single-node topologies, non-Linux).
+bool TouchedOnNode(const void* p, size_t bytes, int node);
+
+}  // namespace simddb::numa
+
+#endif  // SIMDDB_NUMA_PLACEMENT_H_

@@ -1,0 +1,210 @@
+#include "numa/topology.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace simddb::numa {
+namespace {
+
+std::string ReadFileString(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::string();
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// "Node 0 MemTotal:  8884416 kB" -> bytes; 0 when the line is absent.
+uint64_t ParseMemInfoTotal(const std::string& meminfo) {
+  const size_t at = meminfo.find("MemTotal:");
+  if (at == std::string::npos) return 0;
+  size_t i = at + std::strlen("MemTotal:");
+  while (i < meminfo.size() && std::isspace(static_cast<unsigned char>(meminfo[i]))) ++i;
+  uint64_t kb = 0;
+  bool any = false;
+  while (i < meminfo.size() && std::isdigit(static_cast<unsigned char>(meminfo[i]))) {
+    kb = kb * 10 + static_cast<uint64_t>(meminfo[i] - '0');
+    any = true;
+    ++i;
+  }
+  return any ? kb * 1024 : 0;
+}
+
+int HardwareThreads() {
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw >= 1 ? hw : 1;
+}
+
+NumaTopology SingleNodeFallback() {
+  NumaTopology topo;
+  NumaNode node;
+  node.id = 0;
+  const int hw = HardwareThreads();
+  node.cpus.reserve(static_cast<size_t>(hw));
+  for (int c = 0; c < hw; ++c) node.cpus.push_back(c);
+  topo.nodes.push_back(std::move(node));
+  return topo;
+}
+
+std::atomic<const NumaTopology*> g_override{nullptr};
+
+}  // namespace
+
+int NumaTopology::NodeOfCpu(int cpu) const {
+  for (size_t k = 0; k < nodes.size(); ++k) {
+    for (int c : nodes[k].cpus) {
+      if (c == cpu) return static_cast<int>(k);
+    }
+  }
+  return -1;
+}
+
+std::vector<int> ParseCpuList(const std::string& s) {
+  std::vector<int> cpus;
+  size_t i = 0;
+  // Sysfs lists end in '\n'; treat any trailing whitespace as the end.
+  const auto at_end = [&] {
+    for (size_t j = i; j < s.size(); ++j) {
+      if (!std::isspace(static_cast<unsigned char>(s[j]))) return false;
+    }
+    return true;
+  };
+  const auto parse_int = [&](int* out) {
+    if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i]))) {
+      return false;
+    }
+    long v = 0;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      v = v * 10 + (s[i] - '0');
+      if (v > 1 << 20) return false;  // implausible cpu id, reject
+      ++i;
+    }
+    *out = static_cast<int>(v);
+    return true;
+  };
+  if (at_end()) return cpus;  // empty list ("\n") is valid and empty
+  for (;;) {
+    int a = 0;
+    if (!parse_int(&a)) return {};
+    int b = a;
+    if (i < s.size() && s[i] == '-') {
+      ++i;
+      if (!parse_int(&b) || b < a) return {};
+    }
+    for (int v = a; v <= b; ++v) cpus.push_back(v);
+    if (at_end()) return cpus;
+    if (s[i] != ',') return {};
+    ++i;
+  }
+}
+
+bool ParseNumaFake(const char* spec, int* nodes, int* cpus_per_node) {
+  if (spec == nullptr || *spec == '\0') return false;
+  char* end = nullptr;
+  const long n = std::strtol(spec, &end, 10);
+  if (end == spec || *end != 'x') return false;
+  const char* rest = end + 1;
+  const long c = std::strtol(rest, &end, 10);
+  if (end == rest || *end != '\0') return false;
+  if (n < 1 || n > 1024 || c < 1 || c > 1024) return false;
+  *nodes = static_cast<int>(n);
+  *cpus_per_node = static_cast<int>(c);
+  return true;
+}
+
+NumaTopology MakeFakeTopology(int nodes, int cpus_per_node) {
+  NumaTopology topo;
+  topo.fake = true;
+  if (nodes < 1) nodes = 1;
+  if (cpus_per_node < 1) cpus_per_node = 1;
+  topo.nodes.reserve(static_cast<size_t>(nodes));
+  for (int k = 0; k < nodes; ++k) {
+    NumaNode node;
+    node.id = k;
+    node.cpus.reserve(static_cast<size_t>(cpus_per_node));
+    for (int c = 0; c < cpus_per_node; ++c) {
+      node.cpus.push_back(k * cpus_per_node + c);
+    }
+    topo.nodes.push_back(std::move(node));
+  }
+  return topo;
+}
+
+NumaTopology DiscoverTopology(const char* sysfs_root) {
+  NumaTopology topo;
+  const std::string root(sysfs_root);
+  const std::vector<int> node_ids = ParseCpuList(ReadFileString(root + "/online"));
+  for (int id : node_ids) {
+    const std::string dir = root + "/node" + std::to_string(id);
+    NumaNode node;
+    node.id = id;
+    node.cpus = ParseCpuList(ReadFileString(dir + "/cpulist"));
+    if (node.cpus.empty()) continue;  // cpu-less memory node: not schedulable
+    node.mem_bytes = ParseMemInfoTotal(ReadFileString(dir + "/meminfo"));
+    topo.nodes.push_back(std::move(node));
+  }
+  if (topo.nodes.empty()) return SingleNodeFallback();
+  return topo;
+}
+
+const NumaTopology& Topology() {
+  const NumaTopology* over = g_override.load(std::memory_order_acquire);
+  if (over != nullptr) return *over;
+  static const NumaTopology* const kTopo = new NumaTopology([] {
+    int nodes = 0, cpus = 0;
+    if (const char* env = std::getenv("SIMDDB_NUMA_FAKE");
+        env != nullptr && ParseNumaFake(env, &nodes, &cpus)) {
+      return MakeFakeTopology(nodes, cpus);
+    }
+    return DiscoverTopology();
+  }());
+  return *kTopo;
+}
+
+void SetTopologyForTesting(const NumaTopology* topo) {
+  g_override.store(topo, std::memory_order_release);
+}
+
+bool PinThreadToNode(const NumaTopology& topo, int node) {
+#if defined(__linux__)
+  if (topo.fake) return false;
+  if (node < 0 || node >= topo.node_count()) return false;
+  const std::vector<int>& cpus = topo.nodes[node].cpus;
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  bool any = false;
+  for (int c : cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) {
+      CPU_SET(c, &set);
+      any = true;
+    }
+  }
+  if (!any) return false;
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)topo;
+  (void)node;
+  return false;
+#endif
+}
+
+bool PinningEnabled() {
+  static const bool on = [] {
+    const char* env = std::getenv("SIMDDB_NUMA_PIN");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+  }();
+  return on;
+}
+
+}  // namespace simddb::numa

@@ -1,0 +1,115 @@
+#ifndef SIMDDB_NUMA_TOPOLOGY_H_
+#define SIMDDB_NUMA_TOPOLOGY_H_
+
+// NUMA topology discovery without libnuma.
+//
+// The partition/join/sort pipelines are bandwidth-bound exactly where
+// remote-node traffic hurts most (Fig. 16 multi-core scaling), so the
+// scheduler and the placement helpers need to know which logical CPUs and
+// how much memory each node owns. libnuma is not a dependency we can
+// assume, and everything it would tell us is readable from
+// /sys/devices/system/node, so discovery parses sysfs directly:
+//
+//   online        -> which node ids exist ("0" or "0-1,4")
+//   node<i>/cpulist -> the node's logical cpus ("0-3,8-11")
+//   node<i>/meminfo -> "Node i MemTotal: <n> kB"
+//
+// Hosts without that tree (non-Linux, containers with masked sysfs) fall
+// back to a single node owning every hardware thread — every consumer is
+// written so that a 1-node topology reproduces the exact pre-NUMA
+// behaviour (no pinning, one steal ring, placement no-ops).
+//
+// SIMDDB_NUMA_FAKE=<nodes>x<cpus_per_node> (e.g. "2x4") overrides
+// discovery with a synthetic topology so the multi-node scheduler and
+// placement paths are exercisable on single-node CI machines. Fake
+// topologies never pin threads and never call mbind/move_pages — they
+// shape the steal rings and the first-touch block layout only, which is
+// what the determinism and steal-scope tests need.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simddb::numa {
+
+/// One NUMA node: its sysfs id, the logical cpus it owns (ascending), and
+/// its MemTotal (0 when unknown, e.g. fake topologies).
+struct NumaNode {
+  int id = 0;
+  std::vector<int> cpus;
+  uint64_t mem_bytes = 0;
+};
+
+/// Host topology: at least one node, nodes sorted by id. `fake` marks
+/// SIMDDB_NUMA_FAKE / MakeFakeTopology instances, which must never drive
+/// real affinity or memory-policy syscalls.
+struct NumaTopology {
+  std::vector<NumaNode> nodes;
+  bool fake = false;
+
+  int node_count() const { return static_cast<int>(nodes.size()); }
+
+  /// Total logical cpus across all nodes (>= 1 for discovered topologies).
+  int total_cpus() const {
+    int n = 0;
+    for (const NumaNode& node : nodes) n += static_cast<int>(node.cpus.size());
+    return n;
+  }
+
+  /// Index into `nodes` of the node owning logical cpu `cpu`; -1 unknown.
+  int NodeOfCpu(int cpu) const;
+};
+
+/// Parses a sysfs cpulist ("0", "0-3", "0-3,8-11", trailing newline ok)
+/// into ascending cpu ids. Malformed input returns an empty vector.
+std::vector<int> ParseCpuList(const std::string& s);
+
+/// Parses a SIMDDB_NUMA_FAKE spec "<nodes>x<cpus_per_node>" (both in
+/// [1, 1024]). Returns false (outputs untouched) on malformed specs.
+bool ParseNumaFake(const char* spec, int* nodes, int* cpus_per_node);
+
+/// Synthetic topology: `nodes` nodes, node i owning cpus
+/// [i*cpus_per_node, (i+1)*cpus_per_node). Marked fake.
+NumaTopology MakeFakeTopology(int nodes, int cpus_per_node);
+
+/// Reads the topology from `sysfs_root` (parameterized so tests can point
+/// it at a fabricated tree). Nodes without cpus are skipped (cpu-less
+/// memory nodes cannot anchor a steal ring); any failure falls back to a
+/// single node owning every hardware thread.
+NumaTopology DiscoverTopology(
+    const char* sysfs_root = "/sys/devices/system/node");
+
+/// The process topology: SIMDDB_NUMA_FAKE if set and well-formed, else
+/// DiscoverTopology(). Computed once; stable addresses for the lifetime of
+/// the process (unless overridden for testing).
+const NumaTopology& Topology();
+
+/// Test hook: subsequent Topology() calls return *topo until reset with
+/// nullptr. The caller keeps ownership and must keep *topo alive and
+/// unchanged while any parallel dispatch may read it. Safe to swap between
+/// dispatches: the pool snapshots the topology per job, and fake
+/// topologies never trigger thread pinning.
+void SetTopologyForTesting(const NumaTopology* topo);
+
+/// The node (index, not sysfs id) a lane maps to when n_lanes lanes split
+/// across n_nodes nodes: lane blocks are contiguous (lanes [k*L/N,
+/// (k+1)*L/N) -> node k), mirroring the pool's contiguous initial task
+/// split so each node's lanes own a contiguous morsel range.
+inline int NodeOfLane(int lane, int n_lanes, int n_nodes) {
+  if (n_nodes <= 1 || n_lanes <= 1) return 0;
+  if (lane >= n_lanes) lane = n_lanes - 1;
+  return static_cast<int>(static_cast<int64_t>(lane) * n_nodes / n_lanes);
+}
+
+/// Pins the calling thread to `topo.nodes[node]`'s cpuset. Returns false
+/// (and does nothing) for fake topologies, out-of-range nodes, empty
+/// cpusets, non-Linux builds, or a failed sched_setaffinity.
+bool PinThreadToNode(const NumaTopology& topo, int node);
+
+/// False when SIMDDB_NUMA_PIN=0 — disables worker pinning even on real
+/// multi-node hosts (e.g. when an outer scheduler owns affinity).
+bool PinningEnabled();
+
+}  // namespace simddb::numa
+
+#endif  // SIMDDB_NUMA_TOPOLOGY_H_

@@ -140,7 +140,12 @@ inline std::string BuildBenchJsonLine(const BenchJsonRow& row) {
       std::string k = tok.substr(0, eq);
       std::string v = tok.substr(eq + 1);
       if (k == "threads") saw_threads = true;
-      if (k == "isa") isa = v;
+      if (k == "isa") {
+        // Captured and emitted once below — appending here too would
+        // duplicate the key when the label encodes the ISA explicitly.
+        isa = v;
+        continue;
+      }
       JsonAppendField(&line, k, v);
     } else if (variant.empty()) {
       variant = tok;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "numa/placement.h"
+#include "numa/topology.h"
 #include "obs/metrics.h"
 #include "partition/shuffle_dispatch.h"
 #include "util/prefix_sum.h"
@@ -35,13 +37,18 @@ void ParallelPartitionPass(const PartitionFn& fn, const uint32_t* keys,
   (void)out_capacity;
   const int t_count = threads < 1 ? 1 : threads;
   const uint32_t p_count = fn.fanout;
+  const PartitionBudget budget = PartitionBudget::Default();
   const bool vec = isa == Isa::kAvx512 && IsaSupported(Isa::kAvx512);
   if (variant == ShuffleVariant::kAuto) {
-    variant = ChooseShuffleVariant(p_count, PartitionBudget::Default());
+    variant = ChooseShuffleVariant(p_count, budget);
   }
   const bool swwc = variant == ShuffleVariant::kSwwc;
+  // Histograms stay vectorized at every fanout; the buffered-16 *shuffle*
+  // fill is fanout-aware (the gather/scatter conflict cost grows with the
+  // partition count — scalar wins past budget.b16_vector_max_fanout).
+  const bool vec_shuffle = !swwc && UseVectorBuffered16(isa, p_count, budget);
   const internal::SwwcFill fill =
-      internal::ChooseSwwcFill(isa, p_count, PartitionBudget::Default());
+      internal::ChooseSwwcFill(isa, p_count, budget);
   // SWWC passes run at fanouts where a 16K morsel averages only a few
   // tuples per partition — staged lines would never fill and every tuple
   // would fall to the cleanup copy. Grow the morsel so a morsel averages a
@@ -60,12 +67,23 @@ void ParallelPartitionPass(const PartitionFn& fn, const uint32_t* keys,
     }
     return;
   }
+  const bool hists_grown = res->hists.size() < m_count * p_count;
   if (swwc) {
     res->ReserveSwwc(m_count, t_count, p_count);
   } else {
     res->Reserve(m_count, t_count, p_count);
   }
   uint32_t* hists = res->hists.data();
+  if (hists_grown && numa::Topology().node_count() > 1) {
+    // Node-partitioned histogram rows: the rows are morsel-major and each
+    // node's lanes own a contiguous morsel block, so lane-block first touch
+    // puts every row on the node that writes it in phase 1 and re-reads it
+    // in phase 2. The interleaved prefix sum below is unchanged — layout
+    // and results are placement-independent.
+    numa::PlaceBuffer(res->hists.data(),
+                      m_count * p_count * sizeof(uint32_t), t_count,
+                      numa::Placement::kNodeLocal);
+  }
   TaskPool& pool = TaskPool::Get();
 
   // Phase 1: one histogram row per morsel. The serial cross-morsel prefix
@@ -103,7 +121,7 @@ void ParallelPartitionPass(const PartitionFn& fn, const uint32_t* keys,
           internal::SwwcPairMain(fill, fn, keys + b, pays + b, grid.size(m),
                                  offsets, out_keys, out_pays,
                                  &res->wc_bufs[m]);
-        } else if (vec) {
+        } else if (vec_shuffle) {
           ShuffleVectorBufferedMainAvx512(fn, keys + b, pays + b, grid.size(m),
                                           offsets, out_keys, out_pays,
                                           &res->bufs[m]);
@@ -116,7 +134,7 @@ void ParallelPartitionPass(const PartitionFn& fn, const uint32_t* keys,
         if (swwc) {
           internal::SwwcKeysMain(fill, fn, keys + b, grid.size(m), offsets,
                                  out_keys, &res->wc_bufs[m]);
-        } else if (vec) {
+        } else if (vec_shuffle) {
           ShuffleKeysVectorBufferedMainAvx512(fn, keys + b, grid.size(m),
                                               offsets, out_keys,
                                               &res->bufs[m]);

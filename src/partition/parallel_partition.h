@@ -61,7 +61,13 @@ struct ParallelPartitionResources {
 /// via ChooseShuffleVariant(fn.fanout, PartitionBudget::Default()), which
 /// keeps buffered-16 for every fanout within the default TLB/L1 budget.
 /// `out_capacity`, when nonzero, is asserted to satisfy the
-/// ShuffleCapacity(n) contract at entry.
+/// ShuffleCapacity(n) contract at entry. Within the buffered-16 family the
+/// AVX-512 fill is used only up to budget.b16_vector_max_fanout
+/// (UseVectorBuffered16; the scalar fill wins beyond — byte-identical
+/// either way). On multi-node topologies the per-morsel histogram rows are
+/// first-touched node-locally (numa/placement.h) when (re)allocated;
+/// output buffers belong to the caller, which is expected to place them
+/// (the radixsort/join drivers do).
 void ParallelPartitionPass(const PartitionFn& fn, const uint32_t* keys,
                            const uint32_t* pays, size_t n, uint32_t* out_keys,
                            uint32_t* out_pays, Isa isa, int threads,

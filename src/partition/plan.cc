@@ -13,6 +13,7 @@
 #include "partition/swwc.h"
 #include "util/aligned_buffer.h"
 #include "util/bits.h"
+#include "util/cpu_info.h"
 #include "util/task_pool.h"
 
 namespace simddb {
@@ -41,11 +42,29 @@ uint32_t FloorPow2AtLeast2(uint32_t v) {
 PartitionBudget PartitionBudget::Default() {
   static const PartitionBudget kDefault = [] {
     PartitionBudget b;
+    // Calibrate from the host before applying env overrides. Plausibility
+    // floors/caps keep a misreported sysconf/CPUID value (VMs, containers)
+    // from planning absurd fanouts; anything outside them keeps the
+    // conservative constant.
+    const CpuInfo& cpu = GetCpuInfo();
+    if (cpu.l1d_bytes >= (16u << 10) && cpu.l1d_bytes <= (256u << 10)) {
+      b.l1_staging_bytes = static_cast<uint32_t>(cpu.l1d_bytes);
+    }
+    if (cpu.l2_bytes >= (128u << 10) && cpu.l2_bytes <= (16u << 20)) {
+      b.l2_staging_bytes = static_cast<uint32_t>(cpu.l2_bytes);
+    }
+    // Half the second-level TLB's 4K reach: the input stream, the staging
+    // buffers and the stack compete for the other half.
+    if (cpu.stlb_4k_entries >= 128 && cpu.stlb_4k_entries <= (64u << 10)) {
+      b.tlb_partitions = static_cast<uint32_t>(cpu.stlb_4k_entries / 2);
+    }
     b.l1_staging_bytes =
         EnvU32("SIMDDB_L1_STAGING_BYTES", b.l1_staging_bytes);
     b.l2_staging_bytes =
         EnvU32("SIMDDB_L2_STAGING_BYTES", b.l2_staging_bytes);
     b.tlb_partitions = EnvU32("SIMDDB_TLB_PARTITIONS", b.tlb_partitions);
+    b.b16_vector_max_fanout =
+        EnvU32("SIMDDB_B16_VECTOR_MAX_FANOUT", b.b16_vector_max_fanout);
     return b;
   }();
   return kDefault;
@@ -72,6 +91,12 @@ ShuffleVariant ChooseShuffleVariant(uint32_t fanout,
                                     const PartitionBudget& budget) {
   return fanout <= budget.MaxBuffered16Fanout() ? ShuffleVariant::kBuffered16
                                                 : ShuffleVariant::kSwwc;
+}
+
+bool UseVectorBuffered16(Isa isa, uint32_t fanout,
+                         const PartitionBudget& budget) {
+  if (isa != Isa::kAvx512 || !IsaSupported(Isa::kAvx512)) return false;
+  return fanout <= budget.b16_vector_max_fanout;
 }
 
 PartitionPlan PlanRadixPasses(uint32_t total_bits,
@@ -123,6 +148,9 @@ void RefinePartitionsPass(const PartitionFn& fn2, uint32_t prev_count,
   }
   const bool swwc = variant == ShuffleVariant::kSwwc;
   const bool vec512 = isa == Isa::kAvx512 && IsaSupported(Isa::kAvx512);
+  // Shuffle fill choice is fanout-aware (scalar wins past the vector cap);
+  // the histogram below stays vectorized regardless.
+  const bool vec_shuffle = !swwc && UseVectorBuffered16(isa, p2, budget);
   const internal::SwwcFill fill = internal::ChooseSwwcFill(isa, p2, budget);
 
   std::vector<ShuffleBuffers> bufs(swwc ? 0 : prev_count);
@@ -153,7 +181,7 @@ void RefinePartitionsPass(const PartitionFn& fn2, uint32_t prev_count,
       if (swwc) {
         internal::SwwcPairMain(fill, fn2, in_keys + b, in_pays + b, n_part,
                                offsets, out_keys, out_pays, &wc_bufs[p]);
-      } else if (vec512) {
+      } else if (vec_shuffle) {
         ShuffleVectorBufferedMainAvx512(fn2, in_keys + b, in_pays + b, n_part,
                                         offsets, out_keys, out_pays,
                                         &bufs[p]);
@@ -165,7 +193,7 @@ void RefinePartitionsPass(const PartitionFn& fn2, uint32_t prev_count,
       if (swwc) {
         internal::SwwcKeysMain(fill, fn2, in_keys + b, n_part, offsets,
                                out_keys, &wc_bufs[p]);
-      } else if (vec512) {
+      } else if (vec_shuffle) {
         ShuffleKeysVectorBufferedMainAvx512(fn2, in_keys + b, n_part, offsets,
                                             out_keys, &bufs[p]);
       } else {

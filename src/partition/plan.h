@@ -14,11 +14,14 @@
 //     on the slid grid; tolerates an order of magnitude more partitions
 //     (staging budgeted against L2) before it, too, wants a split.
 //
-// Budget defaults target a contemporary x86 server core (32 KB L1D heavily
-// shared with the input stream, 512 KB+ L2, 64-entry L1 dTLB backed by a
-// ~1.5K-entry STLB) and can be overridden with environment variables for
-// odd hosts: SIMDDB_L1_STAGING_BYTES, SIMDDB_L2_STAGING_BYTES,
-// SIMDDB_TLB_PARTITIONS.
+// Budget defaults auto-calibrate from util/cpu_info's cache/TLB
+// introspection (L1D/L2 sizes from sysconf, STLB geometry from CPUID) with
+// plausibility floors and caps, falling back to constants targeting a
+// contemporary x86 server core (32 KB L1D heavily shared with the input
+// stream, 512 KB+ L2, ~1K-partition TLB reach) when the host reports
+// nothing usable. Environment variables always take precedence:
+// SIMDDB_L1_STAGING_BYTES, SIMDDB_L2_STAGING_BYTES, SIMDDB_TLB_PARTITIONS,
+// SIMDDB_B16_VECTOR_MAX_FANOUT.
 //
 // MultiPassPartition executes a plan end-to-end: pass 1 is a full
 // ParallelPartitionPass, later passes refine every existing partition
@@ -51,7 +54,15 @@ struct PartitionBudget {
   uint32_t l2_staging_bytes = 512u << 10;  ///< SWWC staging budget
   uint32_t tlb_partitions = 512;           ///< open-page cap for buffered-16
 
-  /// Defaults with environment overrides applied (parsed once).
+  /// Largest fanout at which the AVX-512 buffered-16 fill still beats the
+  /// scalar one (the gather/scatter conflict-detect cost grows with
+  /// fanout; scalar wins past 2^10 on the bench host — see
+  /// UseVectorBuffered16).
+  uint32_t b16_vector_max_fanout = 1u << 10;
+
+  /// Host-calibrated defaults (cpu_info cache/TLB introspection, bounded
+  /// by plausibility floors/caps) with environment overrides applied on
+  /// top (parsed once per process).
   static PartitionBudget Default();
 
   /// Largest power-of-two fanout a buffered-16 pass may use:
@@ -72,6 +83,16 @@ struct PartitionBudget {
 /// it fits that kernel's budget, SWWC beyond.
 ShuffleVariant ChooseShuffleVariant(uint32_t fanout,
                                     const PartitionBudget& budget);
+
+/// Fill choice *inside* the buffered-16 family: true when the AVX-512
+/// gather/scatter fill (the paper's Alg. 15) should run, i.e. the ISA is
+/// available and the fanout is at most budget.b16_vector_max_fanout;
+/// beyond that the scalar fill wins (measured crossover 2^10) and the
+/// vector dispatch sites fall back to it. Histogram kernels are not
+/// affected — they stay vectorized at every fanout. Both fills are
+/// byte-identical, so this is pure performance policy.
+bool UseVectorBuffered16(Isa isa, uint32_t fanout,
+                         const PartitionBudget& budget);
 
 struct PartitionPassPlan {
   uint32_t bits;           ///< radix width of this pass (fanout = 1 << bits)

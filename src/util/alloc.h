@@ -23,12 +23,27 @@
 
 #if defined(__linux__)
 #include <sys/mman.h>
+#include <unistd.h>
 #endif
 
 namespace simddb {
 
 inline constexpr size_t kCacheLineBytes = 64;
 inline constexpr size_t kHugePageBytes = size_t{2} << 20;
+
+/// Host base-page size (cached after the first call). The NUMA placement
+/// helpers (numa/placement.h) fault and bind memory at this granularity —
+/// first touch decides a page's node, so it is the placement quantum.
+inline size_t PageBytes() {
+  static const size_t page = [] {
+#if defined(__linux__)
+    long v = sysconf(_SC_PAGESIZE);
+    if (v > 0) return static_cast<size_t>(v);
+#endif
+    return size_t{4096};
+  }();
+  return page;
+}
 
 /// True when SIMDDB_HUGEPAGES=1 (or any non-"0" value) is set: AlignedBuffer
 /// and other default call sites then request huge-page backing for large

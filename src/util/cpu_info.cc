@@ -33,6 +33,35 @@ CpuInfo Detect() {
       static_cast<int>(std::thread::hardware_concurrency());
   if (info.logical_cores == 0) info.logical_cores = 1;
 
+  // Data-TLB geometry. Intel reports it via leaf 0x18's deterministic
+  // address-translation subleaves: EDX[4:0] = translation type (1 = data,
+  // 3 = unified), EDX[7:5] = level, EBX bit 0 = 4K-page support,
+  // EBX[31:16] = ways, ECX = sets.
+  unsigned int max_leaf = __get_cpuid_max(0, nullptr);
+  if (max_leaf >= 0x18) {
+    unsigned int sub0_eax = 0;
+    if (__get_cpuid_count(0x18, 0, &sub0_eax, &ebx, &ecx, &edx)) {
+      const unsigned int max_sub = sub0_eax;
+      for (unsigned int sub = 0; sub <= max_sub && sub <= 64; ++sub) {
+        if (!__get_cpuid_count(0x18, sub, &eax, &ebx, &ecx, &edx)) break;
+        const unsigned int type = edx & 0x1F;
+        const unsigned int level = (edx >> 5) & 0x7;
+        if (type != 1 && type != 3) continue;  // data or unified only
+        if ((ebx & 1) == 0) continue;          // must cover 4K pages
+        const size_t entries =
+            static_cast<size_t>((ebx >> 16) & 0xFFFF) * ecx;
+        if (entries == 0) continue;
+        if (level == 1 && type == 1) {
+          if (entries > info.l1_dtlb_4k_entries) {
+            info.l1_dtlb_4k_entries = entries;
+          }
+        } else if (level >= 2) {
+          if (entries > info.stlb_4k_entries) info.stlb_4k_entries = entries;
+        }
+      }
+    }
+  }
+
   // Brand string via CPUID leaves 0x80000002..4.
   unsigned int brand[12] = {0};
   unsigned int max_ext = __get_cpuid_max(0x80000000, nullptr);
@@ -45,6 +74,26 @@ CpuInfo Detect() {
     std::memcpy(name, brand, sizeof(brand));
     name[sizeof(brand)] = '\0';
     info.model_name = name;
+  }
+
+  // AMD reports TLBs in the extended leaves (these return zeros on Intel):
+  // 0x80000005 EBX[23:16] = L1 data TLB 4K entries, 0x80000006
+  // EBX[27:16] = L2 data TLB 4K entries (EBX[31:28] = associativity, 0
+  // meaning the L2 TLB is disabled).
+  if (max_ext >= 0x80000006) {
+    if (__get_cpuid(0x80000005, &eax, &ebx, &ecx, &edx)) {
+      const size_t l1d_tlb = (ebx >> 16) & 0xFF;
+      if (info.l1_dtlb_4k_entries == 0 && l1d_tlb != 0) {
+        info.l1_dtlb_4k_entries = l1d_tlb;
+      }
+    }
+    if (__get_cpuid(0x80000006, &eax, &ebx, &ecx, &edx)) {
+      const size_t l2d_tlb = (ebx >> 16) & 0xFFF;
+      const unsigned int assoc = (ebx >> 28) & 0xF;
+      if (info.stlb_4k_entries == 0 && l2d_tlb != 0 && assoc != 0) {
+        info.stlb_4k_entries = l2d_tlb;
+      }
+    }
   }
   return info;
 }

@@ -21,6 +21,14 @@ struct CpuInfo {
   size_t l1d_bytes = 32 * 1024;
   size_t l2_bytes = 256 * 1024;
   size_t l3_bytes = 0;
+
+  /// Data-TLB geometry for 4K pages, 0 = not reported by CPUID. Intel:
+  /// leaf 0x18 deterministic address-translation subleaves; AMD: leaves
+  /// 0x80000005/0x80000006. The partition planner derives its open-page
+  /// budget (PartitionBudget::tlb_partitions) from the second-level TLB.
+  size_t l1_dtlb_4k_entries = 0;
+  size_t stlb_4k_entries = 0;
+
   int logical_cores = 1;
   std::string model_name;
 

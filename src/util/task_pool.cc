@@ -1,8 +1,11 @@
 #include "util/task_pool.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
+#include "numa/topology.h"
 #include "obs/metrics.h"
 
 namespace simddb {
@@ -12,6 +15,8 @@ namespace {
 // metrics are disabled beyond one relaxed load per event, and every event
 // amortizes over >= one morsel of work.
 obs::Counter g_steals("steals");            // successful back-half steals
+obs::Counter g_steals_local("steals_local");    // victim on the same node
+obs::Counter g_steals_remote("steals_remote");  // victim on another node
 obs::Counter g_stolen_tasks("stolen_tasks");  // tasks migrated by steals
 obs::Counter g_morsels("morsels");          // tasks executed via ParallelFor
 obs::Counter g_inline_runs("inline_runs");  // jobs run inline on the caller
@@ -38,7 +43,26 @@ constexpr uint32_t RangeBegin(uint64_t r) {
 }
 constexpr uint32_t RangeEnd(uint64_t r) { return static_cast<uint32_t>(r); }
 
+// Process steal scope. -1 = not yet initialized from SIMDDB_NUMA_STEAL.
+std::atomic<int> g_steal_scope{-1};
+
 }  // namespace
+
+StealScope GetStealScope() {
+  int v = g_steal_scope.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("SIMDDB_NUMA_STEAL");
+    v = (env != nullptr && std::strcmp(env, "strict") == 0)
+            ? static_cast<int>(StealScope::kNodeStrict)
+            : static_cast<int>(StealScope::kHierarchical);
+    g_steal_scope.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<StealScope>(v);
+}
+
+void SetStealScope(StealScope scope) {
+  g_steal_scope.store(static_cast<int>(scope), std::memory_order_relaxed);
+}
 
 void PhaseBarrier::Wait() {
   const bool timed = obs::MetricsEnabled();
@@ -108,7 +132,8 @@ int TaskPool::SpawnedWorkers() {
   return static_cast<int>(workers_.size());
 }
 
-bool TaskPool::PopOrSteal(int lane, int n_lanes, size_t* task) {
+bool TaskPool::PopOrSteal(int lane, int n_lanes, int n_nodes, bool strict,
+                          size_t* task) {
   // Fast path: pop the front of the own deque — consecutive morsels, so a
   // lane that keeps its initial range streams through contiguous input.
   Lane& mine = lanes_[lane];
@@ -123,38 +148,55 @@ bool TaskPool::PopOrSteal(int lane, int n_lanes, size_t* task) {
   }
   // Own deque drained: steal the back half of the first non-empty victim.
   // The stolen tasks (minus the one returned) become the new own deque.
-  for (int i = 1; i < n_lanes; ++i) {
-    Lane& victim = lanes_[(lane + i) % n_lanes];
-    uint64_t vr = victim.range.load(std::memory_order_acquire);
-    while (RangeBegin(vr) < RangeEnd(vr)) {
-      uint32_t vb = RangeBegin(vr);
-      uint32_t ve = RangeEnd(vr);
-      uint32_t take = (ve - vb + 1) / 2;
-      uint32_t split = ve - take;
-      if (victim.range.compare_exchange_weak(vr, PackRange(vb, split),
-                                             std::memory_order_acq_rel,
-                                             std::memory_order_relaxed)) {
-        if (take > 1) {
-          mine.range.store(PackRange(split + 1, ve),
-                           std::memory_order_release);
+  // With a multi-node lane map the scan is hierarchical: pass 0 visits
+  // only same-node victims (the per-node steal ring), pass 1 — skipped
+  // under StealScope::kNodeStrict — crosses nodes once the whole local
+  // node is dry. Which lane executes a task never affects output (the
+  // morsel grid fixes the layout), so the scan order is pure policy.
+  const int my_node =
+      n_nodes > 1 ? numa::NodeOfLane(lane, n_lanes, n_nodes) : 0;
+  const int n_passes = n_nodes > 1 ? (strict ? 1 : 2) : 1;
+  for (int pass = 0; pass < n_passes; ++pass) {
+    const bool want_local = pass == 0;
+    for (int i = 1; i < n_lanes; ++i) {
+      const int v = (lane + i) % n_lanes;
+      if (n_nodes > 1 &&
+          (numa::NodeOfLane(v, n_lanes, n_nodes) == my_node) != want_local) {
+        continue;
+      }
+      Lane& victim = lanes_[v];
+      uint64_t vr = victim.range.load(std::memory_order_acquire);
+      while (RangeBegin(vr) < RangeEnd(vr)) {
+        uint32_t vb = RangeBegin(vr);
+        uint32_t ve = RangeEnd(vr);
+        uint32_t take = (ve - vb + 1) / 2;
+        uint32_t split = ve - take;
+        if (victim.range.compare_exchange_weak(vr, PackRange(vb, split),
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed)) {
+          if (take > 1) {
+            mine.range.store(PackRange(split + 1, ve),
+                             std::memory_order_release);
+          }
+          if (obs::MetricsEnabled()) {
+            g_steals.AddAlways(1);
+            g_stolen_tasks.AddAlways(take);
+            (want_local ? g_steals_local : g_steals_remote).AddAlways(1);
+          }
+          *task = split;
+          return true;
         }
-        if (obs::MetricsEnabled()) {
-          g_steals.AddAlways(1);
-          g_stolen_tasks.AddAlways(take);
-        }
-        *task = split;
-        return true;
       }
     }
   }
   return false;
 }
 
-void TaskPool::RunLane(int lane, int n_lanes,
+void TaskPool::RunLane(int lane, int n_lanes, int n_nodes, bool strict,
                        const std::function<void(int, size_t)>& fn) {
   size_t task;
   uint64_t executed = 0;
-  while (PopOrSteal(lane, n_lanes, &task)) {
+  while (PopOrSteal(lane, n_lanes, n_nodes, strict, &task)) {
     fn(lane, task);
     ++executed;
   }
@@ -164,6 +206,7 @@ void TaskPool::RunLane(int lane, int n_lanes,
 void TaskPool::WorkerLoop(int self) {
   InJobScope in_job;  // workers never start nested pool jobs
   uint64_t seen_epoch = 0;
+  int pinned_node = -1;  // last node this thread pinned itself to
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     work_cv_.wait(lock,
@@ -173,12 +216,26 @@ void TaskPool::WorkerLoop(int self) {
     const int lane = self + 1;  // lane 0 is the submitting thread
     if (lane >= job_lanes_) continue;
     const int n_lanes = job_lanes_;
+    const int n_nodes = job_n_nodes_;
+    const bool strict = job_strict_;
+    const bool pin = job_pin_;
     const auto* for_fn = for_fn_;
     const auto* phase_fn = phase_fn_;
     PhaseBarrier* barrier = barrier_;
     lock.unlock();
+    if (pin) {
+      // The lane -> node map depends on this job's lane count, so the
+      // desired node can change between jobs; re-pin only on change. The
+      // submitting thread (lane 0) is never pinned — its affinity belongs
+      // to the caller.
+      const int want = numa::NodeOfLane(lane, n_lanes, n_nodes);
+      if (want != pinned_node &&
+          numa::PinThreadToNode(numa::Topology(), want)) {
+        pinned_node = want;
+      }
+    }
     if (for_fn != nullptr) {
-      RunLane(lane, n_lanes, *for_fn);
+      RunLane(lane, n_lanes, n_nodes, strict, *for_fn);
     } else {
       (*phase_fn)(lane, n_lanes, *barrier);
     }
@@ -240,6 +297,16 @@ void TaskPool::DispatchFor(size_t n_tasks, int max_workers,
   }
   g_dispatches.Add(1);
 
+  // Topology snapshot for this job: at most one node per lane. The lane ->
+  // node map (numa::NodeOfLane) and the contiguous initial split below
+  // together give every node's lanes a contiguous task block.
+  const numa::NumaTopology& topo = numa::Topology();
+  int n_nodes = topo.node_count();
+  if (n_nodes > lanes) n_nodes = lanes;
+  const bool strict =
+      n_nodes > 1 && GetStealScope() == StealScope::kNodeStrict;
+  const bool pin = n_nodes > 1 && !topo.fake && numa::PinningEnabled();
+
   std::lock_guard<std::mutex> jobs_lock(jobs_mu_);
   EnsureWorkers(lanes - 1);
   // Initial split: lane l owns the contiguous index block
@@ -258,12 +325,15 @@ void TaskPool::DispatchFor(size_t n_tasks, int max_workers,
     barrier_ = nullptr;
     job_lanes_ = lanes;
     lanes_remaining_ = lanes;
+    job_n_nodes_ = n_nodes;
+    job_strict_ = strict;
+    job_pin_ = pin;
     ++epoch_;
   }
   work_cv_.notify_all();
   {
     InJobScope in_job;
-    RunLane(0, lanes, fn);
+    RunLane(0, lanes, n_nodes, strict, fn);
   }
   std::unique_lock<std::mutex> lock(mu_);
   if (--lanes_remaining_ > 0) {
@@ -286,6 +356,13 @@ void TaskPool::ParallelPhases(
   }
   g_dispatches.Add(1);
 
+  // Phase jobs have no steal rings, but lanes still map to nodes for
+  // worker pinning (first-touch blocks in numa::PlaceBuffer rely on it).
+  const numa::NumaTopology& topo = numa::Topology();
+  int n_nodes = topo.node_count();
+  if (n_nodes > lanes) n_nodes = lanes;
+  const bool pin = n_nodes > 1 && !topo.fake && numa::PinningEnabled();
+
   std::lock_guard<std::mutex> jobs_lock(jobs_mu_);
   EnsureWorkers(lanes - 1);
   PhaseBarrier barrier(lanes);
@@ -296,6 +373,9 @@ void TaskPool::ParallelPhases(
     barrier_ = &barrier;
     job_lanes_ = lanes;
     lanes_remaining_ = lanes;
+    job_n_nodes_ = n_nodes;
+    job_strict_ = false;
+    job_pin_ = pin;
     ++epoch_;
   }
   work_cv_.notify_all();

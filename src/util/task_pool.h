@@ -31,6 +31,19 @@
 // spawn. Requests beyond the cap are clamped; requests beyond the hardware
 // thread count are honoured up to the cap (deliberate oversubscription — the
 // Fig. 16 reproduction sweeps 1..8 threads on any host, see DESIGN.md).
+//
+// NUMA (numa/topology.h): every dispatch snapshots the topology and maps
+// lanes to nodes in contiguous blocks (lane l -> node l*N/L), matching the
+// contiguous initial task split so each node's lanes own a contiguous
+// morsel range. Stealing is hierarchical — a dry lane scans its own node's
+// victims first and crosses the node boundary only when the whole local
+// node is dry (StealScope::kNodeStrict forbids even that). On real
+// multi-node topologies workers additionally pin themselves to their
+// node's cpuset per job (SIMDDB_NUMA_PIN=0 disables; the submitting thread
+// — lane 0 — is never pinned). Single-node and fake topologies skip
+// pinning, so behaviour there is unchanged from the pre-NUMA pool apart
+// from the victim scan order, which never affects results: output layout
+// depends only on the morsel grid, not the steal schedule.
 
 #include <atomic>
 #include <condition_variable>
@@ -63,6 +76,20 @@ inline size_t BoundedMorselSize(size_t n, size_t max_morsels = kMaxMorselsPerPas
   }
   return morsel;
 }
+
+/// Cross-node work-stealing policy. kHierarchical (default): a dry lane
+/// steals within its node first and crosses nodes only when every local
+/// victim is dry. kNodeStrict: morsels never migrate across nodes — idle
+/// nodes finish early instead of generating remote traffic; used by
+/// placement-sensitive passes and the NUMA bench to guarantee zero remote
+/// steals. Irrelevant (single ring) on single-node topologies.
+enum class StealScope { kHierarchical, kNodeStrict };
+
+/// Process steal scope: SIMDDB_NUMA_STEAL=strict selects kNodeStrict,
+/// anything else (or unset) kHierarchical. Settable at runtime (benches,
+/// tests); takes effect at the next dispatch.
+StealScope GetStealScope();
+void SetStealScope(StealScope scope);
 
 /// Reusable sense-reversing barrier for multi-phase parallel operators
 /// (histogram -> prefix sum -> shuffle, build -> probe). Safe to reuse for
@@ -182,8 +209,12 @@ class TaskPool {
   void DispatchFor(size_t n_tasks, int max_workers,
                    const std::function<void(int worker, size_t task)>& fn);
   void WorkerLoop(int self);
-  void RunLane(int lane, int n_lanes, const std::function<void(int, size_t)>& fn);
-  bool PopOrSteal(int lane, int n_lanes, size_t* task);
+  // n_nodes/strict are the job's topology snapshot (clamped to n_lanes);
+  // passed by value so lanes never re-read shared job state mid-run.
+  void RunLane(int lane, int n_lanes, int n_nodes, bool strict,
+               const std::function<void(int, size_t)>& fn);
+  bool PopOrSteal(int lane, int n_lanes, int n_nodes, bool strict,
+                  size_t* task);
 
   // Serializes job submission: one parallel job at a time owns the workers.
   std::mutex jobs_mu_;
@@ -195,6 +226,9 @@ class TaskPool {
   uint64_t epoch_ = 0;
   int job_lanes_ = 0;          // lanes participating in the current job
   int lanes_remaining_ = 0;    // participating lanes not yet finished
+  int job_n_nodes_ = 1;        // topology nodes mapped onto this job's lanes
+  bool job_strict_ = false;    // StealScope::kNodeStrict for this job
+  bool job_pin_ = false;       // pin workers to their lane's node cpuset
   bool shutdown_ = false;
 
   // Current job payload (set before epoch_ bump, read by participants).

@@ -303,6 +303,25 @@ TEST(JsonlTest, BenchRowLabelParsing) {
   EXPECT_EQ(line.find("\"threads\":\"1\""), std::string::npos);
 }
 
+TEST(JsonlTest, BenchRowExplicitIsaEmittedOnce) {
+  BenchJsonRow row;
+  row.name = "case";
+  // "vector" in the variant would also trigger the inference heuristic; the
+  // explicit isa= token must win and appear exactly once.
+  row.label = "vector_thing isa=scalar";
+  row.time_unit = "ms";
+  const std::string line = BuildBenchJsonLine(row);
+  EXPECT_TRUE(IsValidJson(std::string_view(line.data(), line.size() - 1)))
+      << line;
+  EXPECT_EQ(RawField(line, "isa"), "\"scalar\"");
+  size_t count = 0;
+  for (size_t at = line.find("\"isa\":"); at != std::string::npos;
+       at = line.find("\"isa\":", at + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
 TEST(JsonlTest, BenchRowMetricsAppended) {
   BenchJsonRow row;
   row.name = "sched";

@@ -1,0 +1,100 @@
+// Extension benchmark: end-to-end composed query through the push-based
+// executor (src/exec/). The plan is TPC-H Q3 shaped — filter a 128K-row
+// dimension R on its key range, hash-build, filter a 2M-row fact S on a
+// value predicate, bloom-prefilter the foreign keys, probe, and group the
+// join output by R's attribute with SUM/COUNT/MIN/MAX — the same pipeline
+// every operator bench measures in isolation, now paying the real chunk
+// hand-off, conversion, and breaker costs between them.
+//
+// Sweep: isa {scalar, avx2, avx512} x S selectivity {1%, 10%, 50%} x
+// threads {1, 8}. Under --metrics (or the metrics-forced CI build) each
+// row carries the executor's observability instruments — chunks_pushed and
+// the per-operator phase timers (exec_scan_ns, exec_bloom_ns,
+// exec_build_ns, exec_probe_ns, exec_partition_ns, exec_groupby_ns) —
+// which scripts/check_bench_ranges.py gates structurally: the chunk grid
+// has a known shape, and each phase's share of scan time must stay inside
+// wide ratio bands (a silently skipped operator reports zero time and
+// fails the gate).
+
+#include <string>
+
+#include "bench/bench_common.h"
+#include "exec/chunk.h"
+#include "exec/query.h"
+
+namespace simddb::bench {
+namespace {
+
+constexpr size_t kRTuples = size_t{128} << 10;  // dimension: 128K rows
+constexpr size_t kSTuples = size_t{2} << 20;    // fact: 2M rows
+constexpr uint32_t kValMax = 999'999;
+
+void BM_ExecQuery(benchmark::State& state) {
+  const Isa isa = static_cast<Isa>(state.range(0));
+  const uint32_t sel_pct = static_cast<uint32_t>(state.range(1));
+  const int threads = static_cast<int>(state.range(2));
+  if (!RequireIsa(state, isa)) return;
+
+  // R keys must be unique for the PK-FK join: sequential 1..kRTuples.
+  static AlignedBuffer<uint32_t>* r_keys = [] {
+    auto* b = new AlignedBuffer<uint32_t>(kRTuples + 16);
+    FillSequential(b->data(), kRTuples, 1);
+    return b;
+  }();
+  static AlignedBuffer<uint32_t>* r_attrs = [] {
+    auto* b = new AlignedBuffer<uint32_t>(kRTuples + 16);
+    FillUniform(b->data(), kRTuples, 5, 1, 1024);
+    return b;
+  }();
+  const auto& s = KeyPayColumns::Get(kSTuples, 1,
+                                     static_cast<uint32_t>(kRTuples), 6);
+  static AlignedBuffer<uint32_t>* s_vals = [] {
+    auto* b = new AlignedBuffer<uint32_t>(kSTuples + 16);
+    FillUniform(b->data(), kSTuples, 7, 0, kValMax);
+    return b;
+  }();
+
+  exec::ScanJoinAggregatePlan plan;
+  plan.r_keys = r_keys->data();
+  plan.r_attrs = r_attrs->data();
+  plan.n_r = kRTuples;
+  plan.r_lo = 1;
+  plan.r_hi = static_cast<uint32_t>((3 * kRTuples) / 4);  // keep 75% of R
+  plan.s_fks = s.keys.data();
+  plan.s_vals = s_vals->data();
+  plan.n_s = kSTuples;
+  plan.s_lo = 0;
+  plan.s_hi = (uint64_t{kValMax} + 1) * sel_pct / 100 - 1;  // sel% of S
+  plan.bloom_bits_per_key = 10;
+  plan.max_groups_hint = 2048;
+
+  exec::ExecConfig cfg;
+  cfg.isa = isa;
+  cfg.threads = threads;
+
+  size_t groups = 0;
+  for (auto _ : state) {
+    exec::QueryResult res = exec::RunScanJoinAggregate(plan, cfg);
+    groups = res.group_keys.size();
+    benchmark::DoNotOptimize(res.sums.data());
+  }
+  // Throughput over the fact table: the fact scan dominates the input.
+  SetTuplesPerSecond(state, static_cast<double>(kSTuples));
+  state.SetLabel("query_q3 isa=" + std::string(IsaName(isa)) +
+                 " sel=" + std::to_string(sel_pct) +
+                 " threads=" + std::to_string(threads) +
+                 " groups=" + std::to_string(groups));
+}
+
+// {isa, S selectivity %, threads}. Fixed iterations so the counter totals
+// are comparable across variants; wall-clock since the work spans lanes.
+BENCHMARK(BM_ExecQuery)
+    ->ArgsProduct({{0, 1, 2}, {1, 10, 50}, {1, 8}})
+    ->Iterations(10)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace simddb::bench
+
+SIMDDB_BENCH_MAIN();

@@ -25,8 +25,8 @@ void BM_SelectionScan(benchmark::State& state) {
                     ? 0  // ~one in a million
                     : static_cast<uint32_t>(
                           (static_cast<uint64_t>(kKeyMax) * sel_pct) / 100);
-  AlignedBuffer<uint32_t> out_k(kTuples + kSelectionScanPad);
-  AlignedBuffer<uint32_t> out_p(kTuples + kSelectionScanPad);
+  AlignedBuffer<uint32_t> out_k(SelectionScanCapacity(kTuples));
+  AlignedBuffer<uint32_t> out_p(SelectionScanCapacity(kTuples));
   size_t kept = 0;
   for (auto _ : state) {
     kept = SelectionScan(variant, cols.keys.data(), cols.pays.data(),

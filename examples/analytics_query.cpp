@@ -44,13 +44,13 @@ PipelineResult RunPipeline(bool vectorized, const uint32_t* part,
 
   // 1. Selection scan on quantity, carrying the part fk as payload.
   Timer t;
-  AlignedBuffer<uint32_t> q1(n + kSelectionScanPad),
-      p1(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> q1(SelectionScanCapacity(n)),
+      p1(SelectionScanCapacity(n));
   ScanVariant scan = vectorized && IsaSupported(Isa::kAvx512)
                          ? ScanVariant::kVectorStoreIndirect
                          : ScanVariant::kScalarBranchless;
   res.after_scan = SelectionScan(scan, quantity, part, n, 20, 70, q1.data(),
-                                 p1.data());
+                                 p1.data(), q1.size());
   res.scan_ms = t.Millis();
 
   // 2. Bloom semi-join: drop tuples whose part is certainly not promoted.

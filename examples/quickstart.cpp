@@ -40,14 +40,15 @@ int main() {
   // SELECT ... WHERE price BETWEEN 10000 AND 19999 — a vectorized selection
   // scan keyed on the price column carries the customer fk as payload.
   Timer t;
-  AlignedBuffer<uint32_t> sel_price(n_orders + kSelectionScanPad);
-  AlignedBuffer<uint32_t> sel_cust(n_orders + kSelectionScanPad);
+  AlignedBuffer<uint32_t> sel_price(SelectionScanCapacity(n_orders));
+  AlignedBuffer<uint32_t> sel_cust(SelectionScanCapacity(n_orders));
   ScanVariant scan = ScanVariantSupported(ScanVariant::kVectorStoreIndirect)
                          ? ScanVariant::kVectorStoreIndirect
                          : ScanVariant::kScalarBranchless;
   size_t n_sel =
       SelectionScan(scan, order_price.data(), order_cust.data(), n_orders,
-                    10'000, 19'999, sel_price.data(), sel_cust.data());
+                    10'000, 19'999, sel_price.data(), sel_cust.data(),
+                    sel_price.size());
   std::printf("selection scan (%s): kept %zu of %zu orders in %.2f ms\n",
               ScanVariantName(scan), n_sel, n_orders, t.Millis());
 

@@ -137,13 +137,14 @@ void GroupByAggregator::AccumulateParallel(Isa isa, const uint32_t* keys,
     });
   }
   obs::ScopedPhase phase(g_agg_merge_ns);
-  for (int l = 0; l < lanes; ++l) {
-    const GroupByAggregator& p = *partials[l];
-    for (size_t h = 0; h < p.n_buckets_; ++h) {
-      if (p.gkeys_[h] == kEmptyKey) continue;
-      FoldMerge(p.gkeys_[h], p.sums_[h], p.counts_[h], p.mins_[h],
-                p.maxs_[h]);
-    }
+  for (int l = 0; l < lanes; ++l) MergeFrom(*partials[l]);
+}
+
+void GroupByAggregator::MergeFrom(const GroupByAggregator& other) {
+  for (size_t h = 0; h < other.n_buckets_; ++h) {
+    if (other.gkeys_[h] == kEmptyKey) continue;
+    FoldMerge(other.gkeys_[h], other.sums_[h], other.counts_[h],
+              other.mins_[h], other.maxs_[h]);
   }
 }
 

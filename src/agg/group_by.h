@@ -54,6 +54,12 @@ class GroupByAggregator {
   void AccumulateParallel(Isa isa, const uint32_t* keys, const uint32_t* vals,
                           size_t n, int threads);
 
+  /// Folds every group of `other` into this table (the partial-merge step of
+  /// AccumulateParallel, exposed for executor sinks that keep one partial
+  /// per worker lane). Aggregates are commutative and exact, so any merge
+  /// order yields the same per-group values.
+  void MergeFrom(const GroupByAggregator& other);
+
   /// Number of distinct groups accumulated so far.
   size_t num_groups() const { return n_groups_; }
 

@@ -1,0 +1,453 @@
+#include "exec/pipeline.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "obs/metrics.h"
+#include "util/task_pool.h"
+
+namespace simddb::exec {
+namespace {
+
+// Registry keeps raw pointers, so counters/timers must have static storage.
+obs::Counter g_chunks_pushed("chunks_pushed");
+obs::PhaseTimer g_scan_ns("exec_scan_ns");
+obs::PhaseTimer g_materialize_ns("exec_materialize_ns");
+obs::PhaseTimer g_bloom_ns("exec_bloom_ns");
+obs::PhaseTimer g_build_ns("exec_build_ns");
+obs::PhaseTimer g_probe_ns("exec_probe_ns");
+obs::PhaseTimer g_partition_ns("exec_partition_ns");
+obs::PhaseTimer g_groupby_ns("exec_groupby_ns");
+
+size_t ChunksFor(size_t n, const ExecConfig& cfg) {
+  return n == 0 ? 0 : (n + cfg.chunk_tuples - 1) / cfg.chunk_tuples;
+}
+
+void ResetLaneChunks(std::vector<std::unique_ptr<Chunk>>& out, int lanes,
+                     size_t capacity, int n_cols) {
+  out.resize(static_cast<size_t>(lanes));
+  for (auto& c : out) {
+    if (!c) c = std::make_unique<Chunk>();
+    c->Reset(capacity, n_cols);
+  }
+}
+
+}  // namespace
+
+ScanVariant ScanVariantForIsa(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx512:
+      return ScanVariant::kVectorStoreDirect;
+    case Isa::kAvx2:
+      return ScanVariant::kAvx2Direct;
+    default:
+      return ScanVariant::kScalarBranchless;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Operator
+// ---------------------------------------------------------------------------
+
+void Operator::Open(const ExecConfig& cfg, int lanes, size_t n_source_chunks) {
+  (void)lanes, (void)n_source_chunks;
+  cfg_ = cfg;
+}
+
+void Operator::OpenSource(const ExecConfig& cfg, int lanes) {
+  (void)lanes;
+  cfg_ = cfg;
+}
+
+void Operator::PushNext(Chunk& c, int lane) {
+  assert(next_ != nullptr && "chain ends in a non-sink operator");
+  CountRows(c.active());
+  g_chunks_pushed.Add(1);
+  next_->Push(c, lane);
+}
+
+// ---------------------------------------------------------------------------
+// ScanOp
+// ---------------------------------------------------------------------------
+
+ScanOp::ScanOp(const uint32_t* keys, const uint32_t* vals, size_t n,
+               uint32_t lo, uint32_t hi, bool filter_on_vals, ScanMode mode)
+    : keys_(keys),
+      vals_(vals),
+      n_(n),
+      lo_(lo),
+      hi_(hi),
+      filter_on_vals_(filter_on_vals),
+      mode_(mode) {}
+
+void ScanOp::OpenSource(const ExecConfig& cfg, int lanes) {
+  cfg_ = cfg;
+  ResetLaneChunks(out_, lanes, cfg.chunk_tuples, 2);
+}
+
+void ScanOp::Push(Chunk& c, int lane) {
+  (void)c, (void)lane;
+  assert(false && "ScanOp is a source; nothing pushes into it");
+}
+
+size_t ScanOp::SourceChunks(const ExecConfig& cfg) const {
+  return ChunksFor(n_, cfg);
+}
+
+void ScanOp::Produce(size_t chunk, int lane) {
+  Chunk& out = *out_[static_cast<size_t>(lane)];
+  {
+    obs::ScopedPhase t(g_scan_ns);
+    const size_t b = chunk * cfg_.chunk_tuples;
+    const size_t sz = std::min(cfg_.chunk_tuples, n_ - b);
+    if (mode_ == ScanMode::kCompact) {
+      const ScanVariant v = ScanVariantForIsa(cfg_.isa);
+      const size_t cap = ChunkCapacity(out.capacity());
+      size_t cnt;
+      if (filter_on_vals_) {
+        cnt = SelectionScan(v, vals_ + b, keys_ + b, sz, lo_, hi_, out.col(1),
+                            out.col(0), cap);
+      } else {
+        cnt = SelectionScan(v, keys_ + b, vals_ + b, sz, lo_, hi_, out.col(0),
+                            out.col(1), cap);
+      }
+      out.SetDense(cnt);
+    } else {
+      std::memcpy(out.col(0), keys_ + b, sz * sizeof(uint32_t));
+      std::memcpy(out.col(1), vals_ + b, sz * sizeof(uint32_t));
+      const uint32_t* pred = filter_on_vals_ ? out.col(1) : out.col(0);
+      const size_t cnt =
+          RangePredicateBitmap(cfg_.isa, pred, sz, lo_, hi_, out.bitmap());
+      out.SetBitmap(sz, cnt);
+    }
+    out.set_seq(chunk);
+  }
+  PushNext(out, lane);
+}
+
+// ---------------------------------------------------------------------------
+// MaterializeOp
+// ---------------------------------------------------------------------------
+
+void MaterializeOp::Push(Chunk& c, int lane) {
+  {
+    obs::ScopedPhase t(g_materialize_ns);
+    c.Compact(cfg_.isa);
+  }
+  PushNext(c, lane);
+}
+
+// ---------------------------------------------------------------------------
+// HashBuildOp
+// ---------------------------------------------------------------------------
+
+HashBuildOp::HashBuildOp(int bloom_bits_per_key, int bloom_k)
+    : bloom_bits_per_key_(bloom_bits_per_key), bloom_k_(bloom_k) {}
+
+void HashBuildOp::Open(const ExecConfig& cfg, int lanes,
+                       size_t n_source_chunks) {
+  cfg_ = cfg;
+  (void)lanes;
+  slot_cap_ = cfg.chunk_tuples;
+  const size_t total = ChunkCapacity(n_source_chunks * slot_cap_);
+  mat_keys_.Reset(total);
+  mat_pays_.Reset(total);
+  numa::PlaceBuffer(mat_keys_.data(), total * sizeof(uint32_t), cfg.threads,
+                    cfg.placement);
+  numa::PlaceBuffer(mat_pays_.data(), total * sizeof(uint32_t), cfg.threads,
+                    cfg.placement);
+  counts_.assign(n_source_chunks, 0);
+  n_build_ = 0;
+  table_.reset();
+  bloom_.reset();
+}
+
+void HashBuildOp::Push(Chunk& c, int lane) {
+  (void)lane;
+  obs::ScopedPhase t(g_build_ns);
+  c.Compact(cfg_.isa);
+  const size_t cnt = c.size();
+  assert(c.seq() < counts_.size() && cnt <= slot_cap_);
+  // Chunks slot by seq, not by lane: disjoint ranges, no synchronization,
+  // and a materialization order that never depends on stealing.
+  std::memcpy(mat_keys_.data() + c.seq() * slot_cap_, c.col(0),
+              cnt * sizeof(uint32_t));
+  std::memcpy(mat_pays_.data() + c.seq() * slot_cap_, c.col(1),
+              cnt * sizeof(uint32_t));
+  counts_[c.seq()] = cnt;
+  CountRows(cnt);
+}
+
+void HashBuildOp::Finish() {
+  obs::ScopedPhase t(g_build_ns);
+  size_t out = 0;
+  for (size_t m = 0; m < counts_.size(); ++m) {
+    const size_t cnt = counts_[m];
+    const size_t src = m * slot_cap_;
+    if (cnt != 0 && out != src) {
+      std::memmove(mat_keys_.data() + out, mat_keys_.data() + src,
+                   cnt * sizeof(uint32_t));
+      std::memmove(mat_pays_.data() + out, mat_pays_.data() + src,
+                   cnt * sizeof(uint32_t));
+    }
+    out += cnt;
+  }
+  n_build_ = out;
+  // Load factor <= 50%, and at least one empty bucket even when empty.
+  size_t buckets = 16;
+  while (buckets < 2 * (n_build_ + 1)) buckets <<= 1;
+  table_ = std::make_unique<LinearProbingTable>(buckets, cfg_.seed);
+  numa::PlaceBuffer(const_cast<uint32_t*>(table_->bucket_keys()),
+                    buckets * sizeof(uint32_t), cfg_.threads,
+                    numa::Placement::kInterleaved);
+  numa::PlaceBuffer(const_cast<uint32_t*>(table_->bucket_pays()),
+                    buckets * sizeof(uint32_t), cfg_.threads,
+                    numa::Placement::kInterleaved);
+  table_->Build(cfg_.isa, mat_keys_.data(), mat_pays_.data(), n_build_);
+  if (bloom_bits_per_key_ > 0 && n_build_ > 0) {
+    bloom_ = std::make_unique<BloomFilter>(BloomFilter::ForItems(
+        n_build_, bloom_bits_per_key_, bloom_k_, cfg_.seed));
+    numa::PlaceBuffer(const_cast<uint32_t*>(bloom_->words()),
+                      (bloom_->n_bits() / 8), cfg_.threads,
+                      numa::Placement::kInterleaved);
+    bloom_->Add(mat_keys_.data(), n_build_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BloomProbeOp
+// ---------------------------------------------------------------------------
+
+void BloomProbeOp::Open(const ExecConfig& cfg, int lanes,
+                        size_t n_source_chunks) {
+  cfg_ = cfg;
+  (void)n_source_chunks;
+  ResetLaneChunks(out_, lanes, cfg.chunk_tuples, 2);
+}
+
+void BloomProbeOp::Push(Chunk& c, int lane) {
+  const BloomFilter* f = build_->bloom();
+  if (f == nullptr) {  // empty build side never makes a filter
+    PushNext(c, lane);
+    return;
+  }
+  Chunk& out = *out_[static_cast<size_t>(lane)];
+  {
+    obs::ScopedPhase t(g_bloom_ns);
+    c.Compact(cfg_.isa);
+    const size_t cnt = f->Probe(cfg_.isa, c.col(0), c.col(1), c.size(),
+                                out.col(0), out.col(1));
+    out.SetDense(cnt);
+    out.set_seq(c.seq());
+  }
+  PushNext(out, lane);
+}
+
+// ---------------------------------------------------------------------------
+// HashJoinProbeOp
+// ---------------------------------------------------------------------------
+
+void HashJoinProbeOp::Open(const ExecConfig& cfg, int lanes,
+                           size_t n_source_chunks) {
+  cfg_ = cfg;
+  (void)n_source_chunks;
+  ResetLaneChunks(out_, lanes, cfg.chunk_tuples, 3);
+}
+
+void HashJoinProbeOp::Push(Chunk& c, int lane) {
+  Chunk& out = *out_[static_cast<size_t>(lane)];
+  {
+    obs::ScopedPhase t(g_probe_ns);
+    c.Compact(cfg_.isa);
+    const LinearProbingTable* table = build_->table();
+    assert(table != nullptr && "probe pipeline ran before the build broke");
+    const size_t cnt = table->Probe(cfg_.isa, c.col(0), c.col(1), c.size(),
+                                    out.col(0), out.col(1), out.col(2));
+    assert(cnt <= ChunkCapacity(out.capacity()));
+    out.SetDense(cnt);
+    out.set_seq(c.seq());
+  }
+  PushNext(out, lane);
+}
+
+// ---------------------------------------------------------------------------
+// PartitionOp
+// ---------------------------------------------------------------------------
+
+PartitionOp::PartitionOp(uint32_t fanout) : fanout_(fanout) {
+  assert(fanout_ >= 1);
+}
+
+void PartitionOp::Open(const ExecConfig& cfg, int lanes,
+                       size_t n_source_chunks) {
+  cfg_ = cfg;
+  (void)lanes;
+  slot_cap_ = cfg.chunk_tuples;
+  const size_t total = ChunkCapacity(n_source_chunks * slot_cap_);
+  mat_keys_.Reset(total);
+  mat_pays_.Reset(total);
+  numa::PlaceBuffer(mat_keys_.data(), total * sizeof(uint32_t), cfg.threads,
+                    cfg.placement);
+  numa::PlaceBuffer(mat_pays_.data(), total * sizeof(uint32_t), cfg.threads,
+                    cfg.placement);
+  counts_.assign(n_source_chunks, 0);
+  n_rows_ = 0;
+}
+
+void PartitionOp::OpenSource(const ExecConfig& cfg, int lanes) {
+  // Source role for the pipeline after the barrier: keep the partitioned
+  // output, only refresh the lane chunks.
+  cfg_ = cfg;
+  ResetLaneChunks(out_, lanes, cfg.chunk_tuples, 2);
+}
+
+void PartitionOp::Push(Chunk& c, int lane) {
+  (void)lane;
+  obs::ScopedPhase t(g_partition_ns);
+  c.Compact(cfg_.isa);
+  const size_t cnt = c.size();
+  assert(c.seq() < counts_.size() && cnt <= slot_cap_);
+  std::memcpy(mat_keys_.data() + c.seq() * slot_cap_, c.col(0),
+              cnt * sizeof(uint32_t));
+  std::memcpy(mat_pays_.data() + c.seq() * slot_cap_, c.col(1),
+              cnt * sizeof(uint32_t));
+  counts_[c.seq()] = cnt;
+}
+
+void PartitionOp::Finish() {
+  obs::ScopedPhase t(g_partition_ns);
+  size_t out = 0;
+  for (size_t m = 0; m < counts_.size(); ++m) {
+    const size_t cnt = counts_[m];
+    const size_t src = m * slot_cap_;
+    if (cnt != 0 && out != src) {
+      std::memmove(mat_keys_.data() + out, mat_keys_.data() + src,
+                   cnt * sizeof(uint32_t));
+      std::memmove(mat_pays_.data() + out, mat_pays_.data() + src,
+                   cnt * sizeof(uint32_t));
+    }
+    out += cnt;
+  }
+  n_rows_ = out;
+  CountRows(n_rows_);
+  const size_t cap = ShuffleCapacity(n_rows_);
+  out_keys_.Reset(cap);
+  out_pays_.Reset(cap);
+  numa::PlaceBuffer(out_keys_.data(), cap * sizeof(uint32_t), cfg_.threads,
+                    cfg_.placement);
+  numa::PlaceBuffer(out_pays_.data(), cap * sizeof(uint32_t), cfg_.threads,
+                    cfg_.placement);
+  starts_.assign(fanout_ + 1, 0);
+  const PartitionFn fn = PartitionFn::Hash(fanout_, cfg_.seed);
+  ParallelPartitionPass(fn, mat_keys_.data(), mat_pays_.data(), n_rows_,
+                        out_keys_.data(), out_pays_.data(), cfg_.isa,
+                        cfg_.threads, &res_, starts_.data(),
+                        ShuffleVariant::kAuto, cap);
+}
+
+size_t PartitionOp::SourceChunks(const ExecConfig& cfg) const {
+  return ChunksFor(n_rows_, cfg);
+}
+
+void PartitionOp::Produce(size_t chunk, int lane) {
+  Chunk& out = *out_[static_cast<size_t>(lane)];
+  {
+    obs::ScopedPhase t(g_partition_ns);
+    const size_t b = chunk * cfg_.chunk_tuples;
+    const size_t sz = std::min(cfg_.chunk_tuples, n_rows_ - b);
+    std::memcpy(out.col(0), out_keys_.data() + b, sz * sizeof(uint32_t));
+    std::memcpy(out.col(1), out_pays_.data() + b, sz * sizeof(uint32_t));
+    out.SetDense(sz);
+    out.set_seq(chunk);
+  }
+  PushNext(out, lane);
+}
+
+// ---------------------------------------------------------------------------
+// GroupBySink
+// ---------------------------------------------------------------------------
+
+GroupBySink::GroupBySink(size_t max_groups_hint, int key_col, int val_col)
+    : max_groups_hint_(max_groups_hint), key_col_(key_col), val_col_(val_col) {}
+
+void GroupBySink::Open(const ExecConfig& cfg, int lanes,
+                       size_t n_source_chunks) {
+  cfg_ = cfg;
+  (void)n_source_chunks;
+  partials_.resize(static_cast<size_t>(lanes));
+  for (auto& p : partials_) {
+    p = std::make_unique<GroupByAggregator>(max_groups_hint_, cfg.seed);
+  }
+  keys_.clear();
+  sums_.clear();
+  counts_.clear();
+  mins_.clear();
+  maxs_.clear();
+}
+
+void GroupBySink::Push(Chunk& c, int lane) {
+  obs::ScopedPhase t(g_groupby_ns);
+  assert(key_col_ < c.n_cols() && val_col_ < c.n_cols());
+  c.Compact(cfg_.isa);
+  partials_[static_cast<size_t>(lane)]->Accumulate(
+      cfg_.isa, c.col(key_col_), c.col(val_col_), c.size());
+  CountRows(c.size());
+}
+
+void GroupBySink::Finish() {
+  obs::ScopedPhase t(g_groupby_ns);
+  assert(!partials_.empty());
+  GroupByAggregator& total = *partials_[0];
+  for (size_t l = 1; l < partials_.size(); ++l) total.MergeFrom(*partials_[l]);
+  const size_t g = total.num_groups();
+  std::vector<uint32_t> k(g), cnt(g), mn(g), mx(g);
+  std::vector<uint64_t> sm(g);
+  total.Extract(cfg_.isa, k.data(), sm.data(), cnt.data(), mn.data(),
+                mx.data());
+  // Canonical result order: ascending key. Extract order follows table
+  // insertion order, which varies across thread counts and ISAs; the sort
+  // restores byte-identity (keys are unique).
+  std::vector<uint32_t> perm(g);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::sort(perm.begin(), perm.end(),
+            [&](uint32_t a, uint32_t b) { return k[a] < k[b]; });
+  keys_.resize(g);
+  sums_.resize(g);
+  counts_.resize(g);
+  mins_.resize(g);
+  maxs_.resize(g);
+  for (size_t i = 0; i < g; ++i) {
+    keys_[i] = k[perm[i]];
+    sums_[i] = sm[perm[i]];
+    counts_[i] = cnt[perm[i]];
+    mins_[i] = mn[perm[i]];
+    maxs_[i] = mx[perm[i]];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline
+// ---------------------------------------------------------------------------
+
+void Pipeline::Run(const ExecConfig& cfg) {
+  assert(!ops_.empty());
+  Operator* src = ops_.front();
+  const size_t n_chunks = src->SourceChunks(cfg);
+  int lanes = TaskPool::LaneCount(n_chunks, cfg.threads);
+  if (lanes < 1) lanes = 1;
+  for (size_t i = 0; i + 1 < ops_.size(); ++i) ops_[i]->set_next(ops_[i + 1]);
+  ops_.back()->set_next(nullptr);
+  src->OpenSource(cfg, lanes);
+  for (size_t i = 1; i < ops_.size(); ++i) ops_[i]->Open(cfg, lanes, n_chunks);
+  if (n_chunks > 0) {
+    TaskPool::Get().ParallelFor(
+        n_chunks, cfg.threads,
+        [&](int worker, size_t chunk) { src->Produce(chunk, worker); });
+  }
+  // The source's Finish is skipped: a breaker sourcing this pipeline already
+  // finished (ran its barrier phase) in the pipeline where it was the sink.
+  for (size_t i = 1; i < ops_.size(); ++i) ops_[i]->Finish();
+}
+
+}  // namespace simddb::exec

@@ -1,0 +1,300 @@
+#ifndef SIMDDB_EXEC_PIPELINE_H_
+#define SIMDDB_EXEC_PIPELINE_H_
+
+// Push-based, morsel-parallel pipeline executor over exec/chunk.h chunks.
+//
+// A Pipeline is a chain of Operators. The first operator is a *source*: the
+// executor dispatches its deterministic chunk grid onto the shared TaskPool
+// (util/task_pool.h) and each worker lane drives its chunks down the chain
+// with Push — operators transform into per-lane scratch chunks, so a whole
+// pipeline runs morsel-parallel with zero cross-lane synchronization until
+// a breaker. Pipeline breakers (hash build, partition barrier) absorb
+// chunks into seq-slotted staging (the SelectionScanParallel compaction
+// idiom: results land by chunk ordinal, not by lane, so materialized state
+// is byte-identical for every thread count and steal schedule) and run
+// their parallel phase in Finish, backed by the TaskPool and its
+// PhaseBarrier-based operators; intermediates are placed via
+// numa/placement.h.
+//
+// Adapters wrap the existing kernels unchanged: SelectionScan (source),
+// BloomFilter::Probe, LinearProbingTable::Probe, ParallelPartitionPass,
+// GroupByAggregator. Every Push is timed into a per-operator obs phase
+// timer (exec_*_ns) and counted into `chunks_pushed`; the converters count
+// `bitmap_to_sel` / `sel_to_bitmap` (see chunk.cc).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "agg/group_by.h"
+#include "core/isa.h"
+#include "exec/chunk.h"
+#include "hash/linear_probing.h"
+#include "numa/placement.h"
+#include "partition/parallel_partition.h"
+#include "partition/partition_fn.h"
+#include "scan/selection_scan.h"
+#include "util/aligned_buffer.h"
+
+namespace simddb::exec {
+
+/// Per-run execution parameters, shared by every operator of a query.
+struct ExecConfig {
+  Isa isa = Isa::kScalar;
+  int threads = 1;
+  /// Tuples per chunk (any value >= 1; tests sweep odd sizes).
+  size_t chunk_tuples = kDefaultChunkTuples;
+  /// Placement policy for breaker intermediates (materialized build sides,
+  /// partition outputs). Probe-shared structures (table bank, bloom words)
+  /// are always interleaved.
+  numa::Placement placement = numa::Placement::kNodeLocal;
+  uint64_t seed = 42;
+};
+
+/// The scan variant an ISA maps to in the executor (store-direct family:
+/// chunk outputs are L1-resident, so the indirect streaming variants have
+/// nothing to win).
+ScanVariant ScanVariantForIsa(Isa isa);
+
+/// Pipeline operator: Open once, Push per chunk (concurrently, one lane per
+/// chunk), Finish once after every source chunk drained. Operators that
+/// continue the chain call PushNext; sinks and breakers absorb.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual const char* name() const = 0;
+
+  /// `lanes` is the max concurrent worker id + 1; `n_source_chunks` the
+  /// size of the source grid feeding this pipeline (for seq-slotted
+  /// staging).
+  virtual void Open(const ExecConfig& cfg, int lanes, size_t n_source_chunks);
+
+  /// Source-role open, called on a pipeline's first operator only. Kept
+  /// separate from Open so a breaker re-opened as the source of the next
+  /// pipeline does not clobber the results it materialized as a sink.
+  virtual void OpenSource(const ExecConfig& cfg, int lanes);
+
+  /// Consumes one chunk on `lane`. The chunk belongs to the caller and may
+  /// be recycled after Push returns; operators forward either the same
+  /// chunk (in-place transforms) or a per-lane scratch chunk.
+  virtual void Push(Chunk& c, int lane) = 0;
+
+  /// Drains buffered state; breakers run their parallel phase here (called
+  /// from the submitting thread, so the full TaskPool is available).
+  virtual void Finish() {}
+
+  // Source role (first operator of a pipeline; breakers expose it for the
+  // pipeline after their barrier).
+  virtual size_t SourceChunks(const ExecConfig& cfg) const {
+    (void)cfg;
+    return 0;
+  }
+  virtual void Produce(size_t chunk, int lane) { (void)chunk, (void)lane; }
+
+  /// Tuples this operator has emitted downstream (or absorbed, for sinks).
+  uint64_t rows_out() const {
+    return rows_out_.load(std::memory_order_relaxed);
+  }
+
+  void set_next(Operator* n) { next_ = n; }
+
+ protected:
+  /// Forwards a chunk, counting `chunks_pushed` and the operator's rows.
+  void PushNext(Chunk& c, int lane);
+  void CountRows(uint64_t n) {
+    rows_out_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  ExecConfig cfg_;
+  Operator* next_ = nullptr;
+
+ private:
+  std::atomic<uint64_t> rows_out_{0};
+};
+
+/// How the scan source represents qualifying tuples in the chunks it
+/// emits. kCompact wraps the paper's SelectionScan kernels (dense output);
+/// kBitmap copies the morsel and evaluates the predicate into the chunk's
+/// bitmap, leaving materialization to a downstream MaterializeOp — the
+/// sel/bitmap-duality path.
+enum class ScanMode { kCompact, kBitmap };
+
+/// Source adapter over a two-column base table (keys, vals) with the range
+/// predicate lo <= x <= hi on either column. Emits chunks with col 0 =
+/// keys, col 1 = vals.
+class ScanOp : public Operator {
+ public:
+  ScanOp(const uint32_t* keys, const uint32_t* vals, size_t n, uint32_t lo,
+         uint32_t hi, bool filter_on_vals, ScanMode mode);
+
+  const char* name() const override { return "scan"; }
+  void OpenSource(const ExecConfig& cfg, int lanes) override;
+  void Push(Chunk& c, int lane) override;  // sources are never pushed into
+  size_t SourceChunks(const ExecConfig& cfg) const override;
+  void Produce(size_t chunk, int lane) override;
+
+ private:
+  const uint32_t* keys_;
+  const uint32_t* vals_;
+  size_t n_;
+  uint32_t lo_, hi_;
+  bool filter_on_vals_;
+  ScanMode mode_;
+  std::vector<std::unique_ptr<Chunk>> out_;  // one per lane
+};
+
+/// In-place materializer: converts bitmap/selection chunks to dense
+/// (bitmap -> selection -> compact), the boundary between predicate
+/// evaluation and the dense-input operator kernels.
+class MaterializeOp : public Operator {
+ public:
+  const char* name() const override { return "materialize"; }
+  void Push(Chunk& c, int lane) override;
+};
+
+/// Breaker sink: materializes the build relation into seq-slotted staging,
+/// then in Finish builds the linear-probing join table (2x buckets,
+/// interleaved placement — every probe lane reads it) and optionally a
+/// Bloom filter over the build keys for the probe pipeline's semi-join.
+class HashBuildOp : public Operator {
+ public:
+  /// bloom_bits_per_key == 0 disables the filter.
+  HashBuildOp(int bloom_bits_per_key, int bloom_k);
+
+  const char* name() const override { return "hash_build"; }
+  void Open(const ExecConfig& cfg, int lanes, size_t n_source_chunks) override;
+  void Push(Chunk& c, int lane) override;
+  void Finish() override;
+
+  const LinearProbingTable* table() const { return table_.get(); }
+  const BloomFilter* bloom() const { return bloom_.get(); }
+  size_t build_rows() const { return n_build_; }
+
+ private:
+  int bloom_bits_per_key_;
+  int bloom_k_;
+  size_t slot_cap_ = 0;
+  AlignedBuffer<uint32_t> mat_keys_, mat_pays_;
+  std::vector<size_t> counts_;
+  size_t n_build_ = 0;
+  std::unique_ptr<LinearProbingTable> table_;
+  std::unique_ptr<BloomFilter> bloom_;
+};
+
+/// Bloom semi-join adapter: keeps tuples whose col-0 key may be in the
+/// build side. Vector probes emit qualifiers out of input order within a
+/// chunk, as documented for BloomFilter::Probe.
+class BloomProbeOp : public Operator {
+ public:
+  explicit BloomProbeOp(const HashBuildOp* build) : build_(build) {}
+
+  const char* name() const override { return "bloom"; }
+  void Open(const ExecConfig& cfg, int lanes, size_t n_source_chunks) override;
+  void Push(Chunk& c, int lane) override;
+
+ private:
+  const HashBuildOp* build_;
+  std::vector<std::unique_ptr<Chunk>> out_;
+};
+
+/// Join probe adapter over the breaker's table: (key, val) chunks become
+/// (key, s_val, r_pay) chunks, one row per match. Build keys are unique
+/// (key/FK join), so matches never exceed the chunk's tuple count.
+class HashJoinProbeOp : public Operator {
+ public:
+  explicit HashJoinProbeOp(const HashBuildOp* build) : build_(build) {}
+
+  const char* name() const override { return "join_probe"; }
+  void Open(const ExecConfig& cfg, int lanes, size_t n_source_chunks) override;
+  void Push(Chunk& c, int lane) override;
+
+ private:
+  const HashBuildOp* build_;
+  std::vector<std::unique_ptr<Chunk>> out_;
+};
+
+/// Breaker: materializes its input, runs one morsel-parallel buffered
+/// partition pass (ParallelPartitionPass — histogram, interleaved prefix
+/// sum, shuffle behind a PhaseBarrier) in Finish, and re-streams the
+/// partitioned rows as the source of the next pipeline. Output buffers are
+/// placed per cfg.placement.
+class PartitionOp : public Operator {
+ public:
+  /// Hash-partitions on col 0 into `fanout` partitions.
+  explicit PartitionOp(uint32_t fanout);
+
+  const char* name() const override { return "partition"; }
+  void Open(const ExecConfig& cfg, int lanes, size_t n_source_chunks) override;
+  void OpenSource(const ExecConfig& cfg, int lanes) override;
+  void Push(Chunk& c, int lane) override;
+  void Finish() override;
+  size_t SourceChunks(const ExecConfig& cfg) const override;
+  void Produce(size_t chunk, int lane) override;
+
+  /// Partition start offsets (fanout + 1 entries) after Finish.
+  const uint32_t* starts() const { return starts_.data(); }
+  uint32_t fanout() const { return fanout_; }
+
+ private:
+  uint32_t fanout_;
+  size_t slot_cap_ = 0;
+  AlignedBuffer<uint32_t> mat_keys_, mat_pays_;
+  std::vector<size_t> counts_;
+  size_t n_rows_ = 0;
+  AlignedBuffer<uint32_t> out_keys_, out_pays_;
+  std::vector<uint32_t> starts_;
+  ParallelPartitionResources res_;
+  std::vector<std::unique_ptr<Chunk>> out_;  // source-role lane chunks
+};
+
+/// Aggregation sink: per-lane GroupByAggregator partials (key = col
+/// `key_col`, value = col `val_col`), merged in Finish and extracted in
+/// ascending key order — the canonical result representation, identical
+/// across ISAs, thread counts, and chunk sizes.
+class GroupBySink : public Operator {
+ public:
+  GroupBySink(size_t max_groups_hint, int key_col, int val_col);
+
+  const char* name() const override { return "group_by"; }
+  void Open(const ExecConfig& cfg, int lanes, size_t n_source_chunks) override;
+  void Push(Chunk& c, int lane) override;
+  void Finish() override;
+
+  size_t num_groups() const { return keys_.size(); }
+  const std::vector<uint32_t>& keys() const { return keys_; }
+  const std::vector<uint64_t>& sums() const { return sums_; }
+  const std::vector<uint32_t>& counts() const { return counts_; }
+  const std::vector<uint32_t>& mins() const { return mins_; }
+  const std::vector<uint32_t>& maxs() const { return maxs_; }
+
+ private:
+  size_t max_groups_hint_;
+  int key_col_, val_col_;
+  std::vector<std::unique_ptr<GroupByAggregator>> partials_;
+  std::vector<uint32_t> keys_, counts_, mins_, maxs_;
+  std::vector<uint64_t> sums_;
+};
+
+/// One operator chain. ops[0] must be a source (SourceChunks > 0 or an
+/// empty input); the Pipeline chains, Opens, drives and Finishes them.
+/// Operators are borrowed — the query owns them (breakers outlive the
+/// pipeline that fills them and source the next one).
+class Pipeline {
+ public:
+  explicit Pipeline(std::vector<Operator*> ops) : ops_(std::move(ops)) {}
+
+  /// Runs the pipeline to completion on the shared TaskPool.
+  void Run(const ExecConfig& cfg);
+
+  const std::vector<Operator*>& ops() const { return ops_; }
+
+ private:
+  std::vector<Operator*> ops_;
+};
+
+}  // namespace simddb::exec
+
+#endif  // SIMDDB_EXEC_PIPELINE_H_

@@ -1,0 +1,66 @@
+#include "exec/query.h"
+
+namespace simddb::exec {
+
+QueryResult RunScanJoinAggregate(const ScanJoinAggregatePlan& plan,
+                                 const ExecConfig& cfg) {
+  Query q;
+
+  // Pipeline 0: R scan -> [materialize] -> hash build (breaker).
+  ScanOp* r_scan = q.Add<ScanOp>(plan.r_keys, plan.r_attrs, plan.n_r,
+                                 plan.r_lo, plan.r_hi,
+                                 /*filter_on_vals=*/false, plan.scan_mode);
+  HashBuildOp* build =
+      q.Add<HashBuildOp>(plan.bloom_bits_per_key, plan.bloom_k);
+  {
+    std::vector<Operator*> ops{r_scan};
+    if (plan.scan_mode == ScanMode::kBitmap) ops.push_back(q.Add<MaterializeOp>());
+    ops.push_back(build);
+    q.AddPipeline(std::move(ops));
+  }
+
+  // Probe side: S scan -> [materialize] -> [bloom] -> [partition barrier]
+  // -> join probe -> group-by sink. The scan filters on S.val, emitting
+  // chunks with col 0 = fk, col 1 = val; the join probe appends col 2 =
+  // R.attr; the sink groups col 2 aggregating col 1.
+  ScanOp* s_scan = q.Add<ScanOp>(plan.s_fks, plan.s_vals, plan.n_s, plan.s_lo,
+                                 plan.s_hi,
+                                 /*filter_on_vals=*/true, plan.scan_mode);
+  BloomProbeOp* bloom =
+      plan.bloom_bits_per_key > 0 ? q.Add<BloomProbeOp>(build) : nullptr;
+  PartitionOp* part = plan.partition_fanout > 0
+                          ? q.Add<PartitionOp>(plan.partition_fanout)
+                          : nullptr;
+  HashJoinProbeOp* probe = q.Add<HashJoinProbeOp>(build);
+  GroupBySink* sink = q.Add<GroupBySink>(plan.max_groups_hint, /*key_col=*/2,
+                                         /*val_col=*/1);
+  {
+    std::vector<Operator*> ops{s_scan};
+    if (plan.scan_mode == ScanMode::kBitmap) ops.push_back(q.Add<MaterializeOp>());
+    if (bloom != nullptr) ops.push_back(bloom);
+    if (part != nullptr) {
+      ops.push_back(part);
+      q.AddPipeline(std::move(ops));
+      ops = {part};
+    }
+    ops.push_back(probe);
+    ops.push_back(sink);
+    q.AddPipeline(std::move(ops));
+  }
+
+  q.Run(cfg);
+
+  QueryResult res;
+  res.group_keys = sink->keys();
+  res.sums = sink->sums();
+  res.counts = sink->counts();
+  res.mins = sink->mins();
+  res.maxs = sink->maxs();
+  res.rows_build = build->build_rows();
+  res.rows_scanned = s_scan->rows_out();
+  res.rows_bloomed = bloom != nullptr ? bloom->rows_out() : res.rows_scanned;
+  res.rows_joined = probe->rows_out();
+  return res;
+}
+
+}  // namespace simddb::exec

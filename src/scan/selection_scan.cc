@@ -1,5 +1,6 @@
 #include "scan/selection_scan.h"
 
+#include <cassert>
 #include <cstring>
 #include <vector>
 
@@ -55,7 +56,10 @@ bool ScanVariantSupported(ScanVariant v) {
 
 size_t SelectionScan(ScanVariant variant, const uint32_t* keys,
                      const uint32_t* pays, size_t n, uint32_t k_lo,
-                     uint32_t k_hi, uint32_t* out_keys, uint32_t* out_pays) {
+                     uint32_t k_hi, uint32_t* out_keys, uint32_t* out_pays,
+                     size_t out_capacity) {
+  assert(out_capacity == 0 || out_capacity >= SelectionScanCapacity(n));
+  (void)out_capacity;
   switch (variant) {
     case ScanVariant::kScalarBranching:
       return detail::SelectScalarBranching(keys, pays, n, k_lo, k_hi,
@@ -80,7 +84,11 @@ size_t SelectionScanParallelCapacity(size_t n) {
 size_t SelectionScanParallel(ScanVariant variant, const uint32_t* keys,
                              const uint32_t* pays, size_t n, uint32_t k_lo,
                              uint32_t k_hi, uint32_t* out_keys,
-                             uint32_t* out_pays, int threads) {
+                             uint32_t* out_pays, int threads,
+                             size_t out_capacity) {
+  assert(out_capacity == 0 ||
+         out_capacity >= SelectionScanParallelCapacity(n));
+  (void)out_capacity;
   const MorselGrid grid(n);
   const size_t m_count = grid.count();
   if (threads <= 1 || m_count <= 1) {

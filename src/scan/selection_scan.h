@@ -29,6 +29,15 @@ namespace simddb {
 /// Required slack (in elements) beyond n in every output buffer.
 inline constexpr size_t kSelectionScanPad = 16;
 
+/// Required allocation size for a serial scan's output buffers on an
+/// n-tuple input — the centralized scratch contract, mirroring
+/// ShuffleCapacity (partition/shuffle.h) and ChunkCapacity (exec/chunk.h).
+/// Size buffers with this instead of ad-hoc `n + kSelectionScanPad`;
+/// SelectionScan asserts it when told the real capacity.
+inline constexpr size_t SelectionScanCapacity(size_t n) {
+  return n + kSelectionScanPad;
+}
+
 /// Selection scan implementation selector (see file comment).
 enum class ScanVariant {
   kScalarBranching,
@@ -49,10 +58,14 @@ bool ScanVariantSupported(ScanVariant v);
 
 /// Scans keys[0..n), copying tuples with k_lo <= key <= k_hi (inclusive) to
 /// (out_keys, out_pays). Returns the number of qualifying tuples. Output
-/// order matches input order for every variant.
+/// order matches input order for every variant. `out_capacity`, when
+/// nonzero, is asserted to satisfy the SelectionScanCapacity(n) contract at
+/// entry (debug builds), catching undersized buffers before a vector kernel
+/// overshoots into them.
 size_t SelectionScan(ScanVariant variant, const uint32_t* keys,
                      const uint32_t* pays, size_t n, uint32_t k_lo,
-                     uint32_t k_hi, uint32_t* out_keys, uint32_t* out_pays);
+                     uint32_t k_hi, uint32_t* out_keys, uint32_t* out_pays,
+                     size_t out_capacity = 0);
 
 /// Output capacity (in elements) each output buffer needs for
 /// SelectionScanParallel on an n-tuple input: every 16K-tuple morsel scans
@@ -65,10 +78,13 @@ size_t SelectionScanParallelCapacity(size_t n);
 /// morsel order, so the output is identical to the serial scan for every
 /// thread count. Output buffers need SelectionScanParallelCapacity(n)
 /// elements. threads <= 1 falls back to the serial scan.
+/// `out_capacity`, when nonzero, is asserted against
+/// SelectionScanParallelCapacity(n) at entry, like SelectionScan.
 size_t SelectionScanParallel(ScanVariant variant, const uint32_t* keys,
                              const uint32_t* pays, size_t n, uint32_t k_lo,
                              uint32_t k_hi, uint32_t* out_keys,
-                             uint32_t* out_pays, int threads);
+                             uint32_t* out_pays, int threads,
+                             size_t out_capacity = 0);
 
 namespace detail {
 size_t SelectScalarBranching(const uint32_t* keys, const uint32_t* pays,

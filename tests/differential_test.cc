@@ -58,16 +58,16 @@ TEST(Differential, SelectionScanAllVariants) {
   Pcg32 rng(101);
   for (int trial = 0; trial < 60; ++trial) {
     size_t n = rng.NextBounded(20'000) + 1;
-    AlignedBuffer<uint32_t> keys(n + kSelectionScanPad),
-        pays(n + kSelectionScanPad);
+    AlignedBuffer<uint32_t> keys(SelectionScanCapacity(n)),
+        pays(SelectionScanCapacity(n));
     RandomKeys(rng, keys.data(), n);
     FillSequential(pays.data(), n, 0);
     uint32_t a = rng.Next(), b = rng.Next();
     uint32_t lo = std::min(a, b), hi = std::max(a, b);
     if (rng.NextBounded(8) == 0) lo = 0;
     if (rng.NextBounded(8) == 0) hi = 0xFFFFFFFFu;
-    AlignedBuffer<uint32_t> wk(n + kSelectionScanPad),
-        wp(n + kSelectionScanPad);
+    AlignedBuffer<uint32_t> wk(SelectionScanCapacity(n)),
+        wp(SelectionScanCapacity(n));
     size_t want = SelectionScan(ScanVariant::kScalarBranching, keys.data(),
                                 pays.data(), n, lo, hi, wk.data(), wp.data());
     for (ScanVariant v :
@@ -77,8 +77,8 @@ TEST(Differential, SelectionScanAllVariants) {
           ScanVariant::kVectorBitExtractIndirect, ScanVariant::kAvx2Direct,
           ScanVariant::kAvx2Indirect}) {
       if (!ScanVariantSupported(v)) continue;
-      AlignedBuffer<uint32_t> gk(n + kSelectionScanPad),
-          gp(n + kSelectionScanPad);
+      AlignedBuffer<uint32_t> gk(SelectionScanCapacity(n)),
+          gp(SelectionScanCapacity(n));
       size_t got = SelectionScan(v, keys.data(), pays.data(), n, lo, hi,
                                  gk.data(), gp.data());
       ASSERT_EQ(got, want) << ScanVariantName(v) << " trial " << trial;

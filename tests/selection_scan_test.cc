@@ -42,8 +42,8 @@ TEST_P(SelectionScanTest, MatchesBranchingBaseline) {
   if (!ScanVariantSupported(variant)) {
     GTEST_SKIP() << "variant unsupported on this host";
   }
-  AlignedBuffer<uint32_t> keys(n + kSelectionScanPad);
-  AlignedBuffer<uint32_t> pays(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> keys(SelectionScanCapacity(n));
+  AlignedBuffer<uint32_t> pays(SelectionScanCapacity(n));
   FillUniform(keys.data(), n, 42, 0, 999'999);
   FillSequential(pays.data(), n, 0);
 
@@ -51,14 +51,14 @@ TEST_P(SelectionScanTest, MatchesBranchingBaseline) {
   uint32_t lo = 100'000;
   uint32_t hi = lo + static_cast<uint32_t>(10'000ull * sel_pct);
 
-  AlignedBuffer<uint32_t> want_k(n + kSelectionScanPad);
-  AlignedBuffer<uint32_t> want_p(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> want_k(SelectionScanCapacity(n));
+  AlignedBuffer<uint32_t> want_p(SelectionScanCapacity(n));
   size_t want = SelectionScan(ScanVariant::kScalarBranching, keys.data(),
                               pays.data(), n, lo, hi, want_k.data(),
                               want_p.data());
 
-  AlignedBuffer<uint32_t> got_k(n + kSelectionScanPad);
-  AlignedBuffer<uint32_t> got_p(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> got_k(SelectionScanCapacity(n));
+  AlignedBuffer<uint32_t> got_p(SelectionScanCapacity(n));
   size_t got = SelectionScan(variant, keys.data(), pays.data(), n, lo, hi,
                              got_k.data(), got_p.data());
 
@@ -91,12 +91,12 @@ TEST_P(SelectionScanEdgeTest, FullDomainPredicateKeepsEverything) {
   ScanVariant variant = GetParam();
   if (!ScanVariantSupported(variant)) GTEST_SKIP();
   const size_t n = 4096 + 7;
-  AlignedBuffer<uint32_t> keys(n + kSelectionScanPad);
-  AlignedBuffer<uint32_t> pays(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> keys(SelectionScanCapacity(n));
+  AlignedBuffer<uint32_t> pays(SelectionScanCapacity(n));
   FillUniform(keys.data(), n, 1, 0, 0xFFFFFFFFu);
   FillSequential(pays.data(), n, 0);
-  AlignedBuffer<uint32_t> out_k(n + kSelectionScanPad);
-  AlignedBuffer<uint32_t> out_p(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> out_k(SelectionScanCapacity(n));
+  AlignedBuffer<uint32_t> out_p(SelectionScanCapacity(n));
   size_t got = SelectionScan(variant, keys.data(), pays.data(), n, 0,
                              0xFFFFFFFFu, out_k.data(), out_p.data());
   ASSERT_EQ(got, n);
@@ -107,12 +107,12 @@ TEST_P(SelectionScanEdgeTest, EmptyPredicateKeepsNothing) {
   ScanVariant variant = GetParam();
   if (!ScanVariantSupported(variant)) GTEST_SKIP();
   const size_t n = 4096;
-  AlignedBuffer<uint32_t> keys(n + kSelectionScanPad);
-  AlignedBuffer<uint32_t> pays(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> keys(SelectionScanCapacity(n));
+  AlignedBuffer<uint32_t> pays(SelectionScanCapacity(n));
   FillUniform(keys.data(), n, 1, 0, 1000);
   FillSequential(pays.data(), n, 0);
-  AlignedBuffer<uint32_t> out_k(n + kSelectionScanPad);
-  AlignedBuffer<uint32_t> out_p(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> out_k(SelectionScanCapacity(n));
+  AlignedBuffer<uint32_t> out_p(SelectionScanCapacity(n));
   size_t got = SelectionScan(variant, keys.data(), pays.data(), n, 5000, 6000,
                              out_k.data(), out_p.data());
   EXPECT_EQ(got, 0u);
@@ -122,12 +122,12 @@ TEST_P(SelectionScanEdgeTest, BoundariesAreInclusive) {
   ScanVariant variant = GetParam();
   if (!ScanVariantSupported(variant)) GTEST_SKIP();
   const size_t n = 64;
-  AlignedBuffer<uint32_t> keys(n + kSelectionScanPad);
-  AlignedBuffer<uint32_t> pays(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> keys(SelectionScanCapacity(n));
+  AlignedBuffer<uint32_t> pays(SelectionScanCapacity(n));
   FillSequential(keys.data(), n, 0);
   FillSequential(pays.data(), n, 0);
-  AlignedBuffer<uint32_t> out_k(n + kSelectionScanPad);
-  AlignedBuffer<uint32_t> out_p(n + kSelectionScanPad);
+  AlignedBuffer<uint32_t> out_k(SelectionScanCapacity(n));
+  AlignedBuffer<uint32_t> out_p(SelectionScanCapacity(n));
   size_t got = SelectionScan(variant, keys.data(), pays.data(), n, 10, 20,
                              out_k.data(), out_p.data());
   ASSERT_EQ(got, 11u);

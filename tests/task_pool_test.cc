@@ -272,8 +272,8 @@ TEST(ParallelOperatorsTest, SelectionScanParallelMatchesSerial) {
     AlignedBuffer<uint32_t> keys(n + 16), pays(n + 16);
     FillUniform(keys.data(), n, 7, 0, 1000);
     FillSequential(pays.data(), n, 0);
-    AlignedBuffer<uint32_t> sk(n + kSelectionScanPad),
-        sp(n + kSelectionScanPad);
+    AlignedBuffer<uint32_t> sk(SelectionScanCapacity(n)),
+        sp(SelectionScanCapacity(n));
     const size_t cap = SelectionScanParallelCapacity(n);
     AlignedBuffer<uint32_t> pk(cap), pp(cap);
     for (ScanVariant v :
@@ -303,8 +303,8 @@ TEST(ParallelOperatorsTest, SelectionScanParallelAdversarialSizes) {
     AlignedBuffer<uint32_t> keys(n + 16), pays(n + 16);
     FillUniform(keys.data(), n, 41, 0, 1000);
     FillSequential(pays.data(), n, 0);
-    AlignedBuffer<uint32_t> sk(n + kSelectionScanPad),
-        sp(n + kSelectionScanPad);
+    AlignedBuffer<uint32_t> sk(SelectionScanCapacity(n)),
+        sp(SelectionScanCapacity(n));
     const size_t cap = SelectionScanParallelCapacity(n);
     AlignedBuffer<uint32_t> pk(cap), pp(cap);
     for (ScanVariant v :

@@ -7,20 +7,38 @@
 // hand-off, conversion, and breaker costs between them.
 //
 // Sweep: isa {scalar, avx2, avx512} x S selectivity {1%, 10%, 50%} x
-// threads {1, 8}. Under --metrics (or the metrics-forced CI build) each
-// row carries the executor's observability instruments — chunks_pushed and
-// the per-operator phase timers (exec_scan_ns, exec_bloom_ns,
-// exec_build_ns, exec_probe_ns, exec_partition_ns, exec_groupby_ns) —
-// which scripts/check_bench_ranges.py gates structurally: the chunk grid
-// has a known shape, and each phase's share of scan time must stay inside
-// wide ratio bands (a silently skipped operator reports zero time and
-// fails the gate).
+// threads {1, 8} x executor mode. Mode is the dispatch-tax axis:
+//
+//   0  dynamic   the virtual-Push Operator chain (PipelineMode::kDynamic);
+//   1  fused     the template-fused pipeline (exec/fused.h). Each timed
+//                fused iteration is paired with an untimed dynamic run of
+//                the same plan (inside PauseTiming), so every fused row
+//                carries both exec_fused_ns and exec_dynamic_ns deltas and
+//                scripts/check_bench_ranges.py can gate their same-row
+//                ratio (fused <= 1.0x dynamic);
+//   2  hand      the serial hand-composed kernel sequence — no executor at
+//                all, the lower bound the fused path chases. Registered at
+//                threads = 1 only (the sequence has no parallel driver).
+//
+// Under --metrics (or the metrics-forced CI build) each row carries the
+// executor's observability instruments — chunks_pushed, pipelines_fused /
+// pipelines_dynamic, and the phase timers (exec_scan_ns, exec_bloom_ns,
+// exec_build_ns, exec_probe_ns, exec_partition_ns, exec_groupby_ns,
+// exec_fused_ns, exec_dynamic_ns) — which check_bench_ranges.py gates
+// structurally (dynamic rows) and as the fused/dynamic ratio (fused rows).
 
+#include <algorithm>
+#include <numeric>
 #include <string>
+#include <vector>
 
+#include "agg/group_by.h"
 #include "bench/bench_common.h"
+#include "bloom/bloom_filter.h"
 #include "exec/chunk.h"
 #include "exec/query.h"
+#include "hash/linear_probing.h"
+#include "scan/selection_scan.h"
 
 namespace simddb::bench {
 namespace {
@@ -29,10 +47,45 @@ constexpr size_t kRTuples = size_t{128} << 10;  // dimension: 128K rows
 constexpr size_t kSTuples = size_t{2} << 20;    // fact: 2M rows
 constexpr uint32_t kValMax = 999'999;
 
+enum ExecMode : int { kModeDynamic = 0, kModeFused = 1, kModeHand = 2 };
+
+/// The plan hand-composed from the operator kernels, serial: scan R, build,
+/// scan S, bloom, probe, aggregate — the kernel sequence with zero executor
+/// machinery between stages (mirrors HandComposed in tests/exec_test.cc).
+size_t HandComposedQ3(const exec::ScanJoinAggregatePlan& p, Isa isa) {
+  const ScanVariant v = exec::ScanVariantForIsa(isa);
+  AlignedBuffer<uint32_t> rk(SelectionScanCapacity(p.n_r)),
+      ra(SelectionScanCapacity(p.n_r));
+  const size_t n_build = SelectionScan(v, p.r_keys, p.r_attrs, p.n_r, p.r_lo,
+                                       p.r_hi, rk.data(), ra.data(),
+                                       rk.size());
+  size_t buckets = 16;
+  while (buckets < 2 * (n_build + 1)) buckets <<= 1;
+  LinearProbingTable table(buckets);
+  table.Build(isa, rk.data(), ra.data(), n_build);
+  BloomFilter filter =
+      BloomFilter::ForItems(n_build, p.bloom_bits_per_key, p.bloom_k, 42);
+  filter.Add(rk.data(), n_build);
+
+  AlignedBuffer<uint32_t> sv(SelectionScanCapacity(p.n_s)),
+      sf(SelectionScanCapacity(p.n_s));
+  size_t n_sel = SelectionScan(v, p.s_vals, p.s_fks, p.n_s, p.s_lo, p.s_hi,
+                               sv.data(), sf.data(), sv.size());
+  AlignedBuffer<uint32_t> bf(n_sel + 16), bv(n_sel + 16);
+  n_sel = filter.Probe(isa, sf.data(), sv.data(), n_sel, bf.data(), bv.data());
+  AlignedBuffer<uint32_t> jk(n_sel + 16), jsp(n_sel + 16), jrp(n_sel + 16);
+  const size_t n_join = table.Probe(isa, bf.data(), bv.data(), n_sel,
+                                    jk.data(), jsp.data(), jrp.data());
+  GroupByAggregator agg(p.max_groups_hint);
+  agg.Accumulate(isa, jrp.data(), jsp.data(), n_join);
+  return agg.num_groups();
+}
+
 void BM_ExecQuery(benchmark::State& state) {
   const Isa isa = static_cast<Isa>(state.range(0));
   const uint32_t sel_pct = static_cast<uint32_t>(state.range(1));
   const int threads = static_cast<int>(state.range(2));
+  const int mode = static_cast<int>(state.range(3));
   if (!RequireIsa(state, isa)) return;
 
   // R keys must be unique for the PK-FK join: sequential 1..kRTuples.
@@ -71,25 +124,48 @@ void BM_ExecQuery(benchmark::State& state) {
   exec::ExecConfig cfg;
   cfg.isa = isa;
   cfg.threads = threads;
+  cfg.pipeline_mode = mode == kModeFused ? exec::PipelineMode::kFused
+                                         : exec::PipelineMode::kDynamic;
 
   size_t groups = 0;
   for (auto _ : state) {
+    if (mode == kModeHand) {
+      groups = HandComposedQ3(plan, isa);
+      continue;
+    }
     exec::QueryResult res = exec::RunScanJoinAggregate(plan, cfg);
     groups = res.group_keys.size();
     benchmark::DoNotOptimize(res.sums.data());
+    if (mode == kModeFused) {
+      // Paired untimed dynamic run: lands exec_dynamic_ns (and the dynamic
+      // path's counters) in this same JSONL row, so the fused/dynamic
+      // ratio gate needs no cross-row lookup.
+      state.PauseTiming();
+      exec::ExecConfig dyn_cfg = cfg;
+      dyn_cfg.pipeline_mode = exec::PipelineMode::kDynamic;
+      exec::QueryResult dyn = exec::RunScanJoinAggregate(plan, dyn_cfg);
+      benchmark::DoNotOptimize(dyn.sums.data());
+      state.ResumeTiming();
+    }
   }
   // Throughput over the fact table: the fact scan dominates the input.
   SetTuplesPerSecond(state, static_cast<double>(kSTuples));
-  state.SetLabel("query_q3 isa=" + std::string(IsaName(isa)) +
+  const char* variant = mode == kModeHand    ? "query_q3_hand"
+                        : mode == kModeFused ? "query_q3_fused"
+                                             : "query_q3_dynamic";
+  state.SetLabel(std::string(variant) + " isa=" + IsaName(isa) +
                  " sel=" + std::to_string(sel_pct) +
                  " threads=" + std::to_string(threads) +
                  " groups=" + std::to_string(groups));
 }
 
-// {isa, S selectivity %, threads}. Fixed iterations so the counter totals
-// are comparable across variants; wall-clock since the work spans lanes.
+// {isa, S selectivity %, threads, mode}. Fixed iterations so the counter
+// totals are comparable across variants; wall-clock since the work spans
+// lanes. The hand-composed mode is serial by construction, so it registers
+// at threads = 1 only.
 BENCHMARK(BM_ExecQuery)
-    ->ArgsProduct({{0, 1, 2}, {1, 10, 50}, {1, 8}})
+    ->ArgsProduct({{0, 1, 2}, {1, 10, 50}, {1, 8}, {kModeDynamic, kModeFused}})
+    ->ArgsProduct({{0, 1, 2}, {1, 10, 50}, {1}, {kModeHand}})
     ->Iterations(10)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);

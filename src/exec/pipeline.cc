@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/task_pool.h"
 
 namespace simddb::exec {
@@ -12,6 +13,7 @@ namespace {
 
 // Registry keeps raw pointers, so counters/timers must have static storage.
 obs::Counter g_chunks_pushed("chunks_pushed");
+obs::Counter g_pipelines_dynamic("pipelines_dynamic");
 obs::PhaseTimer g_scan_ns("exec_scan_ns");
 obs::PhaseTimer g_materialize_ns("exec_materialize_ns");
 obs::PhaseTimer g_bloom_ns("exec_bloom_ns");
@@ -19,6 +21,31 @@ obs::PhaseTimer g_build_ns("exec_build_ns");
 obs::PhaseTimer g_probe_ns("exec_probe_ns");
 obs::PhaseTimer g_partition_ns("exec_partition_ns");
 obs::PhaseTimer g_groupby_ns("exec_groupby_ns");
+
+/// obs::ScopedPhase with the MetricsEnabled() check hoisted to the caller:
+/// Push paths pass the operator's Open-sampled `timed_` flag, so a disabled
+/// run pays a register test per push instead of an atomic load per
+/// operator per chunk. Active scopes record the phase timer and a trace
+/// event exactly like obs::ScopedPhase.
+class PhaseScope {
+ public:
+  PhaseScope(obs::PhaseTimer& timer, bool on) : timer_(timer), on_(on) {
+    if (on_) start_ns_ = obs::NowNs();
+  }
+  ~PhaseScope() {
+    if (!on_) return;
+    const uint64_t dur = obs::NowNs() - start_ns_;
+    timer_.RecordAlways(dur);
+    obs::EmitTraceEvent(timer_.name(), start_ns_, dur);
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  obs::PhaseTimer& timer_;
+  bool on_;
+  uint64_t start_ns_ = 0;
+};
 
 size_t ChunksFor(size_t n, const ExecConfig& cfg) {
   return n == 0 ? 0 : (n + cfg.chunk_tuples - 1) / cfg.chunk_tuples;
@@ -53,17 +80,19 @@ ScanVariant ScanVariantForIsa(Isa isa) {
 void Operator::Open(const ExecConfig& cfg, int lanes, size_t n_source_chunks) {
   (void)lanes, (void)n_source_chunks;
   cfg_ = cfg;
+  timed_ = obs::MetricsEnabled();
 }
 
 void Operator::OpenSource(const ExecConfig& cfg, int lanes) {
   (void)lanes;
   cfg_ = cfg;
+  timed_ = obs::MetricsEnabled();
 }
 
 void Operator::PushNext(Chunk& c, int lane) {
   assert(next_ != nullptr && "chain ends in a non-sink operator");
   CountRows(c.active());
-  g_chunks_pushed.Add(1);
+  if (timed_) g_chunks_pushed.AddAlways(1);
   next_->Push(c, lane);
 }
 
@@ -82,7 +111,7 @@ ScanOp::ScanOp(const uint32_t* keys, const uint32_t* vals, size_t n,
       mode_(mode) {}
 
 void ScanOp::OpenSource(const ExecConfig& cfg, int lanes) {
-  cfg_ = cfg;
+  Operator::OpenSource(cfg, lanes);
   ResetLaneChunks(out_, lanes, cfg.chunk_tuples, 2);
 }
 
@@ -98,7 +127,7 @@ size_t ScanOp::SourceChunks(const ExecConfig& cfg) const {
 void ScanOp::Produce(size_t chunk, int lane) {
   Chunk& out = *out_[static_cast<size_t>(lane)];
   {
-    obs::ScopedPhase t(g_scan_ns);
+    PhaseScope t(g_scan_ns, timed_);
     const size_t b = chunk * cfg_.chunk_tuples;
     const size_t sz = std::min(cfg_.chunk_tuples, n_ - b);
     if (mode_ == ScanMode::kCompact) {
@@ -132,7 +161,7 @@ void ScanOp::Produce(size_t chunk, int lane) {
 
 void MaterializeOp::Push(Chunk& c, int lane) {
   {
-    obs::ScopedPhase t(g_materialize_ns);
+    PhaseScope t(g_materialize_ns, timed_);
     c.Compact(cfg_.isa);
   }
   PushNext(c, lane);
@@ -147,8 +176,7 @@ HashBuildOp::HashBuildOp(int bloom_bits_per_key, int bloom_k)
 
 void HashBuildOp::Open(const ExecConfig& cfg, int lanes,
                        size_t n_source_chunks) {
-  cfg_ = cfg;
-  (void)lanes;
+  Operator::Open(cfg, lanes, n_source_chunks);
   slot_cap_ = cfg.chunk_tuples;
   const size_t total = ChunkCapacity(n_source_chunks * slot_cap_);
   mat_keys_.Reset(total);
@@ -165,7 +193,7 @@ void HashBuildOp::Open(const ExecConfig& cfg, int lanes,
 
 void HashBuildOp::Push(Chunk& c, int lane) {
   (void)lane;
-  obs::ScopedPhase t(g_build_ns);
+  PhaseScope t(g_build_ns, timed_);
   c.Compact(cfg_.isa);
   const size_t cnt = c.size();
   assert(c.seq() < counts_.size() && cnt <= slot_cap_);
@@ -180,7 +208,7 @@ void HashBuildOp::Push(Chunk& c, int lane) {
 }
 
 void HashBuildOp::Finish() {
-  obs::ScopedPhase t(g_build_ns);
+  PhaseScope t(g_build_ns, timed_);
   size_t out = 0;
   for (size_t m = 0; m < counts_.size(); ++m) {
     const size_t cnt = counts_[m];
@@ -221,8 +249,7 @@ void HashBuildOp::Finish() {
 
 void BloomProbeOp::Open(const ExecConfig& cfg, int lanes,
                         size_t n_source_chunks) {
-  cfg_ = cfg;
-  (void)n_source_chunks;
+  Operator::Open(cfg, lanes, n_source_chunks);
   ResetLaneChunks(out_, lanes, cfg.chunk_tuples, 2);
 }
 
@@ -234,7 +261,7 @@ void BloomProbeOp::Push(Chunk& c, int lane) {
   }
   Chunk& out = *out_[static_cast<size_t>(lane)];
   {
-    obs::ScopedPhase t(g_bloom_ns);
+    PhaseScope t(g_bloom_ns, timed_);
     c.Compact(cfg_.isa);
     const size_t cnt = f->Probe(cfg_.isa, c.col(0), c.col(1), c.size(),
                                 out.col(0), out.col(1));
@@ -250,15 +277,14 @@ void BloomProbeOp::Push(Chunk& c, int lane) {
 
 void HashJoinProbeOp::Open(const ExecConfig& cfg, int lanes,
                            size_t n_source_chunks) {
-  cfg_ = cfg;
-  (void)n_source_chunks;
+  Operator::Open(cfg, lanes, n_source_chunks);
   ResetLaneChunks(out_, lanes, cfg.chunk_tuples, 3);
 }
 
 void HashJoinProbeOp::Push(Chunk& c, int lane) {
   Chunk& out = *out_[static_cast<size_t>(lane)];
   {
-    obs::ScopedPhase t(g_probe_ns);
+    PhaseScope t(g_probe_ns, timed_);
     c.Compact(cfg_.isa);
     const LinearProbingTable* table = build_->table();
     assert(table != nullptr && "probe pipeline ran before the build broke");
@@ -281,8 +307,7 @@ PartitionOp::PartitionOp(uint32_t fanout) : fanout_(fanout) {
 
 void PartitionOp::Open(const ExecConfig& cfg, int lanes,
                        size_t n_source_chunks) {
-  cfg_ = cfg;
-  (void)lanes;
+  Operator::Open(cfg, lanes, n_source_chunks);
   slot_cap_ = cfg.chunk_tuples;
   const size_t total = ChunkCapacity(n_source_chunks * slot_cap_);
   mat_keys_.Reset(total);
@@ -298,13 +323,13 @@ void PartitionOp::Open(const ExecConfig& cfg, int lanes,
 void PartitionOp::OpenSource(const ExecConfig& cfg, int lanes) {
   // Source role for the pipeline after the barrier: keep the partitioned
   // output, only refresh the lane chunks.
-  cfg_ = cfg;
+  Operator::OpenSource(cfg, lanes);
   ResetLaneChunks(out_, lanes, cfg.chunk_tuples, 2);
 }
 
 void PartitionOp::Push(Chunk& c, int lane) {
   (void)lane;
-  obs::ScopedPhase t(g_partition_ns);
+  PhaseScope t(g_partition_ns, timed_);
   c.Compact(cfg_.isa);
   const size_t cnt = c.size();
   assert(c.seq() < counts_.size() && cnt <= slot_cap_);
@@ -316,7 +341,7 @@ void PartitionOp::Push(Chunk& c, int lane) {
 }
 
 void PartitionOp::Finish() {
-  obs::ScopedPhase t(g_partition_ns);
+  PhaseScope t(g_partition_ns, timed_);
   size_t out = 0;
   for (size_t m = 0; m < counts_.size(); ++m) {
     const size_t cnt = counts_[m];
@@ -353,7 +378,7 @@ size_t PartitionOp::SourceChunks(const ExecConfig& cfg) const {
 void PartitionOp::Produce(size_t chunk, int lane) {
   Chunk& out = *out_[static_cast<size_t>(lane)];
   {
-    obs::ScopedPhase t(g_partition_ns);
+    PhaseScope t(g_partition_ns, timed_);
     const size_t b = chunk * cfg_.chunk_tuples;
     const size_t sz = std::min(cfg_.chunk_tuples, n_rows_ - b);
     std::memcpy(out.col(0), out_keys_.data() + b, sz * sizeof(uint32_t));
@@ -373,8 +398,7 @@ GroupBySink::GroupBySink(size_t max_groups_hint, int key_col, int val_col)
 
 void GroupBySink::Open(const ExecConfig& cfg, int lanes,
                        size_t n_source_chunks) {
-  cfg_ = cfg;
-  (void)n_source_chunks;
+  Operator::Open(cfg, lanes, n_source_chunks);
   partials_.resize(static_cast<size_t>(lanes));
   for (auto& p : partials_) {
     p = std::make_unique<GroupByAggregator>(max_groups_hint_, cfg.seed);
@@ -387,7 +411,7 @@ void GroupBySink::Open(const ExecConfig& cfg, int lanes,
 }
 
 void GroupBySink::Push(Chunk& c, int lane) {
-  obs::ScopedPhase t(g_groupby_ns);
+  PhaseScope t(g_groupby_ns, timed_);
   assert(key_col_ < c.n_cols() && val_col_ < c.n_cols());
   c.Compact(cfg_.isa);
   partials_[static_cast<size_t>(lane)]->Accumulate(
@@ -396,15 +420,23 @@ void GroupBySink::Push(Chunk& c, int lane) {
 }
 
 void GroupBySink::Finish() {
-  obs::ScopedPhase t(g_groupby_ns);
-  assert(!partials_.empty());
-  GroupByAggregator& total = *partials_[0];
-  for (size_t l = 1; l < partials_.size(); ++l) total.MergeFrom(*partials_[l]);
+  PhaseScope t(g_groupby_ns, timed_);
+  CanonicalizeGroups(cfg_.isa, partials_, &keys_, &sums_, &counts_, &mins_,
+                     &maxs_);
+}
+
+void CanonicalizeGroups(Isa isa,
+                        std::vector<std::unique_ptr<GroupByAggregator>>& partials,
+                        std::vector<uint32_t>* keys, std::vector<uint64_t>* sums,
+                        std::vector<uint32_t>* counts,
+                        std::vector<uint32_t>* mins, std::vector<uint32_t>* maxs) {
+  assert(!partials.empty());
+  GroupByAggregator& total = *partials[0];
+  for (size_t l = 1; l < partials.size(); ++l) total.MergeFrom(*partials[l]);
   const size_t g = total.num_groups();
   std::vector<uint32_t> k(g), cnt(g), mn(g), mx(g);
   std::vector<uint64_t> sm(g);
-  total.Extract(cfg_.isa, k.data(), sm.data(), cnt.data(), mn.data(),
-                mx.data());
+  total.Extract(isa, k.data(), sm.data(), cnt.data(), mn.data(), mx.data());
   // Canonical result order: ascending key. Extract order follows table
   // insertion order, which varies across thread counts and ISAs; the sort
   // restores byte-identity (keys are unique).
@@ -412,17 +444,17 @@ void GroupBySink::Finish() {
   std::iota(perm.begin(), perm.end(), 0u);
   std::sort(perm.begin(), perm.end(),
             [&](uint32_t a, uint32_t b) { return k[a] < k[b]; });
-  keys_.resize(g);
-  sums_.resize(g);
-  counts_.resize(g);
-  mins_.resize(g);
-  maxs_.resize(g);
+  keys->resize(g);
+  sums->resize(g);
+  counts->resize(g);
+  mins->resize(g);
+  maxs->resize(g);
   for (size_t i = 0; i < g; ++i) {
-    keys_[i] = k[perm[i]];
-    sums_[i] = sm[perm[i]];
-    counts_[i] = cnt[perm[i]];
-    mins_[i] = mn[perm[i]];
-    maxs_[i] = mx[perm[i]];
+    (*keys)[i] = k[perm[i]];
+    (*sums)[i] = sm[perm[i]];
+    (*counts)[i] = cnt[perm[i]];
+    (*mins)[i] = mn[perm[i]];
+    (*maxs)[i] = mx[perm[i]];
   }
 }
 
@@ -432,6 +464,7 @@ void GroupBySink::Finish() {
 
 void Pipeline::Run(const ExecConfig& cfg) {
   assert(!ops_.empty());
+  g_pipelines_dynamic.Add(1);
   Operator* src = ops_.front();
   const size_t n_chunks = src->SourceChunks(cfg);
   int lanes = TaskPool::LaneCount(n_chunks, cfg.threads);

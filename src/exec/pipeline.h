@@ -41,6 +41,16 @@
 
 namespace simddb::exec {
 
+/// Which executor drives a query's streaming pipelines. kAuto picks the
+/// template-fused instantiation (exec/fused.h) whenever the plan shape has
+/// one and falls back to the dynamic Operator chain otherwise; kDynamic
+/// forces the dynamic chain (the byte-identity reference); kFused asks for
+/// fusion explicitly but still falls back on unsupported shapes — the
+/// fused layer never changes which plans are runnable, only how fast the
+/// supported ones run. Which path actually ran is observable via the
+/// `pipelines_fused` / `pipelines_dynamic` counters.
+enum class PipelineMode { kAuto, kDynamic, kFused };
+
 /// Per-run execution parameters, shared by every operator of a query.
 struct ExecConfig {
   Isa isa = Isa::kScalar;
@@ -52,6 +62,7 @@ struct ExecConfig {
   /// are always interleaved.
   numa::Placement placement = numa::Placement::kNodeLocal;
   uint64_t seed = 42;
+  PipelineMode pipeline_mode = PipelineMode::kAuto;
 };
 
 /// The scan variant an ISA maps to in the executor (store-direct family:
@@ -69,12 +80,16 @@ class Operator {
 
   /// `lanes` is the max concurrent worker id + 1; `n_source_chunks` the
   /// size of the source grid feeding this pipeline (for seq-slotted
-  /// staging).
+  /// staging). Also samples MetricsEnabled() into `timed_` — derived
+  /// overrides must call this base so the per-push instrumentation gate is
+  /// hoisted out of the Push hot path (one check per pipeline, not per
+  /// chunk).
   virtual void Open(const ExecConfig& cfg, int lanes, size_t n_source_chunks);
 
   /// Source-role open, called on a pipeline's first operator only. Kept
   /// separate from Open so a breaker re-opened as the source of the next
   /// pipeline does not clobber the results it materialized as a sink.
+  /// Samples `timed_` like Open.
   virtual void OpenSource(const ExecConfig& cfg, int lanes);
 
   /// Consumes one chunk on `lane`. The chunk belongs to the caller and may
@@ -110,6 +125,10 @@ class Operator {
 
   ExecConfig cfg_;
   Operator* next_ = nullptr;
+  /// MetricsEnabled() sampled at Open/OpenSource: the per-push phase-timer
+  /// and chunk-counter gate, hoisted out of the Push inner loop. Toggling
+  /// metrics mid-pipeline takes effect at the next Open.
+  bool timed_ = false;
 
  private:
   std::atomic<uint64_t> rows_out_{0};
@@ -125,7 +144,7 @@ enum class ScanMode { kCompact, kBitmap };
 /// Source adapter over a two-column base table (keys, vals) with the range
 /// predicate lo <= x <= hi on either column. Emits chunks with col 0 =
 /// keys, col 1 = vals.
-class ScanOp : public Operator {
+class ScanOp final : public Operator {
  public:
   ScanOp(const uint32_t* keys, const uint32_t* vals, size_t n, uint32_t lo,
          uint32_t hi, bool filter_on_vals, ScanMode mode);
@@ -149,7 +168,7 @@ class ScanOp : public Operator {
 /// In-place materializer: converts bitmap/selection chunks to dense
 /// (bitmap -> selection -> compact), the boundary between predicate
 /// evaluation and the dense-input operator kernels.
-class MaterializeOp : public Operator {
+class MaterializeOp final : public Operator {
  public:
   const char* name() const override { return "materialize"; }
   void Push(Chunk& c, int lane) override;
@@ -159,7 +178,7 @@ class MaterializeOp : public Operator {
 /// then in Finish builds the linear-probing join table (2x buckets,
 /// interleaved placement — every probe lane reads it) and optionally a
 /// Bloom filter over the build keys for the probe pipeline's semi-join.
-class HashBuildOp : public Operator {
+class HashBuildOp final : public Operator {
  public:
   /// bloom_bits_per_key == 0 disables the filter.
   HashBuildOp(int bloom_bits_per_key, int bloom_k);
@@ -187,7 +206,7 @@ class HashBuildOp : public Operator {
 /// Bloom semi-join adapter: keeps tuples whose col-0 key may be in the
 /// build side. Vector probes emit qualifiers out of input order within a
 /// chunk, as documented for BloomFilter::Probe.
-class BloomProbeOp : public Operator {
+class BloomProbeOp final : public Operator {
  public:
   explicit BloomProbeOp(const HashBuildOp* build) : build_(build) {}
 
@@ -203,7 +222,7 @@ class BloomProbeOp : public Operator {
 /// Join probe adapter over the breaker's table: (key, val) chunks become
 /// (key, s_val, r_pay) chunks, one row per match. Build keys are unique
 /// (key/FK join), so matches never exceed the chunk's tuple count.
-class HashJoinProbeOp : public Operator {
+class HashJoinProbeOp final : public Operator {
  public:
   explicit HashJoinProbeOp(const HashBuildOp* build) : build_(build) {}
 
@@ -221,7 +240,7 @@ class HashJoinProbeOp : public Operator {
 /// sum, shuffle behind a PhaseBarrier) in Finish, and re-streams the
 /// partitioned rows as the source of the next pipeline. Output buffers are
 /// placed per cfg.placement.
-class PartitionOp : public Operator {
+class PartitionOp final : public Operator {
  public:
   /// Hash-partitions on col 0 into `fanout` partitions.
   explicit PartitionOp(uint32_t fanout);
@@ -254,7 +273,7 @@ class PartitionOp : public Operator {
 /// `key_col`, value = col `val_col`), merged in Finish and extracted in
 /// ascending key order — the canonical result representation, identical
 /// across ISAs, thread counts, and chunk sizes.
-class GroupBySink : public Operator {
+class GroupBySink final : public Operator {
  public:
   GroupBySink(size_t max_groups_hint, int key_col, int val_col);
 
@@ -277,6 +296,18 @@ class GroupBySink : public Operator {
   std::vector<uint32_t> keys_, counts_, mins_, maxs_;
   std::vector<uint64_t> sums_;
 };
+
+/// Merges per-lane group-by partials (into partials[0]) and extracts the
+/// canonical result rows: ascending group key, exact commutative
+/// aggregates. Both executors end their group-by here — GroupBySink::Finish
+/// and the fused pipeline's FusedGroupBy::Finalize — which is what makes a
+/// fused QueryResult byte-identical to the dynamic one by construction.
+/// Output vectors are resized to the group count.
+void CanonicalizeGroups(Isa isa,
+                        std::vector<std::unique_ptr<GroupByAggregator>>& partials,
+                        std::vector<uint32_t>* keys, std::vector<uint64_t>* sums,
+                        std::vector<uint32_t>* counts,
+                        std::vector<uint32_t>* mins, std::vector<uint32_t>* maxs);
 
 /// One operator chain. ops[0] must be a source (SourceChunks > 0 or an
 /// empty input); the Pipeline chains, Opens, drives and Finishes them.

@@ -1,23 +1,41 @@
 #include "exec/query.h"
 
+#include "exec/fused.h"
+#include "obs/metrics.h"
+
 namespace simddb::exec {
+namespace {
 
-QueryResult RunScanJoinAggregate(const ScanJoinAggregatePlan& plan,
-                                 const ExecConfig& cfg) {
-  Query q;
+// Whole-query wall time per executor path, recorded on the submitting
+// thread. Both spans cover the full plan (build pipeline + probe side), so
+// exec_fused_ns / exec_dynamic_ns measured on the same plan are directly
+// comparable — the ratio the bench gate in scripts/bench_baselines.json
+// checks. Registry keeps raw pointers: static storage required.
+obs::PhaseTimer g_fused_ns("exec_fused_ns");
+obs::PhaseTimer g_dynamic_ns("exec_dynamic_ns");
 
-  // Pipeline 0: R scan -> [materialize] -> hash build (breaker).
+/// Pipeline 0 of every plan: R scan -> [materialize] -> hash build
+/// (breaker). Shared by both executor paths — the build side materializes
+/// through Chunk staging either way, so the fused path probes the exact
+/// table and Bloom filter the dynamic path builds.
+HashBuildOp* AddBuildPipeline(Query& q, const ScanJoinAggregatePlan& plan) {
   ScanOp* r_scan = q.Add<ScanOp>(plan.r_keys, plan.r_attrs, plan.n_r,
                                  plan.r_lo, plan.r_hi,
                                  /*filter_on_vals=*/false, plan.scan_mode);
   HashBuildOp* build =
       q.Add<HashBuildOp>(plan.bloom_bits_per_key, plan.bloom_k);
-  {
-    std::vector<Operator*> ops{r_scan};
-    if (plan.scan_mode == ScanMode::kBitmap) ops.push_back(q.Add<MaterializeOp>());
-    ops.push_back(build);
-    q.AddPipeline(std::move(ops));
-  }
+  std::vector<Operator*> ops{r_scan};
+  if (plan.scan_mode == ScanMode::kBitmap) ops.push_back(q.Add<MaterializeOp>());
+  ops.push_back(build);
+  q.AddPipeline(std::move(ops));
+  return build;
+}
+
+QueryResult RunDynamic(const ScanJoinAggregatePlan& plan,
+                       const ExecConfig& cfg) {
+  obs::ScopedPhase t(g_dynamic_ns);
+  Query q;
+  HashBuildOp* build = AddBuildPipeline(q, plan);
 
   // Probe side: S scan -> [materialize] -> [bloom] -> [partition barrier]
   // -> join probe -> group-by sink. The scan filters on S.val, emitting
@@ -61,6 +79,62 @@ QueryResult RunScanJoinAggregate(const ScanJoinAggregatePlan& plan,
   res.rows_bloomed = bloom != nullptr ? bloom->rows_out() : res.rows_scanned;
   res.rows_joined = probe->rows_out();
   return res;
+}
+
+QueryResult RunFused(const ScanJoinAggregatePlan& plan, const ExecConfig& cfg) {
+  obs::ScopedPhase t(g_fused_ns);
+  // The build breaker still runs through the dynamic Chunk machinery (it
+  // materializes state, the one thing fusion cannot elide), so a fused
+  // query counts one dynamic pipeline (the build) plus one fused pipeline.
+  Query q;
+  HashBuildOp* build = AddBuildPipeline(q, plan);
+  q.Run(cfg);
+
+  FusedProbeSpec spec;
+  spec.fks = plan.s_fks;
+  spec.vals = plan.s_vals;
+  spec.n = plan.n_s;
+  spec.lo = plan.s_lo;
+  spec.hi = plan.s_hi;
+  spec.scan_mode = plan.scan_mode;
+  spec.table = build->table();
+  // bloom() is null when the filter is disabled or the build side is empty;
+  // the fused bloom stage forwards batches untouched in that case, exactly
+  // like the dynamic BloomProbeOp.
+  spec.bloom = plan.bloom_bits_per_key > 0 ? build->bloom() : nullptr;
+  spec.max_groups_hint = plan.max_groups_hint;
+  FusedProbeResult fr = RunFusedProbePipeline(spec, cfg);
+
+  QueryResult res;
+  res.group_keys = std::move(fr.group_keys);
+  res.sums = std::move(fr.sums);
+  res.counts = std::move(fr.counts);
+  res.mins = std::move(fr.mins);
+  res.maxs = std::move(fr.maxs);
+  res.rows_build = build->build_rows();
+  res.rows_scanned = fr.rows_scanned;
+  res.rows_bloomed = fr.rows_bloomed;
+  res.rows_joined = fr.rows_joined;
+  res.used_fused = true;
+  return res;
+}
+
+}  // namespace
+
+bool FusedPlanSupported(const ScanJoinAggregatePlan& plan) {
+  // Fused instantiations cover the streaming Q3 probe shapes — scan ->
+  // [bloom] -> join probe -> group-by, compact or bitmap scan, any ISA. A
+  // partition barrier materializes mid-stream, so partitioned plans fall
+  // back to the dynamic executor.
+  return plan.partition_fanout == 0;
+}
+
+QueryResult RunScanJoinAggregate(const ScanJoinAggregatePlan& plan,
+                                 const ExecConfig& cfg) {
+  if (cfg.pipeline_mode != PipelineMode::kDynamic && FusedPlanSupported(plan)) {
+    return RunFused(plan, cfg);
+  }
+  return RunDynamic(plan, cfg);
 }
 
 }  // namespace simddb::exec

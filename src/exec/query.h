@@ -95,9 +95,25 @@ struct QueryResult {
   uint64_t rows_scanned = 0; ///< S rows surviving the scan
   uint64_t rows_bloomed = 0; ///< S rows surviving the Bloom probe
   uint64_t rows_joined = 0;  ///< join matches fed to the group-by
+
+  /// True when the probe side ran the template-fused pipeline (exec/
+  /// fused.h) instead of the dynamic Operator chain. The result rows are
+  /// byte-identical either way; this only records which executor ran.
+  bool used_fused = false;
 };
 
-/// Assembles and runs the plan end to end on the shared TaskPool.
+/// True when a fused instantiation exists for the plan's probe-side shape:
+/// scan -> [bloom] -> join probe -> group-by, in either scan mode, on any
+/// ISA. A partition barrier breaks the stream mid-pipeline, so partitioned
+/// plans route to the dynamic executor.
+bool FusedPlanSupported(const ScanJoinAggregatePlan& plan);
+
+/// Assembles and runs the plan end to end on the shared TaskPool. Under
+/// PipelineMode kAuto/kFused a supported plan runs its probe side through
+/// the template-fused pipeline (build side and unsupported shapes use the
+/// dynamic executor); kDynamic forces the dynamic chain everywhere. The
+/// whole-query wall time is recorded into the `exec_fused_ns` or
+/// `exec_dynamic_ns` phase timer according to the path taken.
 QueryResult RunScanJoinAggregate(const ScanJoinAggregatePlan& plan,
                                  const ExecConfig& cfg);
 

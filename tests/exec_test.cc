@@ -5,7 +5,12 @@
 // canonical results across ISAs, thread counts {1, 8}, chunk sizes
 // (including non-chunk-multiple and degenerate inputs n in {0, 1, 1023}),
 // scan modes (compact vs bitmap), and breaker configurations, and matches
-// a hand-composed serial operator sequence over the same kernels.
+// a hand-composed serial operator sequence over the same kernels. The
+// template-fused executor (exec/fused.h) is held to the same bar: the
+// ExecFusedTest matrix proves the fused path byte-identical to the forced
+// dynamic path across ISA x threads x chunk size x scan mode x edge input
+// sizes, and the fallback test proves unsupported shapes route to the
+// dynamic pipeline (observed via pipelines_fused / pipelines_dynamic).
 
 #include <gtest/gtest.h>
 
@@ -37,6 +42,7 @@ using exec::Chunk;
 using exec::ChunkCapacity;
 using exec::ChunkBitmapWords;
 using exec::ExecConfig;
+using exec::PipelineMode;
 using exec::QueryResult;
 using exec::ScanJoinAggregatePlan;
 using exec::ScanMode;
@@ -448,6 +454,7 @@ TEST(ExecPipelineTest, ChunksPushedAndConversionCounters) {
   plan.bloom_bits_per_key = 10;
   ExecConfig cfg;
   cfg.chunk_tuples = 1024;
+  cfg.pipeline_mode = PipelineMode::kDynamic;  // asserts dynamic internals
   const QueryResult got = exec::RunScanJoinAggregate(plan, cfg);
   ASSERT_FALSE(got.group_keys.empty());
   // Source grids: 1 R chunk + 10 S chunks; every operator edge counts one
@@ -459,6 +466,99 @@ TEST(ExecPipelineTest, ChunksPushedAndConversionCounters) {
   EXPECT_GT(Metric("exec_build_ns"), 0u);
   EXPECT_GT(Metric("exec_probe_ns"), 0u);
   EXPECT_GT(Metric("exec_groupby_ns"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Template-fused pipelines (exec/fused.h)
+// ---------------------------------------------------------------------------
+
+TEST(ExecFusedTest, FusedMatchesDynamicAcrossMatrix) {
+  // ISA x threads {1, 8} x chunk {257, 1024} x scan mode x edge input
+  // sizes n_s in {0, 1, 1023, 4097} plus one bulk shape. The forced
+  // dynamic run is the reference; the fused run must be byte-identical in
+  // every result row and every reported cardinality.
+  const std::pair<size_t, size_t> shapes[] = {
+      {256, 0}, {256, 1}, {256, 1023}, {1024, 4097}, {4096, 60'000}};
+  for (auto [nr, ns] : shapes) {
+    QueryData d(nr, ns);
+    ScanJoinAggregatePlan plan = d.Plan();
+    plan.bloom_bits_per_key = 10;
+    const auto want = MapReference(d, plan);
+    for (Isa isa : SupportedIsas()) {
+      for (int threads : {1, 8}) {
+        for (size_t chunk : {size_t{257}, size_t{1024}}) {
+          for (ScanMode mode : {ScanMode::kCompact, ScanMode::kBitmap}) {
+            plan.scan_mode = mode;
+            ExecConfig cfg;
+            cfg.isa = isa;
+            cfg.threads = threads;
+            cfg.chunk_tuples = chunk;
+            cfg.pipeline_mode = PipelineMode::kDynamic;
+            const QueryResult dyn = exec::RunScanJoinAggregate(plan, cfg);
+            cfg.pipeline_mode = PipelineMode::kFused;
+            const QueryResult fus = exec::RunScanJoinAggregate(plan, cfg);
+            const std::string label =
+                "nr=" + std::to_string(nr) + " ns=" + std::to_string(ns) +
+                " " + IsaName(isa) + " t=" + std::to_string(threads) +
+                " c=" + std::to_string(chunk) +
+                " m=" + (mode == ScanMode::kBitmap ? "bitmap" : "compact");
+            EXPECT_FALSE(dyn.used_fused) << label;
+            EXPECT_TRUE(fus.used_fused) << label;
+            ExpectIdentical(fus, dyn, label + " fused vs dynamic");
+            EXPECT_EQ(fus.rows_build, dyn.rows_build) << label;
+            EXPECT_EQ(fus.rows_scanned, dyn.rows_scanned) << label;
+            EXPECT_EQ(fus.rows_bloomed, dyn.rows_bloomed) << label;
+            ExpectMatchesReference(fus, want, label + " fused vs reference");
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ExecFusedTest, UnsupportedShapeFallsBackToDynamic) {
+  QueryData d(1024, 10'000);
+  ScanJoinAggregatePlan plan = d.Plan();
+  plan.bloom_bits_per_key = 10;
+
+  plan.partition_fanout = 16;  // mid-stream breaker: no fused instantiation
+  EXPECT_FALSE(exec::FusedPlanSupported(plan));
+  {
+    ScopedMetrics metrics;
+    ExecConfig cfg;  // kAuto
+    const QueryResult got = exec::RunScanJoinAggregate(plan, cfg);
+    EXPECT_FALSE(got.used_fused);
+    EXPECT_EQ(Metric("pipelines_fused"), 0u);
+    // build + scan..partition + partition..sink.
+    EXPECT_EQ(Metric("pipelines_dynamic"), 3u);
+    EXPECT_EQ(Metric("exec_fused_ns"), 0u);
+    EXPECT_GT(Metric("exec_dynamic_ns"), 0u);
+  }
+
+  plan.partition_fanout = 0;  // supported shape under kAuto runs fused
+  EXPECT_TRUE(exec::FusedPlanSupported(plan));
+  {
+    ScopedMetrics metrics;
+    ExecConfig cfg;  // kAuto
+    const QueryResult got = exec::RunScanJoinAggregate(plan, cfg);
+    EXPECT_TRUE(got.used_fused);
+    EXPECT_EQ(Metric("pipelines_fused"), 1u);
+    // The build breaker still runs as a dynamic pipeline.
+    EXPECT_EQ(Metric("pipelines_dynamic"), 1u);
+    EXPECT_GT(Metric("exec_fused_ns"), 0u);
+    EXPECT_EQ(Metric("exec_dynamic_ns"), 0u);
+  }
+
+  {
+    ScopedMetrics metrics;
+    ExecConfig cfg;
+    cfg.pipeline_mode = PipelineMode::kDynamic;  // forced dynamic
+    const QueryResult got = exec::RunScanJoinAggregate(plan, cfg);
+    EXPECT_FALSE(got.used_fused);
+    EXPECT_EQ(Metric("pipelines_fused"), 0u);
+    EXPECT_EQ(Metric("pipelines_dynamic"), 2u);  // build + probe
+    EXPECT_GT(Metric("exec_dynamic_ns"), 0u);
+  }
 }
 
 TEST(ExecPipelineTest, RowsOutCardinalitiesAreConsistent) {

@@ -24,7 +24,32 @@ first. With "div_by": "<other_metric>" the metric is divided by that
 metric of the SAME row before the range check (after any per_iteration
 scaling of the numerator) — e.g. a per-phase time ratio
 part_hist_ns / part_shuffle_ns. A missing or non-positive denominator is
-a failure on matched rows, like a missing metric. The ranges are deliberately WIDE, structural checks ("the SWWC
+a failure on matched rows, like a missing metric — unless the range sets
+"zero_denom": "skip", which silently skips the check on rows where the
+denominator can legitimately be 0 (e.g. pipelines_dynamic on fused-only
+rows).
+
+An entry may instead hold a cross-row comparison:
+
+    {
+      "name": "adaptive-beats-static",
+      "compare": {
+        "target_name_re": "/[34]/", "target_variant_re": "_adaptive",
+        "baseline_name_re": "/[01]/", "baseline_variant_re": "_dynamic$",
+        "group_by": ["sel", "threads"],
+        "metric": "real_time",
+        "max_ratio": 1.05
+      },
+      "require": true
+    }
+
+Every target row's metric is compared against the MINIMUM of the baseline
+rows sharing the same group_by field values (fields compared as strings);
+the row fails when target / min(baselines) exceeds max_ratio. Target rows
+whose group has no baseline row are skipped (smoke runs gate subsets);
+"require" fails the entry when no target row matched at all.
+
+The plain range checks are deliberately WIDE, structural checks ("the SWWC
 shuffle flushed roughly 2*n/16 lines", "the planner planned at least one
 pass"), not tight performance assertions: google-benchmark's warmup
 iterations are included in the counter deltas but not in `iterations`, so
@@ -58,9 +83,78 @@ def load_rows(paths):
     return rows
 
 
+def check_compare(entry, rows):
+    """Cross-row gate: each target row vs the best baseline row of its
+    group. Returns (matched_target_rows, failures)."""
+    spec = entry["compare"]
+    t_name = re.compile(spec["target_name_re"])
+    t_var = re.compile(spec.get("target_variant_re", ""))
+    b_name = re.compile(spec["baseline_name_re"])
+    b_var = re.compile(spec.get("baseline_variant_re", ""))
+    group_by = spec.get("group_by", [])
+    metric = spec["metric"]
+    max_ratio = float(spec["max_ratio"])
+    failures = []
+
+    def key_of(row):
+        return tuple(str(row.get(f)) for f in group_by)
+
+    best = {}  # group key -> (value, variant, name)
+    for _, row in rows:
+        if not b_name.search(row.get("name", "")):
+            continue
+        if "baseline_variant_re" in spec and not b_var.search(
+                row.get("variant", "")):
+            continue
+        if metric not in row:
+            continue
+        value = float(row[metric])
+        key = key_of(row)
+        if key not in best or value < best[key][0]:
+            best[key] = (value, row.get("variant"), row.get("name"))
+
+    matched = 0
+    for where, row in rows:
+        if not t_name.search(row.get("name", "")):
+            continue
+        if "target_variant_re" in spec and not t_var.search(
+                row.get("variant", "")):
+            continue
+        matched += 1
+        if metric not in row:
+            failures.append(
+                f"{where}: [{entry['name']}] missing metric '{metric}' "
+                f"(row: {row.get('name')})")
+            continue
+        key = key_of(row)
+        if key not in best or best[key][0] <= 0:
+            print(f"[{entry['name']}] no baseline row for "
+                  f"{dict(zip(group_by, key))}; target row skipped")
+            continue
+        best_value, best_variant, _ = best[key]
+        ratio = float(row[metric]) / best_value
+        if ratio > max_ratio:
+            failures.append(
+                f"{where}: [{entry['name']}] {metric}={float(row[metric]):g} "
+                f"is {ratio:.3f}x the best baseline "
+                f"({best_variant}: {best_value:g}) for "
+                f"{dict(zip(group_by, key))}, above max_ratio={max_ratio:g}")
+    return matched, failures
+
+
 def check(baselines, rows):
     failures = []
     for entry in baselines:
+        if "compare" in entry:
+            matched, entry_failures = check_compare(entry, rows)
+            failures.extend(entry_failures)
+            if entry.get("require", False) and matched == 0:
+                failures.append(
+                    f"[{entry['name']}] required but no target row matched "
+                    f"name_re={entry['compare']['target_name_re']!r}")
+            else:
+                print(f"[{entry['name']}] compared {matched} row(s)")
+            continue
         name_re = re.compile(entry["name_re"])
         variant_re = re.compile(entry.get("variant_re", ""))
         matched = 0
@@ -90,6 +184,8 @@ def check(baselines, rows):
                         continue
                     denom = float(row[div_by])
                     if denom <= 0:
+                        if rng.get("zero_denom") == "skip":
+                            continue
                         failures.append(
                             f"{where}: [{entry['name']}] div_by metric "
                             f"'{div_by}'={denom:g} not positive "

@@ -1,8 +1,18 @@
 #include "core/isa.h"
 
+#include <atomic>
+#include <cstdio>
+
+#include "obs/metrics.h"
 #include "util/cpu_info.h"
 
 namespace simddb {
+namespace {
+
+// Registry keeps raw pointers, so the counter must have static storage.
+obs::Counter g_isa_degraded("isa_degraded");
+
+}  // namespace
 
 const char* IsaName(Isa isa) {
   switch (isa) {
@@ -33,6 +43,23 @@ Isa BestIsa() {
   if (IsaSupported(Isa::kAvx512)) return Isa::kAvx512;
   if (IsaSupported(Isa::kAvx2)) return Isa::kAvx2;
   return Isa::kScalar;
+}
+
+Isa EffectiveIsa(Isa requested) {
+  if (IsaSupported(requested)) return requested;
+  Isa granted = Isa::kScalar;
+  if (requested == Isa::kAvx512 && IsaSupported(Isa::kAvx2)) {
+    granted = Isa::kAvx2;
+  }
+  g_isa_degraded.AddAlways(1);
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "simddb: requested ISA %s is not supported on this host; "
+                 "degrading to %s\n",
+                 IsaName(requested), IsaName(granted));
+  }
+  return granted;
 }
 
 }  // namespace simddb

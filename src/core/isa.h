@@ -26,6 +26,12 @@ bool IsaSupported(Isa isa);
 /// The widest backend the host CPU supports.
 Isa BestIsa();
 
+/// Clamps a requested backend to what the host can execute: an unsupported
+/// request degrades to the widest supported narrower backend (kAvx512 ->
+/// kAvx2 -> kScalar) instead of SIGILLing in the first kernel. Bumps the
+/// `isa_degraded` counter and warns on stderr once per process.
+Isa EffectiveIsa(Isa requested);
+
 }  // namespace simddb
 
 #endif  // SIMDDB_CORE_ISA_H_

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <numeric>
 
+#include "exec/adaptive.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/task_pool.h"
@@ -128,10 +129,15 @@ void ScanOp::Produce(size_t chunk, int lane) {
   Chunk& out = *out_[static_cast<size_t>(lane)];
   {
     PhaseScope t(g_scan_ns, timed_);
+    // Adaptive dispatch switches both the ISA and the chunk representation
+    // (compact vs bitmap) per chunk; downstream operators Compact whatever
+    // arrives, so mixing representations inside one grid is safe.
+    AdaptiveOpScope a(cfg_.dispatcher, OpKind::kScan, cfg_.isa, mode_);
     const size_t b = chunk * cfg_.chunk_tuples;
     const size_t sz = std::min(cfg_.chunk_tuples, n_ - b);
-    if (mode_ == ScanMode::kCompact) {
-      const ScanVariant v = ScanVariantForIsa(cfg_.isa);
+    a.set_tuples(sz);
+    if (a.scan_mode() == ScanMode::kCompact) {
+      const ScanVariant v = ScanVariantForIsa(a.isa());
       const size_t cap = ChunkCapacity(out.capacity());
       size_t cnt;
       if (filter_on_vals_) {
@@ -147,8 +153,13 @@ void ScanOp::Produce(size_t chunk, int lane) {
       std::memcpy(out.col(1), vals_ + b, sz * sizeof(uint32_t));
       const uint32_t* pred = filter_on_vals_ ? out.col(1) : out.col(0);
       const size_t cnt =
-          RangePredicateBitmap(cfg_.isa, pred, sz, lo_, hi_, out.bitmap());
+          RangePredicateBitmap(a.isa(), pred, sz, lo_, hi_, out.bitmap());
       out.SetBitmap(sz, cnt);
+      // Adaptive dispatch judges the representation axis on its end-to-end
+      // per-chunk cost: a bitmap scan defers compaction to the first
+      // downstream Compact, so do it here, inside the timed scope, or the
+      // bitmap variant looks locally cheap while exporting its cost.
+      if (cfg_.dispatcher != nullptr) out.Compact(a.isa());
     }
     out.set_seq(chunk);
   }
@@ -232,7 +243,24 @@ void HashBuildOp::Finish() {
   numa::PlaceBuffer(const_cast<uint32_t*>(table_->bucket_pays()),
                     buckets * sizeof(uint32_t), cfg_.threads,
                     numa::Placement::kInterleaved);
-  table_->Build(cfg_.isa, mat_keys_.data(), mat_pays_.data(), n_build_);
+  if (cfg_.dispatcher == nullptr) {
+    table_->Build(cfg_.isa, mat_keys_.data(), mat_pays_.data(), n_build_);
+  } else {
+    // Adaptive: the insert loop runs in chunk-sized blocks, each through the
+    // kBuild schedule, so the historically slowest phase of the AVX-512
+    // anchor (scatter-heavy table build) is re-timed instead of pinned.
+    // Blocks stay in sequential order, so the insertion sequence — and
+    // therefore every probe result — is unchanged by ISA switches.
+    const size_t blk = cfg_.chunk_tuples;
+    for (size_t off = 0; off < n_build_; off += blk) {
+      const size_t n = std::min(blk, n_build_ - off);
+      AdaptiveOpScope a(cfg_.dispatcher, OpKind::kBuild, cfg_.isa,
+                        ScanMode::kCompact);
+      a.set_tuples(n);
+      table_->Build(a.isa(), mat_keys_.data() + off, mat_pays_.data() + off,
+                    n);
+    }
+  }
   if (bloom_bits_per_key_ > 0 && n_build_ > 0) {
     bloom_ = std::make_unique<BloomFilter>(BloomFilter::ForItems(
         n_build_, bloom_bits_per_key_, bloom_k_, cfg_.seed));
@@ -262,8 +290,11 @@ void BloomProbeOp::Push(Chunk& c, int lane) {
   Chunk& out = *out_[static_cast<size_t>(lane)];
   {
     PhaseScope t(g_bloom_ns, timed_);
-    c.Compact(cfg_.isa);
-    const size_t cnt = f->Probe(cfg_.isa, c.col(0), c.col(1), c.size(),
+    AdaptiveOpScope a(cfg_.dispatcher, OpKind::kBloomProbe, cfg_.isa,
+                      ScanMode::kCompact);
+    c.Compact(a.isa());
+    a.set_tuples(c.size());
+    const size_t cnt = f->Probe(a.isa(), c.col(0), c.col(1), c.size(),
                                 out.col(0), out.col(1));
     out.SetDense(cnt);
     out.set_seq(c.seq());
@@ -285,10 +316,13 @@ void HashJoinProbeOp::Push(Chunk& c, int lane) {
   Chunk& out = *out_[static_cast<size_t>(lane)];
   {
     PhaseScope t(g_probe_ns, timed_);
-    c.Compact(cfg_.isa);
+    AdaptiveOpScope a(cfg_.dispatcher, OpKind::kJoinProbe, cfg_.isa,
+                      ScanMode::kCompact);
+    c.Compact(a.isa());
+    a.set_tuples(c.size());
     const LinearProbingTable* table = build_->table();
     assert(table != nullptr && "probe pipeline ran before the build broke");
-    const size_t cnt = table->Probe(cfg_.isa, c.col(0), c.col(1), c.size(),
+    const size_t cnt = table->Probe(a.isa(), c.col(0), c.col(1), c.size(),
                                     out.col(0), out.col(1), out.col(2));
     assert(cnt <= ChunkCapacity(out.capacity()));
     out.SetDense(cnt);
@@ -412,10 +446,13 @@ void GroupBySink::Open(const ExecConfig& cfg, int lanes,
 
 void GroupBySink::Push(Chunk& c, int lane) {
   PhaseScope t(g_groupby_ns, timed_);
+  AdaptiveOpScope a(cfg_.dispatcher, OpKind::kGroupBy, cfg_.isa,
+                    ScanMode::kCompact);
   assert(key_col_ < c.n_cols() && val_col_ < c.n_cols());
-  c.Compact(cfg_.isa);
+  c.Compact(a.isa());
+  a.set_tuples(c.size());
   partials_[static_cast<size_t>(lane)]->Accumulate(
-      cfg_.isa, c.col(key_col_), c.col(val_col_), c.size());
+      a.isa(), c.col(key_col_), c.col(val_col_), c.size());
   CountRows(c.size());
 }
 

@@ -51,6 +51,34 @@ namespace simddb::exec {
 /// `pipelines_fused` / `pipelines_dynamic` counters.
 enum class PipelineMode { kAuto, kDynamic, kFused };
 
+/// How operator variants are chosen. kStatic runs cfg.isa and the plan's
+/// scan mode everywhere (the historical behavior); kAdaptive lets an
+/// AdaptiveDispatcher (exec/adaptive.h) re-time the supported
+/// {scalar, AVX2, AVX-512} x {compact, bitmap} variants on live chunks and
+/// switch each operator to the current winner mid-query. Results are
+/// byte-identical either way — variants only differ in speed.
+enum class IsaMode { kStatic, kAdaptive };
+
+/// Explore/exploit pacing for IsaMode::kAdaptive.
+struct AdaptiveParams {
+  /// K: timed chunks per variant per explore round. At low selectivity the
+  /// post-scan chunks shrink to a few tuples, so a round's fresh sample
+  /// must span several chunks or timing jitter drowns the real ranking and
+  /// near-tie variants flip-flop.
+  uint32_t explore_chunks = 4;
+  /// M: chunks run on the round's winner before re-exploring. Small enough
+  /// to re-explore a few times within one 2K-chunk grid (tracking phase
+  /// changes like the selectivity ramp), large enough that the explore tax
+  /// — (V-1)*K non-winner chunks per round — stays ~2% of the schedule.
+  uint32_t exploit_chunks = 1020;
+  /// Test hook: force the exploit winner to rotate deterministically every
+  /// round (round % n_variants) instead of following the timings, so tests
+  /// can prove byte-identity across guaranteed mid-query switches.
+  bool rotate_for_testing = false;
+};
+
+class AdaptiveDispatcher;
+
 /// Per-run execution parameters, shared by every operator of a query.
 struct ExecConfig {
   Isa isa = Isa::kScalar;
@@ -63,6 +91,12 @@ struct ExecConfig {
   numa::Placement placement = numa::Placement::kNodeLocal;
   uint64_t seed = 42;
   PipelineMode pipeline_mode = PipelineMode::kAuto;
+  IsaMode isa_mode = IsaMode::kStatic;
+  AdaptiveParams adaptive;
+  /// Set by RunScanJoinAggregate while isa_mode == kAdaptive; operators
+  /// consult it per chunk when non-null. Borrowed — owned by the query
+  /// runner for the duration of the run.
+  AdaptiveDispatcher* dispatcher = nullptr;
 };
 
 /// The scan variant an ISA maps to in the executor (store-direct family:

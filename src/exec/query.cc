@@ -1,5 +1,6 @@
 #include "exec/query.h"
 
+#include "exec/adaptive.h"
 #include "exec/fused.h"
 #include "obs/metrics.h"
 
@@ -131,10 +132,19 @@ bool FusedPlanSupported(const ScanJoinAggregatePlan& plan) {
 
 QueryResult RunScanJoinAggregate(const ScanJoinAggregatePlan& plan,
                                  const ExecConfig& cfg) {
-  if (cfg.pipeline_mode != PipelineMode::kDynamic && FusedPlanSupported(plan)) {
-    return RunFused(plan, cfg);
+  // Plan-build sanitization: never trust the requested ISA — an unsupported
+  // request degrades to the best supported backend instead of SIGILLing in
+  // the first kernel (see EffectiveIsa).
+  ExecConfig run_cfg = cfg;
+  run_cfg.isa = EffectiveIsa(cfg.isa);
+  AdaptiveDispatcher dispatcher(run_cfg, plan.scan_mode);
+  run_cfg.dispatcher =
+      run_cfg.isa_mode == IsaMode::kAdaptive ? &dispatcher : nullptr;
+  if (run_cfg.pipeline_mode != PipelineMode::kDynamic &&
+      FusedPlanSupported(plan)) {
+    return RunFused(plan, run_cfg);
   }
-  return RunDynamic(plan, cfg);
+  return RunDynamic(plan, run_cfg);
 }
 
 }  // namespace simddb::exec

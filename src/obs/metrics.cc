@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include <ctime>
+
 #include <cstdlib>
 #include <cstring>
 
@@ -30,6 +32,13 @@ uint32_t ThisThreadShard() {
 
 void EnableMetrics(bool on) {
   detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+uint64_t ThreadCpuNs() {
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return NowNs();
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
 }
 
 Counter::Counter(const char* name) : name_(name) {

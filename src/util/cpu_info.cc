@@ -3,6 +3,7 @@
 #include <cpuid.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <thread>
@@ -100,9 +101,20 @@ CpuInfo Detect() {
 
 }  // namespace
 
+namespace {
+std::atomic<const CpuInfo*> g_caps_override{nullptr};
+}  // namespace
+
 const CpuInfo& GetCpuInfo() {
+  const CpuInfo* override_info =
+      g_caps_override.load(std::memory_order_acquire);
+  if (override_info != nullptr) return *override_info;
   static const CpuInfo* const kInfo = new CpuInfo(Detect());
   return *kInfo;
+}
+
+void SetCpuCapsForTesting(const CpuInfo* info) {
+  g_caps_override.store(info, std::memory_order_release);
 }
 
 }  // namespace simddb

@@ -39,8 +39,15 @@ struct CpuInfo {
   }
 };
 
-/// Returns the lazily-initialized singleton CpuInfo for this host.
+/// Returns the lazily-initialized singleton CpuInfo for this host (or the
+/// test override installed via SetCpuCapsForTesting).
 const CpuInfo& GetCpuInfo();
+
+/// Test hook: overrides GetCpuInfo's result until called again. Pass nullptr
+/// to restore real detection. `info` must outlive the override (tests keep a
+/// static/stack instance alive across the scope). Not for production use —
+/// concurrent queries observing a cap change mid-plan is undefined.
+void SetCpuCapsForTesting(const CpuInfo* info);
 
 }  // namespace simddb
 

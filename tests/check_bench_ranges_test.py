@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/check_bench_ranges.py, run by ctest.
+
+Invokes the gate script as a subprocess on crafted baseline + JSONL rows and
+asserts on exit status and diagnostics:
+
+  * a div_by denominator of zero fails the row with a clear per-row message
+    (no traceback) unless the range opts into `"zero_denom": "skip"`;
+  * `compare` entries gate a target row against the best baseline row of its
+    group, skip targets whose group has no baseline, and honor `require`.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.environ.get(
+    "CHECK_SCRIPT",
+    str(pathlib.Path(__file__).resolve().parent.parent / "scripts" /
+        "check_bench_ranges.py"))
+
+
+def run_gate(baselines, rows):
+    """Writes baselines + rows to temp files and runs the gate script."""
+    with tempfile.TemporaryDirectory() as tmp:
+        bpath = os.path.join(tmp, "baselines.json")
+        jpath = os.path.join(tmp, "rows.jsonl")
+        with open(bpath, "w") as f:
+            json.dump(baselines, f)
+        with open(jpath, "w") as f:
+            for row in rows:
+                f.write(json.dumps(row) + "\n")
+        return subprocess.run(
+            [sys.executable, SCRIPT, bpath, jpath],
+            capture_output=True, text=True)
+
+
+class ZeroDenominatorTest(unittest.TestCase):
+    BASELINE = [{
+        "name": "ratio-gate",
+        "name_re": "^BM_X/",
+        "require": True,
+        "metrics": {"a_ns": {"div_by": "b_ns", "min": 0.1, "max": 10}},
+    }]
+
+    def test_zero_denominator_is_a_clear_per_row_failure(self):
+        res = run_gate(self.BASELINE,
+                       [{"name": "BM_X/1", "a_ns": 5, "b_ns": 0}])
+        self.assertEqual(res.returncode, 1, res.stderr)
+        self.assertIn("'b_ns'=0 not positive", res.stderr)
+        self.assertIn("BM_X/1", res.stderr)
+        self.assertNotIn("Traceback", res.stderr)
+        self.assertNotIn("ZeroDivisionError", res.stderr)
+
+    def test_missing_denominator_is_a_failure_too(self):
+        res = run_gate(self.BASELINE, [{"name": "BM_X/1", "a_ns": 5}])
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("missing div_by metric 'b_ns'", res.stderr)
+        self.assertNotIn("Traceback", res.stderr)
+
+    def test_zero_denom_skip_option_passes_the_row(self):
+        baselines = json.loads(json.dumps(self.BASELINE))
+        baselines[0]["metrics"]["a_ns"]["zero_denom"] = "skip"
+        res = run_gate(baselines, [{"name": "BM_X/1", "a_ns": 5, "b_ns": 0}])
+        self.assertEqual(res.returncode, 0, res.stderr)
+
+    def test_zero_denom_skip_still_checks_positive_denominators(self):
+        baselines = json.loads(json.dumps(self.BASELINE))
+        baselines[0]["metrics"]["a_ns"]["zero_denom"] = "skip"
+        res = run_gate(baselines,
+                       [{"name": "BM_X/1", "a_ns": 500, "b_ns": 1}])
+        self.assertEqual(res.returncode, 1)  # ratio 500 > max 10
+        self.assertIn("outside", res.stderr)
+
+
+class CompareEntryTest(unittest.TestCase):
+    @staticmethod
+    def baseline(max_ratio=1.05, require=True):
+        return [{
+            "name": "adaptive-vs-static",
+            "compare": {
+                "target_name_re": "/3/$",
+                "baseline_name_re": "/0/$",
+                "group_by": ["sel", "threads"],
+                "metric": "real_time",
+                "max_ratio": max_ratio,
+            },
+            "require": require,
+        }]
+
+    def test_target_within_ratio_of_best_baseline_passes(self):
+        rows = [
+            {"name": "BM_Q/1/10/8/0/", "sel": 10, "threads": 8,
+             "real_time": 100.0},
+            {"name": "BM_Q/2/10/8/0/", "sel": 10, "threads": 8,
+             "real_time": 300.0},
+            {"name": "BM_Q/0/10/8/3/", "sel": 10, "threads": 8,
+             "real_time": 104.0},
+        ]
+        res = run_gate(self.baseline(), rows)
+        self.assertEqual(res.returncode, 0, res.stderr)
+
+    def test_target_above_ratio_fails_with_best_baseline_named(self):
+        rows = [
+            {"name": "BM_Q/1/10/8/0/", "sel": 10, "threads": 8,
+             "real_time": 100.0},
+            {"name": "BM_Q/0/10/8/3/", "sel": 10, "threads": 8,
+             "real_time": 120.0},
+        ]
+        res = run_gate(self.baseline(), rows)
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("1.200x the best baseline", res.stderr)
+        self.assertIn("max_ratio=1.05", res.stderr)
+
+    def test_groups_are_compared_independently(self):
+        rows = [
+            {"name": "BM_Q/1/10/1/0/", "sel": 10, "threads": 1,
+             "real_time": 100.0},
+            {"name": "BM_Q/1/10/8/0/", "sel": 10, "threads": 8,
+             "real_time": 20.0},
+            # Fine vs the t=1 baseline, 5x the t=8 one: must fail.
+            {"name": "BM_Q/0/10/1/3/", "sel": 10, "threads": 1,
+             "real_time": 100.0},
+            {"name": "BM_Q/0/10/8/3/", "sel": 10, "threads": 8,
+             "real_time": 100.0},
+        ]
+        res = run_gate(self.baseline(), rows)
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("5.000x", res.stderr)
+
+    def test_target_without_baseline_group_is_skipped(self):
+        rows = [
+            {"name": "BM_Q/1/10/8/0/", "sel": 10, "threads": 8,
+             "real_time": 100.0},
+            # sel=50 has no baseline row: smoke subsets must not fail.
+            {"name": "BM_Q/0/50/8/3/", "sel": 50, "threads": 8,
+             "real_time": 9999.0},
+        ]
+        res = run_gate(self.baseline(), rows)
+        self.assertEqual(res.returncode, 0, res.stderr)
+        self.assertIn("no baseline row", res.stdout)
+
+    def test_require_fails_when_no_target_matched(self):
+        rows = [{"name": "BM_Q/1/10/8/0/", "sel": 10, "threads": 8,
+                 "real_time": 100.0}]
+        res = run_gate(self.baseline(require=True), rows)
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("required but no target row matched", res.stderr)
+        res = run_gate(self.baseline(require=False), rows)
+        self.assertEqual(res.returncode, 0, res.stderr)
+
+    def test_missing_metric_on_target_is_a_failure(self):
+        rows = [
+            {"name": "BM_Q/1/10/8/0/", "sel": 10, "threads": 8,
+             "real_time": 100.0},
+            {"name": "BM_Q/0/10/8/3/", "sel": 10, "threads": 8},
+        ]
+        res = run_gate(self.baseline(), rows)
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("missing metric 'real_time'", res.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

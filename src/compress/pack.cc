@@ -1,0 +1,50 @@
+// Scalar bit-packing and unpacking baseline (see pack.h for the layout).
+//
+// Both directions run the same position arithmetic: value i lives at bit
+// p = i*bits, word p >> 5, shift p & 31. The unpack loop does one
+// unaligned 64-bit read per value — a biased value of <= 32 bits at a
+// shift of <= 31 always fits in the 64-bit window, so one code path
+// covers every width without per-width unrolling. memcpy keeps the
+// unaligned reads defined behavior; it compiles to a single mov.
+
+#include "compress/pack.h"
+
+#include <cstring>
+
+namespace simddb::compress {
+
+void PackBlock(const uint32_t* in, size_t n, uint32_t ref, unsigned bits,
+               uint32_t* packed) {
+  assert(bits <= 32);
+  if (bits == 0 || n == 0) return;
+  std::memset(packed, 0, PackedWords(n, bits) * sizeof(uint32_t));
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t v = in[i] - ref;
+    assert(bits == 32 || (v >> bits) == 0);
+    const size_t p = i * bits;
+    const size_t w = p >> 5;
+    const unsigned s = static_cast<unsigned>(p & 31);
+    const uint64_t wide = static_cast<uint64_t>(v) << s;
+    packed[w] |= static_cast<uint32_t>(wide);
+    if (s + bits > 32) packed[w + 1] |= static_cast<uint32_t>(wide >> 32);
+  }
+}
+
+namespace detail {
+
+void UnpackScalar(const uint32_t* packed, size_t n, uint32_t ref,
+                  unsigned bits, uint32_t* out) {
+  const uint32_t mask =
+      bits == 32 ? 0xFFFFFFFFu : ((uint32_t{1} << bits) - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t p = i * bits;
+    uint64_t window;
+    std::memcpy(&window, reinterpret_cast<const uint8_t*>(packed) +
+                             ((p >> 5) * sizeof(uint32_t)),
+                sizeof(window));
+    out[i] = (static_cast<uint32_t>(window >> (p & 31)) & mask) + ref;
+  }
+}
+
+}  // namespace detail
+}  // namespace simddb::compress

@@ -1,0 +1,54 @@
+// AVX2 horizontal unpack: 8 values per iteration, width-generic.
+//
+// Same decomposition as the AVX-512 backend (see pack_avx512.cc): per-lane
+// bit positions split into 32-bit word indexes and in-word shifts, two
+// 4-lane 64-bit gathers at 4-byte granularity (vpgatherdq, scale 4),
+// vpsrlvq per-lane alignment, then a permute that keeps the low dword of
+// each 64-bit window before the width mask and FOR reference are applied.
+// Full 8-lane stores rely on the PackedCapacity(n) output slack; the last
+// iteration's overshooting gathers stay within the kPackedPadWords pad.
+
+#include "compress/pack.h"
+
+#include <immintrin.h>
+
+namespace simddb::compress::detail {
+
+void UnpackAvx2(const uint32_t* packed, size_t n, uint32_t ref, unsigned bits,
+                uint32_t* out) {
+  const uint32_t mask =
+      bits == 32 ? 0xFFFFFFFFu : ((uint32_t{1} << bits) - 1);
+  const __m256i vmask = _mm256_set1_epi32(static_cast<int>(mask));
+  const __m256i vref = _mm256_set1_epi32(static_cast<int>(ref));
+  const __m256i lane_bits =
+      _mm256_mullo_epi32(_mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+                         _mm256_set1_epi32(static_cast<int>(bits)));
+  const __m256i v31 = _mm256_set1_epi32(31);
+  // Low dword of each 64-bit lane; the upper half of the permute result is
+  // discarded by the 128-bit cast.
+  const __m256i narrow = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  const long long* base = reinterpret_cast<const long long*>(packed);
+  for (size_t i = 0; i < n; i += 8) {
+    const __m256i pos = _mm256_add_epi32(
+        _mm256_set1_epi32(static_cast<int>(i * bits)), lane_bits);
+    const __m256i word = _mm256_srli_epi32(pos, 5);
+    const __m256i shift = _mm256_and_si256(pos, v31);
+    __m256i g_lo =
+        _mm256_i32gather_epi64(base, _mm256_castsi256_si128(word), 4);
+    __m256i g_hi =
+        _mm256_i32gather_epi64(base, _mm256_extracti128_si256(word, 1), 4);
+    g_lo = _mm256_srlv_epi64(
+        g_lo, _mm256_cvtepu32_epi64(_mm256_castsi256_si128(shift)));
+    g_hi = _mm256_srlv_epi64(
+        g_hi, _mm256_cvtepu32_epi64(_mm256_extracti128_si256(shift, 1)));
+    const __m128i v_lo =
+        _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(g_lo, narrow));
+    const __m128i v_hi =
+        _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(g_hi, narrow));
+    __m256i v = _mm256_set_m128i(v_hi, v_lo);
+    v = _mm256_add_epi32(_mm256_and_si256(v, vmask), vref);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+  }
+}
+
+}  // namespace simddb::compress::detail

@@ -48,6 +48,7 @@
 
 #include "agg/group_by.h"
 #include "bloom/bloom_filter.h"
+#include "compress/column.h"
 #include "core/isa.h"
 #include "exec/chunk.h"
 #include "exec/pipeline.h"
@@ -73,6 +74,13 @@ struct FusedBatch {
 struct FusedProbeSpec {
   const uint32_t* fks = nullptr;   ///< S foreign keys (batch col 0)
   const uint32_t* vals = nullptr;  ///< S values: filter + aggregate (col 1)
+  /// Compressed S columns (compress/column.h). When non-null they replace
+  /// the raw pointers: the pipeline sources from FusedScanCompressed in
+  /// BOTH scan modes — a compressed source has no base-table copy for the
+  /// bitmap duality to elide, so the mode axis degenerates (results are
+  /// byte-identical across modes by the executor's determinism contract).
+  const compress::CompressedColumn* fks_c = nullptr;
+  const compress::CompressedColumn* vals_c = nullptr;
   size_t n = 0;
   uint32_t lo = 0, hi = 0;         ///< inclusive range predicate on vals
   ScanMode scan_mode = ScanMode::kCompact;
@@ -279,6 +287,122 @@ class FusedScanBitmap {
   };
   const uint32_t* fks_;
   const uint32_t* vals_;
+  size_t n_;
+  uint32_t lo_, hi_;
+  size_t chunk_tuples_ = kDefaultChunkTuples;
+  std::vector<Lane> lanes_;
+  detail::LaneRows rows_;
+};
+
+/// Fused source over compressed base columns: the scan-over-compressed
+/// front-end of the fused pipeline, emitting the same dense (fk, val)
+/// batches FusedScanCompact would for the decompressed columns. Per chunk
+/// it walks the overlapped 1024-value blocks and classifies each against
+/// the predicate via the FOR-domain zone map (compress::ClassifyBlock):
+/// skipped blocks contribute nothing without their packed bytes being
+/// read, all-pass blocks decode straight into the batch columns with no
+/// per-value predicate evaluation, and mixed blocks decode into per-lane
+/// scratch (cached by block id) and run SelectionScan on the
+/// just-unpacked values — the CompressedScanOp protocol minus the Chunk.
+template <Isa kIsa>
+class FusedScanCompressed {
+ public:
+  FusedScanCompressed(const compress::CompressedColumn* fks,
+                      const compress::CompressedColumn* vals, uint32_t lo,
+                      uint32_t hi)
+      : fks_(fks), vals_(vals), n_(fks->size()), lo_(lo), hi_(hi) {
+    assert(fks_->size() == vals_->size());
+  }
+
+  size_t Chunks(const ExecConfig& cfg) const {
+    return n_ == 0 ? 0 : (n_ + cfg.chunk_tuples - 1) / cfg.chunk_tuples;
+  }
+
+  void Open(const ExecConfig& cfg, int lanes) {
+    chunk_tuples_ = cfg.chunk_tuples;
+    lanes_.resize(static_cast<size_t>(lanes));
+    for (Lane& l : lanes_) {
+      l.fk.Reset(ChunkCapacity(chunk_tuples_));
+      l.val.Reset(ChunkCapacity(chunk_tuples_));
+      l.fk_buf.Reset(compress::PackedCapacity(compress::kBlockTuples));
+      l.val_buf.Reset(compress::PackedCapacity(compress::kBlockTuples));
+      l.fk_block = SIZE_MAX;
+      l.val_block = SIZE_MAX;
+    }
+    rows_.Open(lanes);
+  }
+
+  template <typename Next>
+  void Produce(size_t chunk, int lane, Next&& next) {
+    Lane& l = lanes_[static_cast<size_t>(lane)];
+    const size_t begin = chunk * chunk_tuples_;
+    const size_t end = begin + std::min(chunk_tuples_, n_ - begin);
+    const size_t cap = l.val.size();
+    size_t cnt = 0;
+    for (size_t pos = begin; pos < end;) {
+      const size_t b = pos / compress::kBlockTuples;
+      const size_t block_base = b * compress::kBlockTuples;
+      const size_t off = pos - block_base;
+      const size_t take =
+          std::min(end, block_base + vals_->block_rows(b)) - pos;
+      const compress::BlockMeta& m = vals_->block_meta(b);
+      const compress::BlockClass cls = compress::ClassifyBlock(m, lo_, hi_);
+      if (cls == compress::BlockClass::kSkip) {
+        compress::BlocksSkipped().Add(1);
+      } else if (cls == compress::BlockClass::kAllPass) {
+        compress::BlocksAllPass().Add(1);
+        if (take == vals_->block_rows(b)) {
+          fks_->DecodeBlock(kIsa, b, l.fk.data() + cnt, cap - cnt);
+          vals_->DecodeBlock(kIsa, b, l.val.data() + cnt, cap - cnt);
+        } else {
+          std::memcpy(l.fk.data() + cnt, DecodedFk(l, b) + off,
+                      take * sizeof(uint32_t));
+          std::memcpy(l.val.data() + cnt, DecodedVal(l, b) + off,
+                      take * sizeof(uint32_t));
+        }
+        cnt += take;
+      } else {
+        cnt += SelectionScan(ScanVariantForIsa(kIsa), DecodedVal(l, b) + off,
+                             DecodedFk(l, b) + off, take, lo_, hi_,
+                             l.val.data() + cnt, l.fk.data() + cnt,
+                             cap - cnt);
+      }
+      pos += take;
+    }
+    rows_.Add(lane, cnt);
+    FusedBatch out;
+    out.col[0] = l.fk.data();
+    out.col[1] = l.val.data();
+    out.n = cnt;
+    next(out);
+  }
+
+  uint64_t rows_out() const { return rows_.Total(); }
+
+ private:
+  struct Lane {
+    AlignedBuffer<uint32_t> fk, val;        // batch columns
+    AlignedBuffer<uint32_t> fk_buf, val_buf;  // decoded-block cache
+    size_t fk_block = SIZE_MAX, val_block = SIZE_MAX;
+  };
+
+  const uint32_t* DecodedFk(Lane& l, size_t b) {
+    if (l.fk_block != b) {
+      fks_->DecodeBlock(kIsa, b, l.fk_buf.data(), l.fk_buf.size());
+      l.fk_block = b;
+    }
+    return l.fk_buf.data();
+  }
+  const uint32_t* DecodedVal(Lane& l, size_t b) {
+    if (l.val_block != b) {
+      vals_->DecodeBlock(kIsa, b, l.val_buf.data(), l.val_buf.size());
+      l.val_block = b;
+    }
+    return l.val_buf.data();
+  }
+
+  const compress::CompressedColumn* fks_;
+  const compress::CompressedColumn* vals_;
   size_t n_;
   uint32_t lo_, hi_;
   size_t chunk_tuples_ = kDefaultChunkTuples;
@@ -646,6 +770,13 @@ class FusedProbeRunnerImpl final : public FusedProbeRunner {
 template <Isa kIsa>
 FusedProbeResult RunFusedProbeImpl(const FusedProbeSpec& spec,
                                    const ExecConfig& cfg) {
+  if (spec.fks_c != nullptr) {
+    // Compressed source: one shape serves both scan modes (see
+    // FusedProbeSpec::fks_c).
+    return RunFusedProbeShape<kIsa>(
+        FusedScanCompressed<kIsa>(spec.fks_c, spec.vals_c, spec.lo, spec.hi),
+        spec, cfg);
+  }
   if (spec.scan_mode == ScanMode::kBitmap) {
     return RunFusedProbeShape<kIsa>(
         FusedScanBitmap<kIsa>(spec.fks, spec.vals, spec.n, spec.lo, spec.hi),
@@ -670,6 +801,15 @@ template <Isa kIsa>
 std::unique_ptr<FusedProbeRunner> MakeFusedProbeRunner(
     const FusedProbeSpec& spec, ScanMode scan_mode,
     std::vector<std::unique_ptr<GroupByAggregator>>* shared_partials) {
+  if (spec.fks_c != nullptr) {
+    // Compressed source: the scan-mode axis degenerates (see
+    // FusedProbeSpec::fks_c), so every adaptive mode variant routes to the
+    // same per-ISA compressed pipeline.
+    return std::make_unique<
+        detail::FusedProbeRunnerImpl<kIsa, FusedScanCompressed<kIsa>>>(
+        FusedScanCompressed<kIsa>(spec.fks_c, spec.vals_c, spec.lo, spec.hi),
+        spec, shared_partials);
+  }
   if (scan_mode == ScanMode::kBitmap) {
     return std::make_unique<
         detail::FusedProbeRunnerImpl<kIsa, FusedScanBitmap<kIsa>>>(

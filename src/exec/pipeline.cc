@@ -167,6 +167,165 @@ void ScanOp::Produce(size_t chunk, int lane) {
 }
 
 // ---------------------------------------------------------------------------
+// CompressedScanOp
+// ---------------------------------------------------------------------------
+
+CompressedScanOp::CompressedScanOp(const compress::CompressedColumn* keys,
+                                   const compress::CompressedColumn* vals,
+                                   uint32_t lo, uint32_t hi,
+                                   bool filter_on_vals, ScanMode mode)
+    : keys_(keys),
+      vals_(vals),
+      n_(keys->size()),
+      lo_(lo),
+      hi_(hi),
+      filter_on_vals_(filter_on_vals),
+      mode_(mode) {
+  assert(keys_->size() == vals_->size());
+}
+
+void CompressedScanOp::OpenSource(const ExecConfig& cfg, int lanes) {
+  Operator::OpenSource(cfg, lanes);
+  lanes_.resize(static_cast<size_t>(lanes));
+  for (Lane& l : lanes_) {
+    if (!l.out) l.out = std::make_unique<Chunk>();
+    l.out->Reset(cfg.chunk_tuples, 2);
+    l.key_buf.Reset(compress::PackedCapacity(compress::kBlockTuples));
+    l.val_buf.Reset(compress::PackedCapacity(compress::kBlockTuples));
+    l.key_block = SIZE_MAX;
+    l.val_block = SIZE_MAX;
+  }
+}
+
+void CompressedScanOp::Push(Chunk& c, int lane) {
+  (void)c, (void)lane;
+  assert(false && "CompressedScanOp is a source; nothing pushes into it");
+}
+
+size_t CompressedScanOp::SourceChunks(const ExecConfig& cfg) const {
+  return ChunksFor(n_, cfg);
+}
+
+const uint32_t* CompressedScanOp::Decoded(Lane& l, int which, size_t b,
+                                          Isa isa) {
+  AlignedBuffer<uint32_t>& buf = which == 0 ? l.key_buf : l.val_buf;
+  size_t& cached = which == 0 ? l.key_block : l.val_block;
+  if (cached != b) {
+    const compress::CompressedColumn* col = which == 0 ? keys_ : vals_;
+    col->DecodeBlock(isa, b, buf.data(), buf.size());
+    cached = b;
+  }
+  return buf.data();
+}
+
+void CompressedScanOp::Produce(size_t chunk, int lane) {
+  Lane& l = lanes_[static_cast<size_t>(lane)];
+  Chunk& out = *l.out;
+  {
+    PhaseScope t(g_scan_ns, timed_);
+    AdaptiveOpScope a(cfg_.dispatcher, OpKind::kScan, cfg_.isa, mode_);
+    const size_t begin = chunk * cfg_.chunk_tuples;
+    const size_t sz = std::min(cfg_.chunk_tuples, n_ - begin);
+    a.set_tuples(sz);
+    const compress::CompressedColumn* pred_col =
+        filter_on_vals_ ? vals_ : keys_;
+    const int pc = filter_on_vals_ ? 1 : 0;  // predicate chunk column
+    const int oc = filter_on_vals_ ? 0 : 1;  // carried chunk column
+    const int pred_which = filter_on_vals_ ? 1 : 0;
+    const size_t end = begin + sz;
+    size_t cnt = 0;  // compact-mode output cursor
+    for (size_t pos = begin; pos < end;) {
+      const size_t b = pos / compress::kBlockTuples;
+      const size_t block_base = b * compress::kBlockTuples;
+      const size_t block_rows = pred_col->block_rows(b);
+      const size_t off = pos - block_base;       // into the block
+      const size_t take = std::min(end, block_base + block_rows) - pos;
+      const bool whole_block = take == block_rows;
+      const compress::BlockMeta& m = pred_col->block_meta(b);
+      const compress::BlockClass cls = compress::ClassifyBlock(m, lo_, hi_);
+      if (a.scan_mode() == ScanMode::kCompact) {
+        if (cls == compress::BlockClass::kSkip) {
+          compress::BlocksSkipped().Add(1);
+        } else if (cls == compress::BlockClass::kAllPass) {
+          compress::BlocksAllPass().Add(1);
+          // Every value qualifies: decode becomes the emit, no per-value
+          // predicate evaluation. A whole in-chunk block decodes straight
+          // into the output columns (the PackedCapacity overshoot lands in
+          // the chunk slack); partial overlaps go through the block cache.
+          if (whole_block) {
+            keys_->DecodeBlock(a.isa(), b, out.col(0) + cnt,
+                               ChunkCapacity(out.capacity()) - cnt);
+            vals_->DecodeBlock(a.isa(), b, out.col(1) + cnt,
+                               ChunkCapacity(out.capacity()) - cnt);
+          } else {
+            std::memcpy(out.col(0) + cnt, Decoded(l, 0, b, a.isa()) + off,
+                        take * sizeof(uint32_t));
+            std::memcpy(out.col(1) + cnt, Decoded(l, 1, b, a.isa()) + off,
+                        take * sizeof(uint32_t));
+          }
+          cnt += take;
+        } else {
+          // Mixed block: range-scan the just-unpacked slice with the same
+          // kernel ScanOp uses, appending at the output cursor (input
+          // order is preserved, so the chunk matches the raw scan's).
+          const uint32_t* p = Decoded(l, pred_which, b, a.isa()) + off;
+          const uint32_t* o = Decoded(l, 1 - pred_which, b, a.isa()) + off;
+          cnt += SelectionScan(ScanVariantForIsa(a.isa()), p, o, take, lo_,
+                               hi_, out.col(pc) + cnt, out.col(oc) + cnt,
+                               ChunkCapacity(out.capacity()) - cnt);
+        }
+      } else {
+        // Bitmap mode keeps chunk-relative positions, so every piece lands
+        // at its morsel offset and one predicate pass runs over the chunk
+        // exactly as in ScanOp.
+        const size_t dst = pos - begin;
+        if (cls == compress::BlockClass::kSkip) {
+          compress::BlocksSkipped().Add(1);
+          // Never decode: fill the predicate column with a value from the
+          // block's own domain that fails the predicate (its zone-map
+          // bound on the failing side). The carried column stays
+          // untouched — bits are never set over this piece, and inactive
+          // positions are dead by the bitmap contract.
+          const uint32_t fail = m.max < lo_ ? m.max : m.min;
+          uint32_t* d = out.col(pc) + dst;
+          for (size_t i = 0; i < take; ++i) d[i] = fail;
+          pos += take;
+          continue;
+        }
+        if (cls == compress::BlockClass::kAllPass) {
+          compress::BlocksAllPass().Add(1);
+        }
+        if (whole_block) {
+          keys_->DecodeBlock(a.isa(), b, out.col(0) + dst,
+                             ChunkCapacity(out.capacity()) - dst);
+          vals_->DecodeBlock(a.isa(), b, out.col(1) + dst,
+                             ChunkCapacity(out.capacity()) - dst);
+        } else {
+          std::memcpy(out.col(0) + dst, Decoded(l, 0, b, a.isa()) + off,
+                      take * sizeof(uint32_t));
+          std::memcpy(out.col(1) + dst, Decoded(l, 1, b, a.isa()) + off,
+                      take * sizeof(uint32_t));
+        }
+      }
+      pos += take;
+    }
+    if (a.scan_mode() == ScanMode::kCompact) {
+      out.SetDense(cnt);
+    } else {
+      const size_t set =
+          RangePredicateBitmap(a.isa(), out.col(pc), sz, lo_, hi_,
+                               out.bitmap());
+      out.SetBitmap(sz, set);
+      // Same attribution rule as ScanOp: in adaptive mode the bitmap
+      // variant pays its own compaction inside the timed scope.
+      if (cfg_.dispatcher != nullptr) out.Compact(a.isa());
+    }
+    out.set_seq(chunk);
+  }
+  PushNext(out, lane);
+}
+
+// ---------------------------------------------------------------------------
 // MaterializeOp
 // ---------------------------------------------------------------------------
 

@@ -30,6 +30,7 @@
 
 #include "bloom/bloom_filter.h"
 #include "agg/group_by.h"
+#include "compress/column.h"
 #include "core/isa.h"
 #include "exec/chunk.h"
 #include "hash/linear_probing.h"
@@ -197,6 +198,55 @@ class ScanOp final : public Operator {
   bool filter_on_vals_;
   ScanMode mode_;
   std::vector<std::unique_ptr<Chunk>> out_;  // one per lane
+};
+
+/// Source adapter over compressed base columns (compress/column.h): the
+/// scan-over-compressed front-end. Emits exactly the chunks ScanOp would
+/// emit for the decompressed columns — same grid, same per-chunk contents,
+/// same visibility representation — so a compressed plan is byte-identical
+/// to its raw twin by construction. Per chunk it walks the overlapped
+/// 1024-value blocks and classifies each against the predicate via the
+/// FOR-domain zone map (compress::ClassifyBlock): skipped blocks
+/// contribute nothing without their packed bytes ever being read,
+/// all-pass blocks decode straight into the output with no per-value
+/// predicate evaluation, and mixed blocks decode into per-lane scratch
+/// (cached by block id, so sub-block chunk grids do not re-decode) and run
+/// the ordinary SelectionScan / RangePredicateBitmap kernels on the
+/// just-unpacked values.
+class CompressedScanOp final : public Operator {
+ public:
+  /// Scans (keys, vals) with lo <= x <= hi on the column selected by
+  /// filter_on_vals; columns must be the same length.
+  CompressedScanOp(const compress::CompressedColumn* keys,
+                   const compress::CompressedColumn* vals, uint32_t lo,
+                   uint32_t hi, bool filter_on_vals, ScanMode mode);
+
+  const char* name() const override { return "compressed_scan"; }
+  void OpenSource(const ExecConfig& cfg, int lanes) override;
+  void Push(Chunk& c, int lane) override;  // sources are never pushed into
+  size_t SourceChunks(const ExecConfig& cfg) const override;
+  void Produce(size_t chunk, int lane) override;
+
+ private:
+  struct Lane {
+    std::unique_ptr<Chunk> out;
+    /// One decoded block per column, tagged with its block id: a chunk
+    /// grid finer than the block grid re-reads the same decode.
+    AlignedBuffer<uint32_t> key_buf, val_buf;
+    size_t key_block = SIZE_MAX, val_block = SIZE_MAX;
+  };
+
+  /// Decoded values of block b of the key (which == 0) or val column,
+  /// through the lane's block cache.
+  const uint32_t* Decoded(Lane& l, int which, size_t b, Isa isa);
+
+  const compress::CompressedColumn* keys_;
+  const compress::CompressedColumn* vals_;
+  size_t n_;
+  uint32_t lo_, hi_;
+  bool filter_on_vals_;
+  ScanMode mode_;
+  std::vector<Lane> lanes_;
 };
 
 /// In-place materializer: converts bitmap/selection chunks to dense

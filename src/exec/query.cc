@@ -20,9 +20,14 @@ obs::PhaseTimer g_dynamic_ns("exec_dynamic_ns");
 /// through Chunk staging either way, so the fused path probes the exact
 /// table and Bloom filter the dynamic path builds.
 HashBuildOp* AddBuildPipeline(Query& q, const ScanJoinAggregatePlan& plan) {
-  ScanOp* r_scan = q.Add<ScanOp>(plan.r_keys, plan.r_attrs, plan.n_r,
-                                 plan.r_lo, plan.r_hi,
-                                 /*filter_on_vals=*/false, plan.scan_mode);
+  Operator* r_scan =
+      plan.r_keys_c != nullptr
+          ? static_cast<Operator*>(q.Add<CompressedScanOp>(
+                plan.r_keys_c, plan.r_attrs_c, plan.r_lo, plan.r_hi,
+                /*filter_on_vals=*/false, plan.scan_mode))
+          : q.Add<ScanOp>(plan.r_keys, plan.r_attrs, plan.n_r, plan.r_lo,
+                          plan.r_hi,
+                          /*filter_on_vals=*/false, plan.scan_mode);
   HashBuildOp* build =
       q.Add<HashBuildOp>(plan.bloom_bits_per_key, plan.bloom_k);
   std::vector<Operator*> ops{r_scan};
@@ -42,9 +47,14 @@ QueryResult RunDynamic(const ScanJoinAggregatePlan& plan,
   // -> join probe -> group-by sink. The scan filters on S.val, emitting
   // chunks with col 0 = fk, col 1 = val; the join probe appends col 2 =
   // R.attr; the sink groups col 2 aggregating col 1.
-  ScanOp* s_scan = q.Add<ScanOp>(plan.s_fks, plan.s_vals, plan.n_s, plan.s_lo,
-                                 plan.s_hi,
-                                 /*filter_on_vals=*/true, plan.scan_mode);
+  Operator* s_scan =
+      plan.s_fks_c != nullptr
+          ? static_cast<Operator*>(q.Add<CompressedScanOp>(
+                plan.s_fks_c, plan.s_vals_c, plan.s_lo, plan.s_hi,
+                /*filter_on_vals=*/true, plan.scan_mode))
+          : q.Add<ScanOp>(plan.s_fks, plan.s_vals, plan.n_s, plan.s_lo,
+                          plan.s_hi,
+                          /*filter_on_vals=*/true, plan.scan_mode);
   BloomProbeOp* bloom =
       plan.bloom_bits_per_key > 0 ? q.Add<BloomProbeOp>(build) : nullptr;
   PartitionOp* part = plan.partition_fanout > 0
@@ -94,7 +104,9 @@ QueryResult RunFused(const ScanJoinAggregatePlan& plan, const ExecConfig& cfg) {
   FusedProbeSpec spec;
   spec.fks = plan.s_fks;
   spec.vals = plan.s_vals;
-  spec.n = plan.n_s;
+  spec.fks_c = plan.s_fks_c;
+  spec.vals_c = plan.s_vals_c;
+  spec.n = plan.s_fks_c != nullptr ? plan.s_fks_c->size() : plan.n_s;
   spec.lo = plan.s_lo;
   spec.hi = plan.s_hi;
   spec.scan_mode = plan.scan_mode;

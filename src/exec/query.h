@@ -70,6 +70,17 @@ struct ScanJoinAggregatePlan {
   size_t n_s = 0;
   uint32_t s_lo = 0, s_hi = 0xFFFFFFFFu;
 
+  /// Compressed base tables (compress/column.h). Setting a side's pair
+  /// replaces that side's raw pointers: the plan scans it through the
+  /// scan-over-compressed front-end (CompressedScanOp, or
+  /// FusedScanCompressed on the fused path), the row count comes from the
+  /// columns, and the result stays byte-identical to the raw-column plan.
+  /// Either side may be compressed independently.
+  const compress::CompressedColumn* r_keys_c = nullptr;
+  const compress::CompressedColumn* r_attrs_c = nullptr;
+  const compress::CompressedColumn* s_fks_c = nullptr;
+  const compress::CompressedColumn* s_vals_c = nullptr;
+
   /// kCompact drives the SelectionScan kernels; kBitmap evaluates the
   /// predicate into chunk bitmaps and materializes downstream.
   ScanMode scan_mode = ScanMode::kCompact;

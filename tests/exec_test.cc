@@ -24,6 +24,7 @@
 
 #include "bloom/bloom_filter.h"
 #include "agg/group_by.h"
+#include "compress/column.h"
 #include "core/isa.h"
 #include "exec/chunk.h"
 #include "exec/pipeline.h"
@@ -443,6 +444,86 @@ TEST(ExecQueryTest, PartitionBreakerPreservesResults) {
     cfg.threads = 8;
     const QueryResult got = exec::RunScanJoinAggregate(plan, cfg);
     ExpectMatchesReference(got, want, "fanout=" + std::to_string(fanout));
+  }
+}
+
+TEST(ExecQueryTest, CompressedStorageMatchesRawAcrossMatrix) {
+  // Scan-over-compressed acceptance: the same plan over CompressColumn'd
+  // base tables is byte-identical to the raw-column plan everywhere the
+  // raw matrix runs — ISA x threads x chunk size x scan mode x bloom x
+  // partition breaker — plus edge sizes below/at/above one block.
+  QueryData d(4096, 60'000);
+  const auto r_keys_c = compress::CompressColumn(d.r_keys.data(), d.n_r);
+  const auto r_attrs_c = compress::CompressColumn(d.r_attrs.data(), d.n_r);
+  const auto s_fks_c = compress::CompressColumn(d.s_fks.data(), d.n_s);
+  const auto s_vals_c = compress::CompressColumn(d.s_vals.data(), d.n_s);
+  ScanJoinAggregatePlan raw = d.Plan();
+  ScanJoinAggregatePlan comp = d.Plan();
+  comp.r_keys_c = &r_keys_c;
+  comp.r_attrs_c = &r_attrs_c;
+  comp.s_fks_c = &s_fks_c;
+  comp.s_vals_c = &s_vals_c;
+  for (int bloom : {0, 10}) {
+    for (uint32_t fanout : {0u, 16u}) {
+      raw.bloom_bits_per_key = comp.bloom_bits_per_key = bloom;
+      raw.partition_fanout = comp.partition_fanout = fanout;
+      for (Isa isa : SupportedIsas()) {
+        for (int threads : {1, 8}) {
+          for (size_t chunk : {size_t{257}, size_t{1024}}) {
+            for (ScanMode mode : {ScanMode::kCompact, ScanMode::kBitmap}) {
+              raw.scan_mode = comp.scan_mode = mode;
+              ExecConfig cfg;
+              cfg.isa = isa;
+              cfg.threads = threads;
+              cfg.chunk_tuples = chunk;
+              const QueryResult want = exec::RunScanJoinAggregate(raw, cfg);
+              const QueryResult got = exec::RunScanJoinAggregate(comp, cfg);
+              const std::string label =
+                  "compressed " + std::string(IsaName(isa)) + " t=" +
+                  std::to_string(threads) + " c=" + std::to_string(chunk) +
+                  " m=" + (mode == ScanMode::kBitmap ? "bitmap" : "compact") +
+                  " b=" + std::to_string(bloom) +
+                  " f=" + std::to_string(fanout);
+              ExpectIdentical(got, want, label);
+              EXPECT_EQ(got.rows_scanned, want.rows_scanned) << label;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ExecQueryTest, CompressedStorageEdgeSizes) {
+  // Sizes straddling the 1024-value block boundary, a one-side-compressed
+  // plan (R raw, S compressed), and chunk sizes that split blocks.
+  const std::pair<size_t, size_t> shapes[] = {
+      {0, 0}, {5, 1}, {16, 1023}, {1024, 1024}, {7, 4097}};
+  for (auto [nr, ns] : shapes) {
+    QueryData d(nr, ns);
+    const auto s_fks_c = compress::CompressColumn(d.s_fks.data(), d.n_s);
+    const auto s_vals_c = compress::CompressColumn(d.s_vals.data(), d.n_s);
+    ScanJoinAggregatePlan raw = d.Plan();
+    raw.s_hi = 999'999;
+    ScanJoinAggregatePlan comp = raw;
+    comp.s_fks_c = &s_fks_c;
+    comp.s_vals_c = &s_vals_c;
+    const auto want = MapReference(d, raw);
+    for (size_t chunk : {size_t{1}, size_t{64}, size_t{1023}}) {
+      for (ScanMode mode : {ScanMode::kCompact, ScanMode::kBitmap}) {
+        raw.scan_mode = comp.scan_mode = mode;
+        ExecConfig cfg;
+        cfg.isa = SupportedIsas().back();
+        cfg.threads = 8;
+        cfg.chunk_tuples = chunk;
+        const std::string label = "nr=" + std::to_string(nr) +
+                                  " ns=" + std::to_string(ns) +
+                                  " c=" + std::to_string(chunk);
+        const QueryResult got = exec::RunScanJoinAggregate(comp, cfg);
+        ExpectMatchesReference(got, want, label);
+        ExpectIdentical(got, exec::RunScanJoinAggregate(raw, cfg), label);
+      }
+    }
   }
 }
 

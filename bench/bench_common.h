@@ -67,13 +67,11 @@ inline std::map<std::string, uint64_t>& ExcludedMetricDeltas() {
 
 /// Absolute registry values right now (empty while metrics are off). Pair
 /// with AccumulateExcludedSince around side-work inside PauseTiming.
+/// Thin alias over obs::SnapshotMap — the snapshot/delta primitives moved
+/// into the library (obs/metrics.h) so the server's per-query accounting
+/// and the bench harness share one implementation.
 inline std::map<std::string, uint64_t> MetricsSnapshotNow() {
-  std::map<std::string, uint64_t> snap;
-  if (!obs::MetricsEnabled()) return snap;
-  for (const obs::MetricSample& s : obs::MetricsRegistry::Get().Snapshot()) {
-    snap[s.name] = s.value;
-  }
-  return snap;
+  return obs::SnapshotMap();
 }
 
 /// Marks everything the registry accumulated since `before` as side-work to
@@ -81,17 +79,9 @@ inline std::map<std::string, uint64_t> MetricsSnapshotNow() {
 /// caller can re-export chosen ones under an explicit side-channel name.
 inline std::map<std::string, uint64_t> AccumulateExcludedSince(
     const std::map<std::string, uint64_t>& before) {
-  std::map<std::string, uint64_t> deltas;
-  if (!obs::MetricsEnabled()) return deltas;
+  std::map<std::string, uint64_t> deltas = obs::DeltaSince(before);
   auto& excluded = ExcludedMetricDeltas();
-  for (const obs::MetricSample& s : obs::MetricsRegistry::Get().Snapshot()) {
-    auto it = before.find(s.name);
-    const uint64_t b = it == before.end() ? 0 : it->second;
-    if (s.value > b) {
-      deltas[s.name] = s.value - b;
-      excluded[s.name] += s.value - b;
-    }
-  }
+  for (const auto& [name, d] : deltas) excluded[name] += d;
   return deltas;
 }
 

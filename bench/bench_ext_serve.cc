@@ -1,0 +1,182 @@
+// Extension benchmark: sustained concurrent serving through src/server/.
+// N client threads each own a QuerySession against one process-wide Catalog
+// and QueryScheduler; every iteration is one wave — each client submits one
+// Q3-shaped query (its own disjoint value window over the shared fact
+// table) and blocks for the ResultSet. The axes:
+//
+//   clients {8, 64} x executor threads {1, 8} x shared scans {off, on}
+//
+// With shared scans off every query runs its own full sweep of S; with them
+// on the scheduler gathers the wave (shared_gather_hint = clients) and one
+// member sweeps S once for the whole group, each member's skip-empty chain
+// consuming only its window's chunk band. The fact table's value column is
+// sequential, so the per-client windows are contiguous disjoint chunk bands
+// — the clustered shape table sharing exists for.
+//
+// Per-row counters beyond the registry deltas:
+//
+//   qps                queries completed per second of wall time
+//   p50_ns / p99_ns    per-query latency percentiles over the whole run
+//                      (Execute call, admission wait included)
+//   min_query_morsels  MIN over queries of stats.morsels_drained — the
+//                      no-starvation observable the baseline gate holds
+//                      >= 1 (shared rows report the group sweep's total)
+//   queries_completed  total ResultSets with ok = true (waves x clients)
+//
+// The reported Gtps counts logical tuples served (clients x |S| per wave):
+// by that yardstick a shared sweep's win is mechanical — one scan feeds N
+// answers — and the chunks_pushed registry delta is what the cross-row
+// gate compares (shared rows must push well under half the chunks of their
+// unshared counterpart).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "exec/query.h"
+#include "server/catalog.h"
+#include "server/scheduler.h"
+#include "server/session.h"
+
+namespace simddb::bench {
+namespace {
+
+constexpr size_t kRTuples = size_t{64} << 10;  // dimension: 64K rows
+constexpr size_t kSTuples = size_t{1} << 20;   // fact: 1M rows
+
+/// The process-wide catalog a serving process would load at startup:
+/// R(pk, attr) with unique sequential keys, S(fk, val) with val = row
+/// position (clustered: a value window is a contiguous chunk band).
+const server::Catalog& ServeCatalog() {
+  static server::Catalog* catalog = [] {
+    auto* c = new server::Catalog();
+    AlignedBuffer<uint32_t> r_keys(kRTuples + 16), r_attrs(kRTuples + 16);
+    FillSequential(r_keys.data(), kRTuples, 1);
+    FillUniform(r_attrs.data(), kRTuples, 5, 1, 1024);
+    c->RegisterTable("R", r_keys.data(), r_attrs.data(), kRTuples);
+    AlignedBuffer<uint32_t> s_fks(kSTuples + 16), s_vals(kSTuples + 16);
+    FillUniform(s_fks.data(), kSTuples, 6, 1,
+                static_cast<uint32_t>(kRTuples));
+    FillSequential(s_vals.data(), kSTuples, 0);
+    c->RegisterTable("S", s_fks.data(), s_vals.data(), kSTuples);
+    return c;
+  }();
+  return *catalog;
+}
+
+/// Client i of `clients` probes its own disjoint window of the fact table.
+server::QuerySpec ClientSpec(int i, int clients) {
+  server::QuerySpec spec;
+  spec.build_table = "R";
+  spec.probe_table = "S";
+  spec.r_lo = 1;
+  spec.r_hi = static_cast<uint32_t>((3 * kRTuples) / 4);
+  const uint32_t w = static_cast<uint32_t>(kSTuples / clients);
+  spec.s_lo = static_cast<uint32_t>(i) * w;
+  spec.s_hi = spec.s_lo + w - 1;
+  spec.max_groups_hint = 2048;
+  return spec;
+}
+
+void BM_Serve(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const bool shared = state.range(2) != 0;
+
+  const server::Catalog& catalog = ServeCatalog();
+  server::SchedulerOptions opts;
+  opts.shared_scans = shared;
+  // Waves are synchronized below, so the whole wave gathers into one group;
+  // the timeout is a liveness backstop, not the close signal.
+  opts.shared_gather_hint = static_cast<size_t>(clients);
+  opts.shared_gather_timeout_ns = 100'000'000;
+  server::QueryScheduler sched(&catalog, opts);
+
+  exec::ExecConfig cfg;
+  cfg.threads = threads;
+  // Dynamic chains on both sides of the shared axis: the shared sweep is a
+  // dynamic chain by construction, and identical executors keep the
+  // chunks_pushed comparison structural.
+  cfg.pipeline_mode = exec::PipelineMode::kDynamic;
+
+  std::vector<uint64_t> latencies_ns;
+  latencies_ns.reserve(64 * static_cast<size_t>(clients));
+  uint64_t completed = 0;
+  uint64_t min_morsels = ~uint64_t{0};
+
+  for (auto _ : state) {
+    std::vector<server::ResultSet> results(clients);
+    std::vector<uint64_t> wave_ns(clients);
+    std::atomic<int> ready{0};
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (int i = 0; i < clients; ++i) {
+      workers.emplace_back([&, i] {
+        server::QuerySession session(&catalog, &sched);
+        const server::QuerySpec spec = ClientSpec(i, clients);
+        ready.fetch_add(1);
+        while (ready.load() < clients) std::this_thread::yield();
+        const uint64_t t0 = obs::NowNs();
+        results[i] = session.Execute(spec, cfg);
+        wave_ns[i] = obs::NowNs() - t0;
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (int i = 0; i < clients; ++i) {
+      if (!results[i].ok) {
+        state.SkipWithError(("query failed: " + results[i].error).c_str());
+        return;
+      }
+      ++completed;
+      latencies_ns.push_back(wave_ns[i]);
+      min_morsels = std::min(min_morsels, results[i].stats.morsels_drained);
+    }
+  }
+
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  auto pct = [&](double p) {
+    if (latencies_ns.empty()) return uint64_t{0};
+    const size_t at = std::min(
+        latencies_ns.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(latencies_ns.size())));
+    return latencies_ns[at];
+  };
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(clients), benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["p50_ns"] = benchmark::Counter(static_cast<double>(pct(0.50)));
+  state.counters["p99_ns"] = benchmark::Counter(static_cast<double>(pct(0.99)));
+  state.counters["min_query_morsels"] = benchmark::Counter(
+      static_cast<double>(completed > 0 ? min_morsels : 0));
+  state.counters["queries_completed"] =
+      benchmark::Counter(static_cast<double>(completed));
+  // Logical serving throughput: every query answers over the whole fact
+  // table's key space, so a wave serves clients x |S| tuples.
+  SetTuplesPerSecond(state,
+                     static_cast<double>(kSTuples) * static_cast<double>(clients));
+  state.SetLabel(std::string(shared ? "serve_shared" : "serve_solo") +
+                 " clients=" + std::to_string(clients) +
+                 " threads=" + std::to_string(threads) +
+                 " shared=" + (shared ? "1" : "0"));
+}
+
+// {clients, threads, shared}. Solo/shared pairs register adjacently per
+// (clients, threads) cell so the chunks_pushed comparison measures them
+// seconds apart. Fixed iterations keep the counter totals comparable
+// across the shared axis (same number of waves on both sides).
+BENCHMARK(BM_Serve)
+    ->ArgsProduct({{8}, {1}, {0, 1}})
+    ->ArgsProduct({{8}, {8}, {0, 1}})
+    ->ArgsProduct({{64}, {1}, {0, 1}})
+    ->ArgsProduct({{64}, {8}, {0, 1}})
+    ->Iterations(10)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace simddb::bench
+
+SIMDDB_BENCH_MAIN();

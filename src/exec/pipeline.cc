@@ -163,6 +163,7 @@ void ScanOp::Produce(size_t chunk, int lane) {
     }
     out.set_seq(chunk);
   }
+  if (skip_empty_ && out.active() == 0) return;
   PushNext(out, lane);
 }
 

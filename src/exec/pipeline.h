@@ -190,6 +190,15 @@ class ScanOp final : public Operator {
   size_t SourceChunks(const ExecConfig& cfg) const override;
   void Produce(size_t chunk, int lane) override;
 
+  /// Opt-in: drop chunks with zero qualifying tuples instead of pushing
+  /// them through the chain. Results are unchanged (empty chunks are no-ops
+  /// for every downstream operator), but each member of a shared sweep
+  /// (exec/shared_scan.h) only pays per-chunk downstream cost where its
+  /// predicate actually selects something — the `chunks_pushed` reduction
+  /// the serving bench gates on. Off by default: solo pipelines keep the
+  /// historical all-chunks behavior that existing bench gates pin.
+  void set_skip_empty(bool v) { skip_empty_ = v; }
+
  private:
   const uint32_t* keys_;
   const uint32_t* vals_;
@@ -197,6 +206,7 @@ class ScanOp final : public Operator {
   uint32_t lo_, hi_;
   bool filter_on_vals_;
   ScanMode mode_;
+  bool skip_empty_ = false;
   std::vector<std::unique_ptr<Chunk>> out_;  // one per lane
 };
 

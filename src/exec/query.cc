@@ -15,10 +15,11 @@ namespace {
 obs::PhaseTimer g_fused_ns("exec_fused_ns");
 obs::PhaseTimer g_dynamic_ns("exec_dynamic_ns");
 
-/// Pipeline 0 of every plan: R scan -> [materialize] -> hash build
-/// (breaker). Shared by both executor paths — the build side materializes
-/// through Chunk staging either way, so the fused path probes the exact
-/// table and Bloom filter the dynamic path builds.
+}  // namespace
+
+// Pipeline 0 of every plan — the build side materializes through Chunk
+// staging on both executor paths, so the fused path probes the exact table
+// and Bloom filter the dynamic path builds.
 HashBuildOp* AddBuildPipeline(Query& q, const ScanJoinAggregatePlan& plan) {
   Operator* r_scan =
       plan.r_keys_c != nullptr
@@ -36,6 +37,8 @@ HashBuildOp* AddBuildPipeline(Query& q, const ScanJoinAggregatePlan& plan) {
   q.AddPipeline(std::move(ops));
   return build;
 }
+
+namespace {
 
 QueryResult RunDynamic(const ScanJoinAggregatePlan& plan,
                        const ExecConfig& cfg) {

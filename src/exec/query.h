@@ -113,6 +113,12 @@ struct QueryResult {
   bool used_fused = false;
 };
 
+/// Appends the plan's build pipeline to `q`: R scan -> [materialize] ->
+/// hash build (breaker), and returns the breaker. Shared by RunDynamic,
+/// RunFused, and external drivers that assemble probe sides themselves
+/// (exec/shared_scan.h).
+HashBuildOp* AddBuildPipeline(Query& q, const ScanJoinAggregatePlan& plan);
+
 /// True when a fused instantiation exists for the plan's probe-side shape:
 /// scan -> [bloom] -> join probe -> group-by, in either scan mode, on any
 /// ISA. A partition barrier breaks the stream mid-pipeline, so partitioned

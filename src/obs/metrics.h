@@ -27,10 +27,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 namespace simddb::obs {
+
+class QueryMetricSink;
 
 /// True when the build forces metrics on (-DSIMDDB_METRICS=ON); runtime
 /// EnableMetrics(false) cannot turn them off in such a build.
@@ -44,6 +49,13 @@ inline constexpr bool kMetricsForced =
 namespace detail {
 extern std::atomic<bool> g_enabled;  // initialized from SIMDDB_METRICS env
 uint32_t ThisThreadShard();          // stable per-thread shard index
+
+/// Attribution sink of the current thread (see QueryMetricSink). Plain
+/// thread_local pointer: one load + predictable branch on the metrics-on
+/// path, nothing when metrics are off.
+extern thread_local QueryMetricSink* g_tls_sink;
+
+void SinkAdd(uint32_t id, uint64_t delta);  // adds to g_tls_sink if set
 }  // namespace detail
 
 /// One relaxed load + branch: the gate every instrument checks first.
@@ -87,9 +99,12 @@ class Counter {
   }
 
   /// Ungated add, for call sites that already checked MetricsEnabled().
+  /// Also credits the calling thread's attribution sink, if one is scoped
+  /// (per-query counter isolation — see QueryMetricSink).
   void AddAlways(uint64_t delta) {
     shards_[detail::ThisThreadShard() & (kShards - 1)].v.fetch_add(
         delta, std::memory_order_relaxed);
+    if (detail::g_tls_sink != nullptr) detail::SinkAdd(id_, delta);
   }
 
   /// Sum over all shards (racy-consistent snapshot, fine for reporting).
@@ -99,12 +114,16 @@ class Counter {
 
   const char* name() const { return name_; }
 
+  /// Dense registry-assigned instrument id (QueryMetricSink slot index).
+  uint32_t id() const { return id_; }
+
  private:
   static constexpr uint32_t kShards = 32;  // power of two
   struct alignas(64) Shard {
     std::atomic<uint64_t> v{0};
   };
   const char* name_;
+  uint32_t id_;
   Shard shards_[kShards];
 };
 
@@ -123,6 +142,7 @@ class PhaseTimer {
   void RecordAlways(uint64_t ns) {
     total_ns_.fetch_add(ns, std::memory_order_relaxed);
     calls_.fetch_add(1, std::memory_order_relaxed);
+    if (detail::g_tls_sink != nullptr) detail::SinkAdd(id_, ns);
   }
 
   uint64_t TotalNs() const {
@@ -132,9 +152,11 @@ class PhaseTimer {
   void Reset();
 
   const char* name() const { return name_; }
+  uint32_t id() const { return id_; }
 
  private:
   const char* name_;
+  uint32_t id_;
   std::atomic<uint64_t> total_ns_{0};
   std::atomic<uint64_t> calls_{0};
 };
@@ -168,16 +190,26 @@ struct MetricSample {
 
 /// Process-wide directory of every Counter/PhaseTimer. Instruments register
 /// themselves at static-init time; the bench harness snapshots between
-/// cases to attribute deltas to each JSONL row.
+/// cases to attribute deltas to each JSONL row. Registration also assigns
+/// each instrument a dense id — the slot index QueryMetricSink accumulates
+/// under.
 class MetricsRegistry {
  public:
   static MetricsRegistry& Get();
 
-  void Register(Counter* c);
-  void Register(PhaseTimer* t);
+  /// Returns the instrument's dense id (registration order, one id space
+  /// shared by counters and timers).
+  uint32_t Register(Counter* c);
+  uint32_t Register(PhaseTimer* t);
 
   /// All counters then all timers, in registration order.
   std::vector<MetricSample> Snapshot() const;
+
+  /// Instruments registered so far (== the id ceiling).
+  size_t InstrumentCount() const;
+
+  /// Name of the instrument with dense id `id` (nullptr if out of range).
+  const char* InstrumentName(uint32_t id) const;
 
   /// Zeroes every registered instrument (start of a measured region).
   void ResetAll();
@@ -187,7 +219,80 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::vector<Counter*> counters_;
   std::vector<PhaseTimer*> timers_;
+  std::vector<const char*> names_by_id_;  // dense id -> name
 };
+
+// ---------------------------------------------------------------------------
+// Per-query attribution
+// ---------------------------------------------------------------------------
+
+/// Concurrency-safe per-query accumulator: every AddAlways/RecordAlways on a
+/// thread whose tls sink points here is *also* credited to the matching slot
+/// of this sink. The TaskPool forwards the submitting thread's sink to the
+/// worker lanes of each dispatch, so a query's sink sees exactly the work
+/// done on the query's behalf — concurrent queries cannot bleed into each
+/// other the way raw registry snapshot-deltas do (the registry is global;
+/// two overlapping queries' deltas are inseparable there).
+///
+/// Sized at construction to the instruments registered so far; instruments
+/// registered later are silently not attributed (all library instruments
+/// register at static init, so this only affects late test-local ones).
+class QueryMetricSink {
+ public:
+  QueryMetricSink();
+
+  void Add(uint32_t id, uint64_t delta) {
+    if (id < n_) slots_[id].fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Accumulated value under the instrument named `name` (0 if unknown).
+  uint64_t ValueOf(const char* name) const;
+
+  /// Every nonzero slot as (name, value), in id order.
+  std::vector<MetricSample> Samples() const;
+
+ private:
+  size_t n_;
+  std::unique_ptr<std::atomic<uint64_t>[]> slots_;
+};
+
+/// The calling thread's current attribution sink (nullptr when unscoped).
+inline QueryMetricSink* CurrentMetricSink() { return detail::g_tls_sink; }
+
+/// RAII: routes this thread's instrument updates into `sink` (in addition
+/// to the global shards) for the scope's lifetime; restores the previous
+/// sink on exit. Pool dispatches started inside the scope extend it to the
+/// participating worker lanes.
+class ScopedMetricSink {
+ public:
+  explicit ScopedMetricSink(QueryMetricSink* sink) : prev_(detail::g_tls_sink) {
+    detail::g_tls_sink = sink;
+  }
+  ~ScopedMetricSink() { detail::g_tls_sink = prev_; }
+
+  ScopedMetricSink(const ScopedMetricSink&) = delete;
+  ScopedMetricSink& operator=(const ScopedMetricSink&) = delete;
+
+ private:
+  QueryMetricSink* prev_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry snapshot/delta helpers
+// ---------------------------------------------------------------------------
+
+/// Absolute registry values right now, as a name -> value map (empty while
+/// metrics are off). The serial-measurement primitive: pair with DeltaSince
+/// around a region to attribute its registry growth. For *concurrent*
+/// attribution use QueryMetricSink — a global snapshot cannot separate two
+/// overlapping queries.
+std::map<std::string, uint64_t> SnapshotMap();
+
+/// Per-name growth of the registry since `before` (names that did not grow
+/// are omitted). Thread-safe; both sides are racy-consistent sums, fine for
+/// reporting and gating.
+std::map<std::string, uint64_t> DeltaSince(
+    const std::map<std::string, uint64_t>& before);
 
 }  // namespace simddb::obs
 

@@ -1,0 +1,56 @@
+#include "server/catalog.h"
+
+#include <cstring>
+
+namespace simddb::server {
+
+const Table* Catalog::RegisterTable(const std::string& name,
+                                    const uint32_t* keys, const uint32_t* vals,
+                                    size_t rows, const TableOptions& opts) {
+  // Copy and (optionally) compress outside the lock: registration is a
+  // load-time operation, but a slow compress must not block lookups from
+  // sessions already serving other tables.
+  auto table = std::unique_ptr<Table>(new Table());
+  table->schema_.name = name;
+  table->schema_.key_column = opts.key_column;
+  table->schema_.val_column = opts.val_column;
+  table->schema_.rows = rows;
+  table->schema_.compressed = opts.compress;
+  table->keys_.Reset(rows + 16);  // scan kernels may overshoot one vector
+  table->vals_.Reset(rows + 16);
+  if (rows > 0) {
+    std::memcpy(table->keys_.data(), keys, rows * sizeof(uint32_t));
+    std::memcpy(table->vals_.data(), vals, rows * sizeof(uint32_t));
+  }
+  if (opts.compress) {
+    table->keys_c_ = std::make_unique<compress::CompressedColumn>(
+        compress::CompressColumn(keys, rows, opts.threads, opts.placement));
+    table->vals_c_ = std::make_unique<compress::CompressedColumn>(
+        compress::CompressColumn(vals, rows, opts.threads, opts.placement));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tables_.emplace(name, std::move(table));
+  return inserted ? it->second.get() : nullptr;
+}
+
+const Table* Catalog::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) names.push_back(name);
+  return names;
+}
+
+size_t Catalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.size();
+}
+
+}  // namespace simddb::server

@@ -1,0 +1,164 @@
+#ifndef SIMDDB_SERVER_SCHEDULER_H_
+#define SIMDDB_SERVER_SCHEDULER_H_
+
+// Inter-query scheduling for the serving layer.
+//
+// QueryScheduler::Run is the one entry point every QuerySession funnels
+// through. Per query it:
+//
+//   1. binds the named-table QuerySpec against the Catalog into the
+//      executor's ScanJoinAggregatePlan;
+//   2. passes the admission gate — at most `max_inflight` queries execute
+//      concurrently (SIMDDB_MAX_INFLIGHT, or the explicit option); excess
+//      arrivals either block in FIFO-ish cv order (kBlock) or are rejected
+//      immediately (kReject);
+//   3. registers a TaskPool query tag and runs the plan under
+//      TaskPool::QueryTagScope, so every morsel the query dispatches is
+//      weighted-fair-scheduled against other in-flight queries and counted
+//      toward the tag (QueryStats::morsels_drained — the no-starvation
+//      observable);
+//   4. scopes an obs::QueryMetricSink to the execution, so the per-query
+//      counters/timers in QueryStats::metrics contain exactly this query's
+//      share of the global instruments, with no cross-query bleed;
+//   5. optionally joins a *shared-scan gather*: concurrent queries probing
+//      the same catalog table (same ExecConfig shape) collect into a group
+//      — closed when `shared_gather_hint` members arrived or after
+//      `shared_gather_timeout_ns` — and one member (the closer) runs a
+//      single sweep feeding every member's pipeline (exec/shared_scan.h);
+//      the rest wait and receive their own byte-identical results.
+//
+// Aborted queries (AbortQueryTag, pool teardown) unwind with
+// TaskPool::QueryAborted at the next quantum boundary; Run converts that
+// into ResultSet{ok = false, stats.aborted = true} and always releases the
+// admission slot and tag — an aborted query drains cleanly.
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/query.h"
+#include "server/catalog.h"
+
+namespace simddb::server {
+
+/// A query over named catalog tables: build relation R(pk, attr) filtered
+/// by pk in [r_lo, r_hi], probe relation S(fk, val) filtered by val in
+/// [s_lo, s_hi], joined on S.fk = R.pk, grouped by R.attr. The named-table
+/// twin of exec::ScanJoinAggregatePlan.
+struct QuerySpec {
+  std::string build_table;  ///< R: key column joined, val column grouped
+  uint32_t r_lo = 0, r_hi = 0xFFFFFFFFu;
+  std::string probe_table;  ///< S: key column joined, val column filtered
+  uint32_t s_lo = 0, s_hi = 0xFFFFFFFFu;
+
+  exec::ScanMode scan_mode = exec::ScanMode::kCompact;
+  int bloom_bits_per_key = 0;
+  int bloom_k = 4;
+  uint32_t partition_fanout = 0;
+  size_t max_groups_hint = 1024;
+  /// Bind the compressed representation when the table has one.
+  bool prefer_compressed = false;
+};
+
+/// Per-query execution accounting.
+struct QueryStats {
+  uint64_t tag = 0;             ///< TaskPool query tag this run used
+  uint64_t queue_wait_ns = 0;   ///< time blocked in the admission gate
+  uint64_t exec_ns = 0;         ///< wall time inside the executor
+  /// Tasks the TaskPool drained for this query (>= 1 for any nonempty
+  /// plan — the no-starvation observable). For a shared-scan group every
+  /// member reports the group's sweep total: the sweep ran once on all
+  /// members' behalf.
+  uint64_t morsels_drained = 0;
+  bool shared_scan = false;  ///< served by a shared sweep
+  bool aborted = false;      ///< unwound via QueryAborted
+  bool rejected = false;     ///< refused by the admission gate (kReject)
+  /// This query's share of every obs instrument (name -> delta), captured
+  /// via a scoped QueryMetricSink. Empty while metrics are off, and for
+  /// shared-scan followers (the closer's sink sees the sweep).
+  std::map<std::string, uint64_t> metrics;
+};
+
+/// What a session gets back: canonical result rows plus accounting.
+struct ResultSet {
+  bool ok = false;
+  std::string error;  ///< bind / admission / abort reason when !ok
+  exec::QueryResult result;
+  QueryStats stats;
+};
+
+/// What the admission gate does with arrivals beyond max_inflight.
+enum class AdmissionPolicy { kBlock, kReject };
+
+struct SchedulerOptions {
+  /// Concurrent-query bound; 0 reads SIMDDB_MAX_INFLIGHT from the
+  /// environment (unset or 0 there means unbounded).
+  int max_inflight = 0;
+  AdmissionPolicy policy = AdmissionPolicy::kBlock;
+
+  /// Enable shared-scan gathers for eligible plans (raw probe table, no
+  /// partition barrier).
+  bool shared_scans = false;
+  /// Close a gather as soon as this many members joined (0: timeout only).
+  /// Deterministic tests set it to the known concurrent-client count.
+  size_t shared_gather_hint = 0;
+  /// A member that waited this long closes the gather with whoever joined
+  /// so far — liveness when fewer than shared_gather_hint queries arrive.
+  uint64_t shared_gather_timeout_ns = 2'000'000;
+};
+
+/// Binds a QuerySpec against the catalog. False (with *error set) when a
+/// table is unknown or a compressed representation was asked of a table
+/// that has none.
+bool BindQuery(const Catalog& catalog, const QuerySpec& spec,
+               exec::ScanJoinAggregatePlan* plan, std::string* error);
+
+class QueryScheduler {
+ public:
+  explicit QueryScheduler(const Catalog* catalog,
+                          const SchedulerOptions& opts = {});
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// Executes the spec end to end (see file comment). Thread-safe: many
+  /// session threads call concurrently. `weight` biases the fair gate
+  /// (weight 2 receives ~2x the morsel share of weight 1 under load).
+  ResultSet Run(const QuerySpec& spec, const exec::ExecConfig& cfg,
+                uint64_t weight = 1);
+
+  int max_inflight() const { return max_inflight_; }
+  uint64_t queries_completed() const;
+  uint64_t queries_rejected() const;
+
+ private:
+  struct Gather;
+
+  bool Admit(uint64_t* waited_ns);
+  void Release();
+  exec::QueryResult RunShared(const std::string& key,
+                              const exec::ScanJoinAggregatePlan& plan,
+                              const exec::ExecConfig& cfg, uint64_t tag,
+                              QueryStats* stats);
+
+  const Catalog* catalog_;
+  SchedulerOptions opts_;
+  int max_inflight_;
+
+  mutable std::mutex admit_mu_;
+  std::condition_variable admit_cv_;
+  int inflight_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t rejected_ = 0;
+
+  std::mutex gathers_mu_;
+  std::map<std::string, std::shared_ptr<Gather>> gathers_;
+};
+
+}  // namespace simddb::server
+
+#endif  // SIMDDB_SERVER_SCHEDULER_H_

@@ -1,0 +1,17 @@
+#include "server/session.h"
+
+namespace simddb::server {
+
+ResultSet QuerySession::Execute(const QuerySpec& spec,
+                                const exec::ExecConfig& cfg, uint64_t weight) {
+  ++submitted_;
+  return scheduler_->Run(spec, cfg, weight);
+}
+
+bool QuerySession::Bind(const QuerySpec& spec,
+                        exec::ScanJoinAggregatePlan* plan,
+                        std::string* error) const {
+  return BindQuery(*catalog_, spec, plan, error);
+}
+
+}  // namespace simddb::server

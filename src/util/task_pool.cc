@@ -22,6 +22,7 @@ obs::Counter g_morsels("morsels");          // tasks executed via ParallelFor
 obs::Counter g_inline_runs("inline_runs");  // jobs run inline on the caller
 obs::Counter g_dispatches("dispatches");    // pooled job dispatches
 obs::Counter g_range_splits("range_splits");  // oversized-range sub-dispatches
+obs::Counter g_fair_quanta("fair_quanta");  // quanta granted by the fair gate
 obs::Counter g_barrier_wait_ns("barrier_wait_ns");
 
 // True while the current thread is executing inside a pool job (workers
@@ -34,6 +35,11 @@ struct InJobScope {
   InJobScope() { tls_in_pool_job = true; }
   ~InJobScope() { tls_in_pool_job = false; }
 };
+
+// Query tag of the current (submitting) thread; 0 = untagged. Set by
+// TaskPool::QueryTagScope around a query's execution, read at every
+// ParallelFor/ParallelPhases entry to route through the fair gate.
+thread_local uint64_t tls_query_tag = 0;
 
 constexpr uint64_t PackRange(uint32_t begin, uint32_t end) {
   return (static_cast<uint64_t>(begin) << 32) | end;
@@ -109,12 +115,190 @@ int TaskPool::LaneCount(size_t n_tasks, int max_workers) {
 }
 
 TaskPool::~TaskPool() {
+  // Abort every still-registered query tag first: a client thread parked in
+  // AcquireQuantum unwinds with QueryAborted instead of waiting on a pool
+  // that is tearing down, and its queued-but-unstarted quanta are simply
+  // never dispatched (the drain is clean by construction — quanta are
+  // sliced lazily on the submitting thread, nothing sits in lane deques
+  // between dispatches).
+  {
+    std::lock_guard<std::mutex> lock(fair_mu_);
+    fair_shutdown_ = true;
+    for (auto& [tag, st] : tags_) st.aborted = true;
+  }
+  fair_cv_.notify_all();
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+TaskPool::QueryTagScope::QueryTagScope(uint64_t tag) : prev_(tls_query_tag) {
+  tls_query_tag = tag;
+}
+
+TaskPool::QueryTagScope::~QueryTagScope() { tls_query_tag = prev_; }
+
+uint64_t TaskPool::RegisterQueryTag(uint64_t weight) {
+  std::lock_guard<std::mutex> lock(fair_mu_);
+  const uint64_t tag = next_query_tag_++;
+  TagState st;
+  st.weight = weight < 1 ? 1 : weight;
+  // Join at the minimum live vtime: a newcomer neither inherits the debt of
+  // long-running peers (it would monopolize) nor starts at 0 against peers
+  // with accumulated vtime (it would starve them).
+  uint64_t min_vtime = UINT64_MAX;
+  for (const auto& [t, s] : tags_) {
+    if (s.vtime < min_vtime) min_vtime = s.vtime;
+  }
+  st.vtime = min_vtime == UINT64_MAX ? 0 : min_vtime;
+  tags_.emplace(tag, st);
+  return tag;
+}
+
+void TaskPool::UnregisterQueryTag(uint64_t tag) {
+  {
+    std::lock_guard<std::mutex> lock(fair_mu_);
+    tags_.erase(tag);
+  }
+  // Waiters recompute BestWaitingTag against the shrunk set.
+  fair_cv_.notify_all();
+}
+
+void TaskPool::AbortQueryTag(uint64_t tag) {
+  {
+    std::lock_guard<std::mutex> lock(fair_mu_);
+    auto it = tags_.find(tag);
+    if (it == tags_.end()) return;
+    it->second.aborted = true;
+  }
+  fair_cv_.notify_all();
+}
+
+uint64_t TaskPool::QueryTagMorsels(uint64_t tag) {
+  std::lock_guard<std::mutex> lock(fair_mu_);
+  auto it = tags_.find(tag);
+  return it == tags_.end() ? 0 : it->second.morsels;
+}
+
+size_t TaskPool::RegisteredQueryTags() {
+  std::lock_guard<std::mutex> lock(fair_mu_);
+  return tags_.size();
+}
+
+uint64_t TaskPool::BestWaitingTag() const {
+  uint64_t best_tag = 0;
+  uint64_t best_vtime = UINT64_MAX;
+  for (const auto& [tag, st] : tags_) {
+    if (!st.waiting || st.aborted) continue;
+    if (st.vtime < best_vtime || (st.vtime == best_vtime && tag < best_tag)) {
+      best_tag = tag;
+      best_vtime = st.vtime;
+    }
+  }
+  return best_tag;
+}
+
+void TaskPool::ThrowIfTagAborted(uint64_t tag) {
+  std::lock_guard<std::mutex> lock(fair_mu_);
+  auto it = tags_.find(tag);
+  if (fair_shutdown_ || (it != tags_.end() && it->second.aborted)) {
+    throw QueryAborted{tag};
+  }
+}
+
+size_t TaskPool::AcquireQuantum(uint64_t tag, size_t remaining) {
+  std::unique_lock<std::mutex> lock(fair_mu_);
+  auto it = tags_.find(tag);
+  if (it == tags_.end()) {
+    // Unknown (already unregistered) tag: no fairness state to maintain,
+    // behave like an untagged dispatch.
+    return remaining < kMaxTasksPerDispatch ? remaining
+                                            : kMaxTasksPerDispatch;
+  }
+  if (fair_shutdown_ || it->second.aborted) throw QueryAborted{tag};
+  it->second.waiting = true;
+  fair_cv_.wait(lock, [&] {
+    return fair_shutdown_ || it->second.aborted ||
+           (fair_busy_tag_ == 0 && BestWaitingTag() == tag);
+  });
+  it->second.waiting = false;
+  if (fair_shutdown_ || it->second.aborted) throw QueryAborted{tag};
+  fair_busy_tag_ = tag;
+  // Solo query: no one to be fair to — grant the whole remainder (clamped
+  // to what one dispatch can represent) so the uncontended path costs one
+  // gate round-trip total.
+  size_t grant = tags_.size() > 1 ? kFairQuantumTasks : remaining;
+  if (grant > remaining) grant = remaining;
+  if (grant > kMaxTasksPerDispatch) grant = kMaxTasksPerDispatch;
+  return grant;
+}
+
+void TaskPool::ReleaseQuantum(uint64_t tag, size_t tasks) {
+  {
+    std::lock_guard<std::mutex> lock(fair_mu_);
+    auto it = tags_.find(tag);
+    if (it != tags_.end()) {
+      it->second.morsels += tasks;
+      it->second.vtime += tasks * kVtimeScale / it->second.weight;
+    }
+    if (fair_busy_tag_ == tag) fair_busy_tag_ = 0;
+  }
+  fair_cv_.notify_all();
+}
+
+void TaskPool::CreditTag(uint64_t tag, size_t tasks) {
+  std::lock_guard<std::mutex> lock(fair_mu_);
+  auto it = tags_.find(tag);
+  if (it == tags_.end()) return;
+  it->second.morsels += tasks;
+  it->second.vtime += tasks * kVtimeScale / it->second.weight;
+}
+
+void TaskPool::FairParallelFor(uint64_t tag, size_t n_tasks, int max_workers,
+                               const std::function<void(int, size_t)>& fn) {
+  const int lanes = LaneCount(n_tasks, max_workers);
+  if (lanes <= 1) {
+    // Inline single-lane run: it executes on the client's own thread and
+    // contends for no pool workers, so gating it would only serialize
+    // client threads. Aborts are still honoured at dispatch boundaries and
+    // the drained tasks still count toward the tag (no-starvation gate).
+    size_t base = 0;
+    while (base < n_tasks) {
+      size_t take = n_tasks - base;
+      if (take > kMaxTasksPerDispatch) take = kMaxTasksPerDispatch;
+      ThrowIfTagAborted(tag);
+      if (base == 0 && take == n_tasks) {
+        DispatchFor(take, max_workers, fn);
+      } else {
+        const size_t b = base;
+        g_range_splits.Add(1);
+        DispatchFor(take, max_workers, [&fn, b](int worker, size_t task) {
+          fn(worker, b + task);
+        });
+      }
+      CreditTag(tag, take);
+      base += take;
+    }
+    return;
+  }
+  size_t base = 0;
+  while (base < n_tasks) {
+    const size_t grant = AcquireQuantum(tag, n_tasks - base);
+    g_fair_quanta.Add(1);
+    if (base == 0 && grant == n_tasks) {
+      DispatchFor(grant, max_workers, fn);
+    } else {
+      const size_t b = base;
+      DispatchFor(grant, max_workers, [&fn, b](int worker, size_t task) {
+        fn(worker, b + task);
+      });
+    }
+    ReleaseQuantum(tag, grant);
+    base += grant;
+  }
 }
 
 void TaskPool::EnsureWorkers(int needed) {
@@ -222,6 +406,7 @@ void TaskPool::WorkerLoop(int self) {
     const auto* for_fn = for_fn_;
     const auto* phase_fn = phase_fn_;
     PhaseBarrier* barrier = barrier_;
+    obs::QueryMetricSink* sink = job_sink_;
     lock.unlock();
     if (pin) {
       // The lane -> node map depends on this job's lane count, so the
@@ -234,10 +419,16 @@ void TaskPool::WorkerLoop(int self) {
         pinned_node = want;
       }
     }
-    if (for_fn != nullptr) {
-      RunLane(lane, n_lanes, n_nodes, strict, *for_fn);
-    } else {
-      (*phase_fn)(lane, n_lanes, *barrier);
+    {
+      // Extend the submitting thread's per-query attribution sink (if any)
+      // to this worker lane for the duration of the job, so work executed
+      // on a query's behalf is credited to that query wherever it runs.
+      obs::ScopedMetricSink sink_scope(sink);
+      if (for_fn != nullptr) {
+        RunLane(lane, n_lanes, n_nodes, strict, *for_fn);
+      } else {
+        (*phase_fn)(lane, n_lanes, *barrier);
+      }
     }
     lock.lock();
     if (--lanes_remaining_ == 0) done_cv_.notify_all();
@@ -246,6 +437,13 @@ void TaskPool::WorkerLoop(int self) {
 
 void TaskPool::ParallelFor(size_t n_tasks, int max_workers,
                            const std::function<void(int, size_t)>& fn) {
+  const uint64_t tag = tls_query_tag;
+  if (tag != 0 && !tls_in_pool_job && n_tasks > 0) {
+    // Tagged query work passes the weighted-fair gate (which also handles
+    // oversized ranges — quanta are clamped to kMaxTasksPerDispatch).
+    FairParallelFor(tag, n_tasks, max_workers, fn);
+    return;
+  }
   if (n_tasks <= kMaxTasksPerDispatch) {
     DispatchFor(n_tasks, max_workers, fn);
     return;
@@ -323,6 +521,7 @@ void TaskPool::DispatchFor(size_t n_tasks, int max_workers,
     for_fn_ = &fn;
     phase_fn_ = nullptr;
     barrier_ = nullptr;
+    job_sink_ = obs::CurrentMetricSink();
     job_lanes_ = lanes;
     lanes_remaining_ = lanes;
     job_n_nodes_ = n_nodes;
@@ -340,6 +539,7 @@ void TaskPool::DispatchFor(size_t n_tasks, int max_workers,
     done_cv_.wait(lock, [&] { return lanes_remaining_ == 0; });
   }
   for_fn_ = nullptr;
+  job_sink_ = nullptr;
   job_lanes_ = 0;
 }
 
@@ -348,12 +548,29 @@ void TaskPool::ParallelPhases(
     const std::function<void(int, int, PhaseBarrier&)>& fn) {
   int lanes = max_workers < MaxWorkers() ? max_workers : MaxWorkers();
   if (lanes < 1) lanes = 1;
+  const uint64_t tag = tls_in_pool_job ? 0 : tls_query_tag;
   if (lanes == 1 || tls_in_pool_job) {
+    if (tag != 0) ThrowIfTagAborted(tag);
     g_inline_runs.Add(1);
     PhaseBarrier barrier(1);
     fn(0, 1, barrier);
+    if (tag != 0) CreditTag(tag, 1);
     return;
   }
+  if (tag != 0) {
+    // A phase job is indivisible (every lane runs the whole multi-phase
+    // body), so it passes the fair gate as one quantum of cost `lanes`.
+    AcquireQuantum(tag, static_cast<size_t>(lanes));
+    g_fair_quanta.Add(1);
+    DispatchPhases(lanes, fn);
+    ReleaseQuantum(tag, static_cast<size_t>(lanes));
+    return;
+  }
+  DispatchPhases(lanes, fn);
+}
+
+void TaskPool::DispatchPhases(
+    int lanes, const std::function<void(int, int, PhaseBarrier&)>& fn) {
   g_dispatches.Add(1);
 
   // Phase jobs have no steal rings, but lanes still map to nodes for
@@ -371,6 +588,7 @@ void TaskPool::ParallelPhases(
     for_fn_ = nullptr;
     phase_fn_ = &fn;
     barrier_ = &barrier;
+    job_sink_ = obs::CurrentMetricSink();
     job_lanes_ = lanes;
     lanes_remaining_ = lanes;
     job_n_nodes_ = n_nodes;
@@ -389,6 +607,7 @@ void TaskPool::ParallelPhases(
   }
   phase_fn_ = nullptr;
   barrier_ = nullptr;
+  job_sink_ = nullptr;
   job_lanes_ = 0;
 }
 

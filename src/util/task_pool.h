@@ -45,17 +45,45 @@
 // from the victim scan order, which never affects results: output layout
 // depends only on the morsel grid, not the steal schedule.
 
+// Inter-query scheduling (src/server/): a query registers a *tag*
+// (RegisterQueryTag) and scopes its submitting thread with QueryTagScope;
+// every ParallelFor/ParallelPhases submitted under the scope then passes a
+// weighted-fair gate. Tagged ranges are sliced into kFairQuantumTasks-sized
+// quanta whenever more than one query is in flight, and the gate admits the
+// waiting tag with the smallest weighted virtual time first — so a burst of
+// large scans cannot starve a small aggregate: the small query's vtime stays
+// minimal and it wins the next quantum boundary. Slicing never changes
+// results (output layout depends only on the task grid, and quanta cover the
+// range in order), it only bounds how long one query can monopolize the
+// workers. AbortQueryTag marks a tag dead: its queued-but-unstarted quanta
+// drain cleanly — the next quantum boundary throws QueryAborted instead of
+// dispatching — while already-running morsels finish normally. Per-tag
+// drained-morsel counts (QueryTagMorsels) are exact, including the inline
+// single-lane path, which is what the server's no-starvation gate checks.
+
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace simddb {
+
+namespace obs {
+class QueryMetricSink;
+}  // namespace obs
+
+/// Thrown from a tagged ParallelFor/ParallelPhases when the tag was aborted
+/// (admission-rejected, failed, or cancelled query): the remaining quanta
+/// are never dispatched and the submitting thread unwinds here.
+struct QueryAborted {
+  uint64_t tag;
+};
 
 /// Scheduling granule, in tuples. A multiple of 16 (shuffle flush contract);
 /// ~16K tuples keeps per-morsel scratch L1/L2-resident while amortizing the
@@ -191,6 +219,48 @@ class TaskPool {
   /// Number of workers currently spawned (grows on demand; test hook).
   int SpawnedWorkers();
 
+  // --- Inter-query fair scheduling (see file comment) ---
+
+  /// Tasks per fair-gate quantum when several queries are in flight. Small
+  /// enough that a waiting query runs within one quantum of dispatch work,
+  /// large enough that the extra dispatches stay amortized (a quantum is
+  /// >= 32 chunks of >= 1K tuples on the default executor grid).
+  static constexpr size_t kFairQuantumTasks = 32;
+
+  /// Registers an in-flight query with the fair gate and returns its tag.
+  /// weight >= 1: a query's virtual time advances by tasks/weight, so a
+  /// weight-2 query receives ~2x the morsel throughput of a weight-1 query
+  /// under contention.
+  uint64_t RegisterQueryTag(uint64_t weight = 1);
+
+  /// Removes the tag; its counters are dropped (read QueryTagMorsels before
+  /// unregistering).
+  void UnregisterQueryTag(uint64_t tag);
+
+  /// Marks the tag aborted: waiting and future quantum acquisitions under
+  /// it throw QueryAborted; quanta already dispatched run to completion.
+  void AbortQueryTag(uint64_t tag);
+
+  /// Tasks drained so far under the tag (pooled and inline dispatches).
+  uint64_t QueryTagMorsels(uint64_t tag);
+
+  /// Registered (in-flight) query tags; test/introspection hook.
+  size_t RegisteredQueryTags();
+
+  /// RAII: tags every parallel call the current thread submits during the
+  /// scope's lifetime. Nests by restoring the previous tag on exit.
+  class QueryTagScope {
+   public:
+    explicit QueryTagScope(uint64_t tag);
+    ~QueryTagScope();
+
+    QueryTagScope(const QueryTagScope&) = delete;
+    QueryTagScope& operator=(const QueryTagScope&) = delete;
+
+   private:
+    uint64_t prev_;
+  };
+
   ~TaskPool();
 
   TaskPool(const TaskPool&) = delete;
@@ -208,7 +278,23 @@ class TaskPool {
   void EnsureWorkers(int needed);  // callers hold jobs_mu_
   void DispatchFor(size_t n_tasks, int max_workers,
                    const std::function<void(int worker, size_t task)>& fn);
+  void DispatchPhases(
+      int lanes,
+      const std::function<void(int lane, int n_lanes, PhaseBarrier& barrier)>&
+          fn);
   void WorkerLoop(int self);
+
+  // Fair-gate internals (fair_mu_). AcquireQuantum blocks until the tag is
+  // the best (lowest-vtime) waiter and no quantum is active, then grants a
+  // task budget; ReleaseQuantum credits the drained tasks and wakes the
+  // next waiter. Both throw QueryAborted once the tag is aborted.
+  void FairParallelFor(uint64_t tag, size_t n_tasks, int max_workers,
+                       const std::function<void(int worker, size_t task)>& fn);
+  size_t AcquireQuantum(uint64_t tag, size_t remaining);
+  void ReleaseQuantum(uint64_t tag, size_t tasks);
+  void CreditTag(uint64_t tag, size_t tasks);  // inline-path accounting
+  void ThrowIfTagAborted(uint64_t tag);
+  uint64_t BestWaitingTag() const;  // callers hold fair_mu_
   // n_nodes/strict are the job's topology snapshot (clamped to n_lanes);
   // passed by value so lanes never re-read shared job state mid-run.
   void RunLane(int lane, int n_lanes, int n_nodes, bool strict,
@@ -235,9 +321,29 @@ class TaskPool {
   const std::function<void(int, size_t)>* for_fn_ = nullptr;
   const std::function<void(int, int, PhaseBarrier&)>* phase_fn_ = nullptr;
   PhaseBarrier* barrier_ = nullptr;
+  // Submitting thread's per-query attribution sink, extended to the worker
+  // lanes of this job (obs::ScopedMetricSink in WorkerLoop).
+  obs::QueryMetricSink* job_sink_ = nullptr;
   std::unique_ptr<Lane[]> lanes_;  // MaxWorkers() entries, allocated lazily
 
   std::vector<std::thread> workers_;
+
+  // Fair-gate state (guarded by fair_mu_, independent of the dispatch
+  // locks: a quantum holder runs its dispatch without holding fair_mu_).
+  struct TagState {
+    uint64_t weight = 1;
+    uint64_t vtime = 0;    // accumulated tasks * kVtimeScale / weight
+    uint64_t morsels = 0;  // tasks drained under this tag
+    bool waiting = false;  // parked in AcquireQuantum
+    bool aborted = false;
+  };
+  static constexpr uint64_t kVtimeScale = 1024;
+  std::mutex fair_mu_;
+  std::condition_variable fair_cv_;
+  std::map<uint64_t, TagState> tags_;
+  uint64_t next_query_tag_ = 1;
+  uint64_t fair_busy_tag_ = 0;  // tag holding the quantum slot (0 = none)
+  bool fair_shutdown_ = false;
 };
 
 }  // namespace simddb

@@ -432,6 +432,85 @@ TEST(MetricsTest, RegistrySnapshotContainsInstrumentsAndResetsAll) {
   EnableMetrics(false);
 }
 
+TEST(MetricsTest, SnapshotMapAndDeltaSince) {
+  EnableMetrics(true);
+  static Counter counter("obs_test_delta_counter");
+  counter.Reset();
+  counter.Add(3);
+  const std::map<std::string, uint64_t> before = SnapshotMap();
+  EXPECT_EQ(before.at("obs_test_delta_counter"), 3u);
+  std::map<std::string, uint64_t> delta = DeltaSince(before);
+  EXPECT_EQ(delta.count("obs_test_delta_counter"), 0u);  // no growth
+  counter.Add(5);
+  delta = DeltaSince(before);
+  EXPECT_EQ(delta.at("obs_test_delta_counter"), 5u);
+  counter.Reset();
+  EnableMetrics(false);
+}
+
+// Regression: two concurrent queries, each under its own scoped sink, must
+// come out with exactly their own deltas — no bleed between sinks, no loss
+// to the global registry. (The original bench snapshot/delta helper was a
+// global diff and could not separate overlapping queries at all.)
+TEST(MetricsTest, ConcurrentQuerySinksDoNotBleed) {
+  EnableMetrics(true);
+  static Counter counter("obs_test_sink_counter");
+  static PhaseTimer timer("obs_test_sink_timer_ns");
+  counter.Reset();
+  timer.Reset();
+
+  constexpr uint64_t kAddsA = 40'000, kAddsB = 7'000;
+  QueryMetricSink sink_a, sink_b;
+  std::atomic<int> ready{0};
+  auto run = [&ready](QueryMetricSink* sink, uint64_t adds, uint64_t ns) {
+    ScopedMetricSink scope(sink);
+    ready.fetch_add(1);
+    while (ready.load() < 2) std::this_thread::yield();  // maximize overlap
+    for (uint64_t i = 0; i < adds; ++i) counter.Add(1);
+    timer.Record(ns);
+  };
+  std::thread ta(run, &sink_a, kAddsA, uint64_t{111});
+  std::thread tb(run, &sink_b, kAddsB, uint64_t{55});
+  ta.join();
+  tb.join();
+
+  std::map<std::string, uint64_t> a, b;
+  for (const MetricSample& s : sink_a.Samples()) a[s.name] = s.value;
+  for (const MetricSample& s : sink_b.Samples()) b[s.name] = s.value;
+  EXPECT_EQ(a.at("obs_test_sink_counter"), kAddsA);
+  EXPECT_EQ(b.at("obs_test_sink_counter"), kAddsB);
+  EXPECT_EQ(a.at("obs_test_sink_timer_ns"), 111u);
+  EXPECT_EQ(b.at("obs_test_sink_timer_ns"), 55u);
+  // The global registry still saw everything.
+  EXPECT_EQ(counter.Value(), kAddsA + kAddsB);
+  EXPECT_EQ(timer.TotalNs(), 166u);
+  counter.Reset();
+  timer.Reset();
+  EnableMetrics(false);
+}
+
+// The sink follows work dispatched onto TaskPool workers: instrument
+// updates made by worker lanes inside a ParallelFor land in the
+// dispatching thread's sink, not just updates made on the calling thread.
+TEST(MetricsTest, QuerySinkExtendsToPoolWorkers) {
+  EnableMetrics(true);
+  static Counter counter("obs_test_pool_sink_counter");
+  counter.Reset();
+  constexpr size_t kTasks = 512;
+  QueryMetricSink sink;
+  {
+    ScopedMetricSink scope(&sink);
+    simddb::TaskPool::Get().ParallelFor(kTasks, 4,
+                                        [](int, size_t) { counter.Add(1); });
+  }
+  std::map<std::string, uint64_t> got;
+  for (const MetricSample& s : sink.Samples()) got[s.name] = s.value;
+  EXPECT_EQ(got.at("obs_test_pool_sink_counter"), kTasks);
+  EXPECT_EQ(counter.Value(), kTasks);
+  counter.Reset();
+  EnableMetrics(false);
+}
+
 // ---------------------------------------------------------------------------
 // Chrome trace
 

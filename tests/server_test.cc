@@ -1,0 +1,502 @@
+// Serving-layer tests (src/server/): catalog registration/lookup and
+// immutability, QuerySpec binding against catalog columns, and the
+// acceptance bar for concurrent serving — 8..32 concurrent QuerySessions
+// on the shared TaskPool return results byte-identical to serial execution
+// of the same plans at threads {1, 8}, every query's morsels drain
+// (no-starvation), the admission gate bounds in-flight queries under both
+// policies, shared-scan groups feed N consumers from one sweep with
+// byte-identical per-member results and fewer pushed chunks than N
+// independent scans, and per-query metric sinks attribute work with no
+// cross-query bleed.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/query.h"
+#include "exec/shared_scan.h"
+#include "obs/metrics.h"
+#include "server/catalog.h"
+#include "server/scheduler.h"
+#include "server/session.h"
+#include "util/aligned_buffer.h"
+#include "util/data_gen.h"
+
+namespace simddb {
+namespace {
+
+using exec::ExecConfig;
+using exec::PipelineMode;
+using exec::QueryResult;
+using exec::ScanJoinAggregatePlan;
+using exec::ScanMode;
+using server::AdmissionPolicy;
+using server::Catalog;
+using server::QueryScheduler;
+using server::QuerySession;
+using server::QuerySpec;
+using server::ResultSet;
+using server::SchedulerOptions;
+using server::TableOptions;
+
+uint64_t Metric(const char* name) {
+  for (const obs::MetricSample& s : obs::MetricsRegistry::Get().Snapshot()) {
+    if (std::strcmp(s.name, name) == 0) return s.value;
+  }
+  ADD_FAILURE() << "metric " << name << " not registered";
+  return 0;
+}
+
+struct ScopedMetrics {
+  ScopedMetrics() {
+    obs::EnableMetrics(true);
+    obs::MetricsRegistry::Get().ResetAll();
+  }
+  ~ScopedMetrics() { obs::EnableMetrics(false); }
+};
+
+/// Two catalog tables shaped like the executor's Q3 plan: R(pk, attr) with
+/// unique keys 1..nr, S(fk, val). `sequential_vals` makes S.val the row
+/// index, so a [lo, hi] window selects a contiguous chunk band — the
+/// clustered shape shared-scan skipping wins on.
+struct ServerData {
+  AlignedBuffer<uint32_t> r_keys, r_attrs, s_fks, s_vals;
+  size_t n_r, n_s;
+  Catalog catalog;
+
+  explicit ServerData(size_t nr, size_t ns, bool sequential_vals = false,
+                      bool compress = false)
+      : n_r(nr), n_s(ns) {
+    r_keys.Reset(nr + 16);
+    r_attrs.Reset(nr + 16);
+    s_fks.Reset(ns + 16);
+    s_vals.Reset(ns + 16);
+    FillSequential(r_keys.data(), nr, 1);  // unique, no kEmptyKey
+    FillUniform(r_attrs.data(), nr, 5, 1, 64);
+    FillUniform(s_fks.data(), ns, 6, 1,
+                nr == 0 ? 1 : static_cast<uint32_t>(nr));
+    if (sequential_vals) {
+      FillSequential(s_vals.data(), ns, 0);
+    } else {
+      FillUniform(s_vals.data(), ns, 7, 0, 999'999);
+    }
+    TableOptions opts;
+    opts.compress = compress;
+    EXPECT_NE(
+        catalog.RegisterTable("R", r_keys.data(), r_attrs.data(), nr, opts),
+        nullptr);
+    EXPECT_NE(
+        catalog.RegisterTable("S", s_fks.data(), s_vals.data(), ns, opts),
+        nullptr);
+  }
+};
+
+QuerySpec SpecFor(int i, size_t n_r) {
+  QuerySpec spec;
+  spec.build_table = "R";
+  spec.probe_table = "S";
+  spec.r_lo = 1;
+  spec.r_hi = static_cast<uint32_t>((3 * n_r) / 4);
+  spec.s_lo = static_cast<uint32_t>((i * 37) % 700'000);
+  spec.s_hi = spec.s_lo + 150'000;
+  spec.scan_mode = i % 3 == 2 ? ScanMode::kBitmap : ScanMode::kCompact;
+  spec.bloom_bits_per_key = i % 2 == 1 ? 8 : 0;
+  spec.max_groups_hint = 128;
+  return spec;
+}
+
+void ExpectSameResult(const QueryResult& got, const QueryResult& want,
+                      const std::string& ctx) {
+  ASSERT_EQ(got.group_keys, want.group_keys) << ctx;
+  ASSERT_EQ(got.sums, want.sums) << ctx;
+  ASSERT_EQ(got.counts, want.counts) << ctx;
+  ASSERT_EQ(got.mins, want.mins) << ctx;
+  ASSERT_EQ(got.maxs, want.maxs) << ctx;
+  EXPECT_EQ(got.rows_build, want.rows_build) << ctx;
+  EXPECT_EQ(got.rows_scanned, want.rows_scanned) << ctx;
+  EXPECT_EQ(got.rows_bloomed, want.rows_bloomed) << ctx;
+  EXPECT_EQ(got.rows_joined, want.rows_joined) << ctx;
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+TEST(ServerCatalogTest, RegisterFindAndImmutability) {
+  Catalog catalog;
+  std::vector<uint32_t> keys{1, 2, 3}, vals{10, 20, 30};
+  const server::Table* t =
+      catalog.RegisterTable("orders", keys.data(), vals.data(), keys.size());
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->rows(), 3u);
+  EXPECT_EQ(t->schema().name, "orders");
+  EXPECT_EQ(std::memcmp(t->keys(), keys.data(), 3 * sizeof(uint32_t)), 0);
+  EXPECT_EQ(std::memcmp(t->vals(), vals.data(), 3 * sizeof(uint32_t)), 0);
+
+  // The catalog owns a copy: mutating the source does not affect it.
+  keys[0] = 999;
+  EXPECT_EQ(t->keys()[0], 1u);
+
+  EXPECT_EQ(catalog.Find("orders"), t);
+  EXPECT_EQ(catalog.Find("nope"), nullptr);
+
+  // Re-registration is an error, never a replace.
+  EXPECT_EQ(
+      catalog.RegisterTable("orders", vals.data(), keys.data(), keys.size()),
+      nullptr);
+  EXPECT_EQ(catalog.Find("orders"), t);
+
+  catalog.RegisterTable("a", keys.data(), vals.data(), 2);
+  EXPECT_EQ(catalog.size(), 2u);
+  const std::vector<std::string> names = catalog.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // ascending
+  EXPECT_EQ(names[1], "orders");
+}
+
+TEST(ServerCatalogTest, CompressedTwinsRegisteredOnRequest) {
+  Catalog catalog;
+  std::vector<uint32_t> keys(5000), vals(5000);
+  FillSequential(keys.data(), keys.size(), 1);
+  FillUniform(vals.data(), vals.size(), 11, 0, 4095);
+  TableOptions opts;
+  opts.compress = true;
+  const server::Table* t =
+      catalog.RegisterTable("c", keys.data(), vals.data(), keys.size(), opts);
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(t->schema().compressed);
+  ASSERT_NE(t->keys_compressed(), nullptr);
+  ASSERT_NE(t->vals_compressed(), nullptr);
+  EXPECT_EQ(t->keys_compressed()->size(), keys.size());
+  EXPECT_EQ(t->vals_compressed()->size(), vals.size());
+
+  const server::Table* raw =
+      catalog.RegisterTable("raw", keys.data(), vals.data(), keys.size());
+  ASSERT_NE(raw, nullptr);
+  EXPECT_EQ(raw->keys_compressed(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Binding
+// ---------------------------------------------------------------------------
+
+TEST(ServerSessionTest, BindResolvesCatalogColumns) {
+  ServerData d(1024, 4096);
+  QueryScheduler sched(&d.catalog);
+  QuerySession session(&d.catalog, &sched);
+
+  QuerySpec spec = SpecFor(0, d.n_r);
+  ScanJoinAggregatePlan plan;
+  std::string error;
+  ASSERT_TRUE(session.Bind(spec, &plan, &error)) << error;
+  EXPECT_EQ(plan.r_keys, d.catalog.Find("R")->keys());
+  EXPECT_EQ(plan.r_attrs, d.catalog.Find("R")->vals());
+  EXPECT_EQ(plan.n_r, d.n_r);
+  EXPECT_EQ(plan.s_fks, d.catalog.Find("S")->keys());
+  EXPECT_EQ(plan.n_s, d.n_s);
+  EXPECT_EQ(plan.s_lo, spec.s_lo);
+  EXPECT_EQ(plan.s_hi, spec.s_hi);
+
+  spec.probe_table = "missing";
+  EXPECT_FALSE(session.Bind(spec, &plan, &error));
+  EXPECT_NE(error.find("missing"), std::string::npos);
+
+  spec.probe_table = "S";
+  spec.prefer_compressed = true;  // tables registered without twins
+  EXPECT_FALSE(session.Bind(spec, &plan, &error));
+}
+
+TEST(ServerSessionTest, CompressedExecutionMatchesRaw) {
+  ServerData d(2048, 16384, /*sequential_vals=*/false, /*compress=*/true);
+  QueryScheduler sched(&d.catalog);
+  QuerySession session(&d.catalog, &sched);
+  ExecConfig cfg;
+  cfg.threads = 4;
+
+  QuerySpec spec = SpecFor(1, d.n_r);
+  ResultSet raw = session.Execute(spec, cfg);
+  ASSERT_TRUE(raw.ok) << raw.error;
+  spec.prefer_compressed = true;
+  ResultSet comp = session.Execute(spec, cfg);
+  ASSERT_TRUE(comp.ok) << comp.error;
+  ExpectSameResult(comp.result, raw.result, "compressed vs raw");
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent serving: byte-identity + no-starvation
+// ---------------------------------------------------------------------------
+
+TEST(ServerSchedulerTest, ConcurrentSessionsByteIdenticalVsSerial) {
+  ServerData d(4096, 65536);
+  for (int clients : {8, 32}) {
+    for (int threads : {1, 8}) {
+      ExecConfig cfg;
+      cfg.threads = threads;
+
+      // Serial reference: the same bound plans straight through the
+      // executor, one at a time.
+      std::vector<QueryResult> want;
+      for (int i = 0; i < clients; ++i) {
+        ScanJoinAggregatePlan plan;
+        std::string error;
+        ASSERT_TRUE(
+            server::BindQuery(d.catalog, SpecFor(i, d.n_r), &plan, &error));
+        want.push_back(exec::RunScanJoinAggregate(plan, cfg));
+      }
+
+      QueryScheduler sched(&d.catalog);
+      std::vector<ResultSet> got(clients);
+      std::vector<std::thread> workers;
+      for (int i = 0; i < clients; ++i) {
+        workers.emplace_back([&, i] {
+          QuerySession session(&d.catalog, &sched);
+          got[i] = session.Execute(SpecFor(i, d.n_r), cfg);
+        });
+      }
+      for (auto& w : workers) w.join();
+
+      for (int i = 0; i < clients; ++i) {
+        const std::string ctx = "clients=" + std::to_string(clients) +
+                                " threads=" + std::to_string(threads) +
+                                " q=" + std::to_string(i);
+        ASSERT_TRUE(got[i].ok) << ctx << ": " << got[i].error;
+        ExpectSameResult(got[i].result, want[i], ctx);
+        // No-starvation: every query's morsels drained, including at
+        // threads = 1 (inline path).
+        EXPECT_GE(got[i].stats.morsels_drained, 1u) << ctx;
+      }
+      EXPECT_EQ(sched.queries_completed(), static_cast<uint64_t>(clients));
+    }
+  }
+}
+
+TEST(ServerSchedulerTest, AdmissionBlocksAtMaxInflight) {
+  ServerData d(2048, 32768);
+  SchedulerOptions opts;
+  opts.max_inflight = 2;
+  opts.policy = AdmissionPolicy::kBlock;
+  QueryScheduler sched(&d.catalog, opts);
+  EXPECT_EQ(sched.max_inflight(), 2);
+  ExecConfig cfg;
+  cfg.threads = 4;
+
+  constexpr int kClients = 12;
+  std::vector<ResultSet> got(kClients);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kClients; ++i) {
+    workers.emplace_back([&, i] {
+      QuerySession session(&d.catalog, &sched);
+      got[i] = session.Execute(SpecFor(i, d.n_r), cfg);
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(got[i].ok) << got[i].error;
+    EXPECT_FALSE(got[i].stats.rejected);
+  }
+  EXPECT_EQ(sched.queries_completed(), static_cast<uint64_t>(kClients));
+  EXPECT_EQ(sched.queries_rejected(), 0u);
+}
+
+TEST(ServerSchedulerTest, AdmissionRejectPolicyRefusesOverload) {
+  ServerData d(4096, 262144);
+  SchedulerOptions opts;
+  opts.max_inflight = 1;
+  opts.policy = AdmissionPolicy::kReject;
+  QueryScheduler sched(&d.catalog, opts);
+  ExecConfig cfg;
+  cfg.threads = 2;
+
+  constexpr int kClients = 8;
+  std::atomic<int> ready{0};
+  std::vector<ResultSet> got(kClients);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kClients; ++i) {
+    workers.emplace_back([&, i] {
+      QuerySession session(&d.catalog, &sched);
+      ready.fetch_add(1);
+      while (ready.load() < kClients) std::this_thread::yield();
+      got[i] = session.Execute(SpecFor(i, d.n_r), cfg);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  int ok = 0, rejected = 0;
+  for (const ResultSet& rs : got) {
+    if (rs.ok) {
+      ++ok;
+    } else {
+      EXPECT_TRUE(rs.stats.rejected);
+      EXPECT_NE(rs.error.find("admission"), std::string::npos);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, kClients);
+  EXPECT_GE(ok, 1);
+  // 8 simultaneous arrivals against a 1-slot gate: overlap is certain
+  // enough that at least one rejection must occur.
+  EXPECT_GE(rejected, 1);
+  EXPECT_EQ(sched.queries_rejected(), static_cast<uint64_t>(rejected));
+}
+
+// ---------------------------------------------------------------------------
+// Shared scans
+// ---------------------------------------------------------------------------
+
+TEST(ServerSharedScanTest, SharedSweepByteIdenticalToSolo) {
+  constexpr int kClients = 8;
+  ServerData d(4096, 131072, /*sequential_vals=*/true);
+  ExecConfig cfg;
+  cfg.threads = 4;
+  cfg.pipeline_mode = PipelineMode::kDynamic;
+
+  // Disjoint contiguous windows over the sequential val column.
+  auto spec_for = [&](int i) {
+    QuerySpec spec = SpecFor(i, d.n_r);
+    const uint32_t w = static_cast<uint32_t>(d.n_s / kClients);
+    spec.s_lo = static_cast<uint32_t>(i) * w;
+    spec.s_hi = spec.s_lo + w - 1;
+    return spec;
+  };
+
+  std::vector<QueryResult> want;
+  for (int i = 0; i < kClients; ++i) {
+    ScanJoinAggregatePlan plan;
+    std::string error;
+    ASSERT_TRUE(server::BindQuery(d.catalog, spec_for(i), &plan, &error));
+    want.push_back(exec::RunScanJoinAggregate(plan, cfg));
+  }
+
+  SchedulerOptions opts;
+  opts.shared_scans = true;
+  opts.shared_gather_hint = kClients;
+  opts.shared_gather_timeout_ns = 1'000'000'000;  // hint closes the group
+  QueryScheduler sched(&d.catalog, opts);
+  std::vector<ResultSet> got(kClients);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kClients; ++i) {
+    workers.emplace_back([&, i] {
+      QuerySession session(&d.catalog, &sched);
+      got[i] = session.Execute(spec_for(i), cfg);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    const std::string ctx = "shared q=" + std::to_string(i);
+    ASSERT_TRUE(got[i].ok) << ctx << ": " << got[i].error;
+    EXPECT_TRUE(got[i].stats.shared_scan) << ctx;
+    EXPECT_GE(got[i].stats.morsels_drained, 1u) << ctx;
+    ExpectSameResult(got[i].result, want[i], ctx);
+  }
+}
+
+TEST(ServerSharedScanTest, SharedSweepPushesFewerChunksThanSoloScans) {
+  constexpr int kClients = 8;
+  ServerData d(4096, 131072, /*sequential_vals=*/true);
+  ExecConfig cfg;
+  cfg.threads = 4;
+  cfg.pipeline_mode = PipelineMode::kDynamic;
+  auto spec_for = [&](int i) {
+    QuerySpec spec;
+    spec.build_table = "R";
+    spec.probe_table = "S";
+    spec.r_lo = 1;
+    spec.r_hi = static_cast<uint32_t>(d.n_r);
+    const uint32_t w = static_cast<uint32_t>(d.n_s / kClients);
+    spec.s_lo = static_cast<uint32_t>(i) * w;
+    spec.s_hi = spec.s_lo + w - 1;
+    spec.max_groups_hint = 128;
+    return spec;
+  };
+
+  ScopedMetrics metrics;
+  for (int i = 0; i < kClients; ++i) {
+    ScanJoinAggregatePlan plan;
+    std::string error;
+    ASSERT_TRUE(server::BindQuery(d.catalog, spec_for(i), &plan, &error));
+    exec::RunScanJoinAggregate(plan, cfg);
+  }
+  const uint64_t solo_pushed = Metric("chunks_pushed");
+
+  SchedulerOptions opts;
+  opts.shared_scans = true;
+  opts.shared_gather_hint = kClients;
+  opts.shared_gather_timeout_ns = 1'000'000'000;
+  QueryScheduler sched(&d.catalog, opts);
+  std::vector<std::thread> workers;
+  std::vector<ResultSet> got(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    workers.emplace_back([&, i] {
+      QuerySession session(&d.catalog, &sched);
+      got[i] = session.Execute(spec_for(i), cfg);
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const ResultSet& rs : got) ASSERT_TRUE(rs.ok) << rs.error;
+
+  const uint64_t shared_pushed = Metric("chunks_pushed") - solo_pushed;
+  EXPECT_EQ(Metric("shared_sweeps"), 1u);  // one sweep fed all members
+  EXPECT_EQ(Metric("shared_members"), static_cast<uint64_t>(kClients));
+  // Disjoint windows: each member's skip-empty scan pushes only its own
+  // chunk band, so the group pushes a fraction of N solo all-chunk scans.
+  EXPECT_LT(shared_pushed, solo_pushed / 2)
+      << "shared=" << shared_pushed << " solo=" << solo_pushed;
+}
+
+// ---------------------------------------------------------------------------
+// Per-query metric attribution
+// ---------------------------------------------------------------------------
+
+TEST(ServerSchedulerTest, PerQueryMetricsDoNotBleedAcrossConcurrentQueries) {
+  ScopedMetrics metrics;
+  // Two very different probe sizes: the small query's per-query sink must
+  // see its own small chunk count even while the big query concurrently
+  // pushes an order of magnitude more.
+  ServerData big(2048, 131072);
+  ASSERT_NE(big.catalog.RegisterTable("S_small", big.s_fks.data(),
+                                      big.s_vals.data(), 4096),
+            nullptr);
+  QueryScheduler sched(&big.catalog);
+  ExecConfig cfg;
+  cfg.threads = 4;
+  cfg.pipeline_mode = PipelineMode::kDynamic;
+
+  QuerySpec big_spec = SpecFor(0, big.n_r);
+  QuerySpec small_spec = SpecFor(0, big.n_r);
+  small_spec.probe_table = "S_small";
+
+  ResultSet big_rs, small_rs;
+  std::thread tb([&] {
+    QuerySession session(&big.catalog, &sched);
+    big_rs = session.Execute(big_spec, cfg);
+  });
+  std::thread ts([&] {
+    QuerySession session(&big.catalog, &sched);
+    small_rs = session.Execute(small_spec, cfg);
+  });
+  tb.join();
+  ts.join();
+  ASSERT_TRUE(big_rs.ok) << big_rs.error;
+  ASSERT_TRUE(small_rs.ok) << small_rs.error;
+
+  const uint64_t big_pushed = big_rs.stats.metrics["chunks_pushed"];
+  const uint64_t small_pushed = small_rs.stats.metrics["chunks_pushed"];
+  EXPECT_GT(big_pushed, 0u);
+  EXPECT_GT(small_pushed, 0u);
+  // Structural bound, independent of timing: the small query's whole plan
+  // is ~4 probe chunks + ~2 build chunks through <= 3 forwarding
+  // operators. If the big query's concurrent pushes bled into the small
+  // sink, this bound would explode past the hundreds.
+  EXPECT_LT(small_pushed, 64u);
+  EXPECT_GT(big_pushed, small_pushed);
+  // Both sinks together never exceed what the registry recorded globally.
+  EXPECT_LE(big_pushed + small_pushed, Metric("chunks_pushed"));
+}
+
+}  // namespace
+}  // namespace simddb

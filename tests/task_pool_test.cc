@@ -562,5 +562,161 @@ TEST(DeterminismTest, MaxPartitionJoinByteIdenticalAcrossThreadsAndRuns) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Inter-query fair scheduling (query tags)
+// ---------------------------------------------------------------------------
+
+TEST(TaskPoolQueryTagTest, TaggedRunCountsMorselsPerTag) {
+  TaskPool& pool = TaskPool::Get();
+  const uint64_t tag = pool.RegisterQueryTag();
+  {
+    TaskPool::QueryTagScope scope(tag);
+    std::vector<std::atomic<int>> hits(300);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(300, 4, [&](int, size_t t) {
+      hits[t].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+  EXPECT_EQ(pool.QueryTagMorsels(tag), 300u);
+  pool.UnregisterQueryTag(tag);
+  EXPECT_EQ(pool.QueryTagMorsels(tag), 0u);
+}
+
+TEST(TaskPoolQueryTagTest, InlineSingleLanePathStillCreditsTag) {
+  // threads = 1 runs inline on the caller with no pooled dispatch; the
+  // no-starvation observable (per-tag drained morsels) must still be exact.
+  TaskPool& pool = TaskPool::Get();
+  const uint64_t tag = pool.RegisterQueryTag();
+  {
+    TaskPool::QueryTagScope scope(tag);
+    size_t ran = 0;
+    pool.ParallelFor(17, 1, [&](int, size_t) { ++ran; });
+    EXPECT_EQ(ran, 17u);
+    PhaseBarrier* seen = nullptr;
+    pool.ParallelPhases(1, [&](int lane, int n_lanes, PhaseBarrier& b) {
+      EXPECT_EQ(lane, 0);
+      EXPECT_EQ(n_lanes, 1);
+      seen = &b;
+    });
+    EXPECT_NE(seen, nullptr);
+  }
+  EXPECT_EQ(pool.QueryTagMorsels(tag), 18u);  // 17 tasks + 1 phase job
+  pool.UnregisterQueryTag(tag);
+}
+
+TEST(TaskPoolQueryTagTest, AbortBeforeStartThrowsWithoutRunningTasks) {
+  TaskPool& pool = TaskPool::Get();
+  const uint64_t tag = pool.RegisterQueryTag();
+  pool.AbortQueryTag(tag);
+  std::atomic<size_t> ran{0};
+  {
+    TaskPool::QueryTagScope scope(tag);
+    EXPECT_THROW(
+        pool.ParallelFor(100, 4, [&](int, size_t) { ran.fetch_add(1); }),
+        QueryAborted);
+    EXPECT_THROW(pool.ParallelFor(100, 1, [&](int, size_t) { ran.fetch_add(1); }),
+                 QueryAborted);
+    EXPECT_THROW(pool.ParallelPhases(
+                     4, [&](int, int, PhaseBarrier&) { ran.fetch_add(1); }),
+                 QueryAborted);
+  }
+  EXPECT_EQ(ran.load(), 0u);
+  EXPECT_EQ(pool.QueryTagMorsels(tag), 0u);
+  pool.UnregisterQueryTag(tag);
+}
+
+TEST(TaskPoolQueryTagTest, AbortMidRunDrainsQueuedQuantaCleanly) {
+  // Two registered tags force quantum slicing (a solo tag is granted its
+  // whole range at once). The aborted query's first quantum is held open by
+  // a latched task; the abort lands while it is in flight, so the already-
+  // dispatched quantum finishes normally and the *next* quantum boundary
+  // throws — the queued remainder of the range is never dispatched.
+  TaskPool& pool = TaskPool::Get();
+  const uint64_t victim = pool.RegisterQueryTag();
+  const uint64_t other = pool.RegisterQueryTag();
+
+  std::atomic<size_t> executed{0};
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> aborted{false};
+
+  std::thread runner([&] {
+    TaskPool::QueryTagScope scope(victim);
+    try {
+      pool.ParallelFor(10000, 2, [&](int, size_t task) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (task == 0) {
+          started.store(true, std::memory_order_release);
+          while (!release.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+        }
+      });
+    } catch (const QueryAborted& e) {
+      EXPECT_EQ(e.tag, victim);
+      aborted.store(true);
+    }
+  });
+
+  while (!started.load(std::memory_order_acquire)) std::this_thread::yield();
+  pool.AbortQueryTag(victim);  // while quantum 1 is in flight
+  release.store(true, std::memory_order_release);
+  runner.join();
+
+  EXPECT_TRUE(aborted.load());
+  // Exactly the first quantum ran: abort preceded its completion, so no
+  // further quantum was granted.
+  EXPECT_EQ(executed.load(), TaskPool::kFairQuantumTasks);
+  EXPECT_EQ(pool.QueryTagMorsels(victim), TaskPool::kFairQuantumTasks);
+
+  // The pool stays fully usable after the abort: untagged and other-tag
+  // work proceeds normally.
+  std::atomic<size_t> after{0};
+  pool.ParallelFor(64, 4, [&](int, size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 64u);
+  {
+    TaskPool::QueryTagScope scope(other);
+    pool.ParallelFor(40, 4, [&](int, size_t) {});
+  }
+  EXPECT_EQ(pool.QueryTagMorsels(other), 40u);
+  pool.UnregisterQueryTag(victim);
+  pool.UnregisterQueryTag(other);
+  EXPECT_EQ(pool.RegisteredQueryTags(), 0u);
+}
+
+TEST(TaskPoolQueryTagTest, ConcurrentTagsAllDrainAndSliceIntoQuanta) {
+  ScopedMetrics metrics;
+  TaskPool& pool = TaskPool::Get();
+  constexpr int kQueries = 4;
+  constexpr size_t kTasksEach = 128;
+  std::vector<uint64_t> tags;
+  for (int i = 0; i < kQueries; ++i) tags.push_back(pool.RegisterQueryTag());
+
+  std::vector<std::thread> threads;
+  std::vector<std::atomic<size_t>> done(kQueries);
+  for (auto& d : done) d.store(0);
+  for (int i = 0; i < kQueries; ++i) {
+    threads.emplace_back([&, i] {
+      TaskPool::QueryTagScope scope(tags[i]);
+      pool.ParallelFor(kTasksEach, 2, [&](int, size_t) {
+        done[i].fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < kQueries; ++i) {
+    EXPECT_EQ(done[i].load(), kTasksEach) << "query " << i;
+    EXPECT_EQ(pool.QueryTagMorsels(tags[i]), kTasksEach) << "query " << i;
+    pool.UnregisterQueryTag(tags[i]);
+  }
+  // With > 1 tag registered, ranges are sliced: every query needed at
+  // least kTasksEach / kFairQuantumTasks quanta (pooled dispatches only;
+  // 2 lanes >= pooled path on any host).
+  EXPECT_GE(Metric("fair_quanta"),
+            kQueries * (kTasksEach / TaskPool::kFairQuantumTasks));
+}
+
 }  // namespace
 }  // namespace simddb

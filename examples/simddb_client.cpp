@@ -1,0 +1,124 @@
+// simddb_client: CLI REPL over the wire protocol (net/client.h).
+//
+//   ./simddb_client --unix /tmp/simddb.sock
+//   ./simddb_client --host 127.0.0.1 --port 7461
+//   printf 'PING\nQUERY build=R probe=S s=[0,999]\nQUIT\n' |
+//       ./simddb_client --unix /tmp/simddb.sock
+//
+// Interactive mode (stdin is a tty) prints a `simddb> ` prompt; scripted
+// mode reads commands line by line and prints every response frame
+// verbatim, so transcripts diff cleanly. `-c '<line>'` runs one command
+// and exits. Exit status 0 when every command got a non-ERR response,
+// 1 on any ERR or transport failure.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "net/client.h"
+#include "net/protocol.h"
+
+int main(int argc, char** argv) {
+  using namespace simddb;
+
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::string one_shot;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--unix") {
+      unix_path = next("--unix");
+    } else if (arg == "--host") {
+      host = next("--host");
+    } else if (arg == "--port") {
+      port = std::atoi(next("--port"));
+    } else if (arg == "-c") {
+      one_shot = next("-c");
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (unix_path.empty() && port < 0) {
+    std::fprintf(stderr, "need --unix <path> or --port <n>\n");
+    return 2;
+  }
+
+  net::Client client;
+  std::string error;
+  const bool connected = unix_path.empty()
+                             ? client.ConnectTcp(host, port, &error)
+                             : client.ConnectUnix(unix_path, &error);
+  if (!connected) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  const bool interactive = one_shot.empty() && isatty(STDIN_FILENO);
+  bool saw_err = false;
+
+  // One command -> print response frames until the exchange's final frame.
+  auto run = [&](const std::string& line) -> bool /* keep going */ {
+    if (line.empty()) return true;
+    if (!client.SendLine(line)) {
+      std::fprintf(stderr, "send failed (server gone?)\n");
+      saw_err = true;
+      return false;
+    }
+    const bool is_quit = line.substr(0, 4) == "QUIT";
+    std::string frame;
+    for (;;) {
+      if (!client.ReadLine(&frame)) {
+        if (!is_quit) {
+          std::fprintf(stderr, "connection closed\n");
+          saw_err = true;
+        }
+        return false;
+      }
+      std::printf("%s\n", frame.c_str());
+      switch (net::ClassifyFrame(frame)) {
+        case net::FrameKind::kErr:
+          saw_err = true;
+          return !is_quit;
+        case net::FrameKind::kOk:
+        case net::FrameKind::kPong:
+          return !is_quit;
+        case net::FrameKind::kBye:
+          return false;
+        default:
+          break;  // ROW / TABLE / STAT frames keep streaming
+      }
+    }
+  };
+
+  if (!one_shot.empty()) {
+    run(one_shot);
+    client.Close();
+    return saw_err ? 1 : 0;
+  }
+
+  std::string line;
+  for (;;) {
+    if (interactive) {
+      std::printf("simddb> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!run(line)) break;
+  }
+  client.Close();
+  return saw_err ? 1 : 0;
+}

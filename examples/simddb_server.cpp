@@ -1,0 +1,162 @@
+// simddb_server: the network serving front-end as a standalone process.
+//
+// Loads a generated demo catalog (R(pk, attr) with unique sequential keys,
+// S(fk, val) with clustered sequential values — the shape the serving
+// benches use), starts the poll()-based socket server (src/net/), and
+// serves the wire protocol until SIGTERM/SIGINT or a client-issued
+// SHUTDOWN drains it.
+//
+//   ./simddb_server --unix /tmp/simddb.sock
+//   ./simddb_server --port 7461 --threads 8 --max-inflight 4 --admission reject
+//
+// Flags:
+//   --unix <path>        Unix-domain listener (default /tmp/simddb.sock
+//                        when no --port is given)
+//   --port <n>           TCP listener on 127.0.0.1 (0 = ephemeral; the
+//                        bound port is printed)
+//   --threads <n>        executor threads per query (default 1)
+//   --handlers <n>       handler pool size (default 4)
+//   --max-inflight <n>   admission bound (default unbounded)
+//   --admission <p>      block | reject (default block)
+//   --rows-r <n>         demo build-table rows (default 64K)
+//   --rows-s <n>         demo probe-table rows (default 1M)
+//   --compress           register compressed twins too (storage=packed)
+//   --metrics            enable the obs registry (STATS then reports it)
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "server/catalog.h"
+#include "util/aligned_buffer.h"
+#include "util/data_gen.h"
+
+namespace {
+
+simddb::net::Server* g_server = nullptr;
+
+void OnSignal(int) {
+  if (g_server != nullptr) g_server->RequestShutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace simddb;
+
+  std::string unix_path;
+  int port = -1;
+  int threads = 1;
+  int handlers = 4;
+  int max_inflight = 0;
+  bool reject = false;
+  bool compress = false;
+  bool metrics = false;
+  size_t rows_r = size_t{64} << 10;
+  size_t rows_s = size_t{1} << 20;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--unix") {
+      unix_path = next("--unix");
+    } else if (arg == "--port") {
+      port = std::atoi(next("--port"));
+    } else if (arg == "--threads") {
+      threads = std::atoi(next("--threads"));
+    } else if (arg == "--handlers") {
+      handlers = std::atoi(next("--handlers"));
+    } else if (arg == "--max-inflight") {
+      max_inflight = std::atoi(next("--max-inflight"));
+    } else if (arg == "--admission") {
+      const std::string p = next("--admission");
+      if (p == "reject") {
+        reject = true;
+      } else if (p != "block") {
+        std::fprintf(stderr, "--admission must be block or reject\n");
+        return 2;
+      }
+    } else if (arg == "--rows-r") {
+      rows_r = static_cast<size_t>(std::atoll(next("--rows-r")));
+    } else if (arg == "--rows-s") {
+      rows_s = static_cast<size_t>(std::atoll(next("--rows-s")));
+    } else if (arg == "--compress") {
+      compress = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (unix_path.empty() && port < 0) unix_path = "/tmp/simddb.sock";
+  if (metrics) obs::EnableMetrics(true);
+
+  // Demo catalog: R(pk, attr) with unique keys 1..rows_r, S(fk, val) with
+  // uniform foreign keys and sequential (clustered) values, so
+  // `s=[lo,hi]` windows map to contiguous chunk bands.
+  server::Catalog catalog;
+  {
+    AlignedBuffer<uint32_t> r_keys(rows_r + 16), r_attrs(rows_r + 16);
+    FillSequential(r_keys.data(), rows_r, 1);
+    FillUniform(r_attrs.data(), rows_r, 5, 1, 1024);
+    AlignedBuffer<uint32_t> s_fks(rows_s + 16), s_vals(rows_s + 16);
+    FillUniform(s_fks.data(), rows_s, 6, 1, static_cast<uint32_t>(rows_r));
+    FillSequential(s_vals.data(), rows_s, 0);
+    server::TableOptions topts;
+    topts.compress = compress;
+    catalog.RegisterTable("R", r_keys.data(), r_attrs.data(), rows_r, topts);
+    catalog.RegisterTable("S", s_fks.data(), s_vals.data(), rows_s, topts);
+  }
+
+  net::ServerOptions opts;
+  opts.unix_path = unix_path;
+  opts.tcp_port = port;
+  opts.handler_threads = handlers;
+  opts.exec.threads = threads;
+  opts.scheduler.max_inflight = max_inflight;
+  opts.scheduler.policy = reject ? server::AdmissionPolicy::kReject
+                                 : server::AdmissionPolicy::kBlock;
+
+  net::Server server(&catalog, opts);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "start failed: %s\n", error.c_str());
+    return 1;
+  }
+  g_server = &server;
+  signal(SIGTERM, OnSignal);
+  signal(SIGINT, OnSignal);
+
+  if (!unix_path.empty()) {
+    std::printf("listening on unix %s\n", unix_path.c_str());
+  }
+  if (port >= 0) {
+    std::printf("listening on tcp 127.0.0.1:%d\n", server.tcp_port());
+  }
+  std::printf("tables: R rows=%zu, S rows=%zu%s\n", rows_r, rows_s,
+              compress ? " (compressed twins)" : "");
+  std::fflush(stdout);
+
+  server.Wait();
+  const net::ServerStats stats = server.stats();
+  std::printf(
+      "drained: %llu connections, %llu queries ok, %llu rejected, "
+      "%llu parse errors\n",
+      static_cast<unsigned long long>(stats.connections_opened),
+      static_cast<unsigned long long>(stats.queries_ok),
+      static_cast<unsigned long long>(stats.queries_rejected),
+      static_cast<unsigned long long>(stats.parse_errors));
+  return 0;
+}

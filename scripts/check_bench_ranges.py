@@ -212,10 +212,21 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baselines", help="baseline ranges JSON")
     ap.add_argument("jsonl", nargs="+", help="bench JSONL file(s)")
+    ap.add_argument("--only", metavar="REGEX", default=None,
+                    help="check only baseline entries whose name matches "
+                         "(smoke jobs that run a subset of the bench "
+                         "families gate just that subset)")
     args = ap.parse_args()
 
     with open(args.baselines) as f:
         baselines = json.load(f)
+    if args.only:
+        only = re.compile(args.only)
+        baselines = [b for b in baselines if only.search(b["name"])]
+        if not baselines:
+            print(f"no baseline entry matches --only {args.only!r}",
+                  file=sys.stderr)
+            return 1
     rows = load_rows(args.jsonl)
     if not rows:
         print("no JSONL rows found", file=sys.stderr)

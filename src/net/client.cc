@@ -1,0 +1,218 @@
+#include "net/client.h"
+
+#include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+namespace simddb::net {
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+}
+
+bool Client::ConnectUnix(const std::string& path, std::string* error) {
+  Close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "unix path too long";
+    return false;
+  }
+  memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  fd_ = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + strerror(errno);
+    return false;
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "connect(" + path + "): " + strerror(errno);
+    }
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::ConnectTcp(const std::string& host, int port, std::string* error) {
+  Close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad host " + host;
+    return false;
+  }
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + strerror(errno);
+    return false;
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "connect(" + host + ":" + std::to_string(port) +
+               "): " + strerror(errno);
+    }
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::SendLine(std::string_view line) {
+  if (fd_ < 0) return false;
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n =
+        send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool Client::ReadLine(std::string* line) {
+  if (fd_ < 0) return false;
+  char buf[4096];
+  for (;;) {
+    const size_t nl = rbuf_.find('\n');
+    if (nl != std::string::npos) {
+      size_t len = nl;
+      if (len > 0 && rbuf_[len - 1] == '\r') --len;
+      line->assign(rbuf_, 0, len);
+      rbuf_.erase(0, nl + 1);
+      return true;
+    }
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      rbuf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF or transport error
+  }
+}
+
+WireResult Client::Query(std::string_view query_line) {
+  WireResult result;
+  if (!SendLine(query_line)) {
+    result.error = "transport send failed";
+    return result;
+  }
+  std::string line;
+  for (;;) {
+    if (!ReadLine(&line)) {
+      result.error = "transport closed mid-response";
+      result.rows.clear();
+      return result;
+    }
+    switch (ClassifyFrame(line)) {
+      case FrameKind::kRow: {
+        WireRow row;
+        if (!DecodeRow(line, &row)) {
+          result.error = "undecodable ROW frame: " + line;
+          result.rows.clear();
+          return result;
+        }
+        result.rows.push_back(row);
+        break;
+      }
+      case FrameKind::kOk:
+        if (!DecodeQueryOk(line, &result)) {
+          result.error = "undecodable OK trailer: " + line;
+          result.rows.clear();
+          return result;
+        }
+        result.ok = true;
+        return result;
+      case FrameKind::kErr:
+        result.error = line.substr(4);  // past "ERR "
+        result.rows.clear();
+        return result;
+      default:
+        result.error = "unexpected frame: " + line;
+        result.rows.clear();
+        return result;
+    }
+  }
+}
+
+bool Client::Tables(std::vector<WireTable>* tables) {
+  tables->clear();
+  if (!SendLine("TABLES")) return false;
+  std::string line;
+  for (;;) {
+    if (!ReadLine(&line)) return false;
+    switch (ClassifyFrame(line)) {
+      case FrameKind::kTable: {
+        WireTable t;
+        if (!DecodeTable(line, &t)) return false;
+        tables->push_back(std::move(t));
+        break;
+      }
+      case FrameKind::kOk:
+        return true;
+      default:
+        return false;
+    }
+  }
+}
+
+bool Client::Stats(std::vector<std::pair<std::string, uint64_t>>* stats) {
+  stats->clear();
+  if (!SendLine("STATS")) return false;
+  std::string line;
+  for (;;) {
+    if (!ReadLine(&line)) return false;
+    switch (ClassifyFrame(line)) {
+      case FrameKind::kStat: {
+        std::string name;
+        uint64_t value = 0;
+        if (!DecodeStat(line, &name, &value)) return false;
+        stats->emplace_back(std::move(name), value);
+        break;
+      }
+      case FrameKind::kOk:
+        return true;
+      default:
+        return false;
+    }
+  }
+}
+
+bool Client::Ping() {
+  if (!SendLine("PING")) return false;
+  std::string line;
+  if (!ReadLine(&line)) return false;
+  return ClassifyFrame(line) == FrameKind::kPong;
+}
+
+void Client::Quit() {
+  if (fd_ < 0) return;
+  if (SendLine("QUIT")) {
+    std::string line;
+    ReadLine(&line);  // BYE (best effort)
+  }
+  Close();
+}
+
+}  // namespace simddb::net

@@ -48,7 +48,8 @@ namespace simddb::server {
 /// A query over named catalog tables: build relation R(pk, attr) filtered
 /// by pk in [r_lo, r_hi], probe relation S(fk, val) filtered by val in
 /// [s_lo, s_hi], joined on S.fk = R.pk, grouped by R.attr. The named-table
-/// twin of exec::ScanJoinAggregatePlan.
+/// twin of exec::ScanJoinAggregatePlan, and the struct the wire protocol's
+/// QUERY line decodes into (net/protocol.h ToSpec).
 struct QuerySpec {
   std::string build_table;  ///< R: key column joined, val column grouped
   uint32_t r_lo = 0, r_hi = 0xFFFFFFFFu;
@@ -127,7 +128,8 @@ class QueryScheduler {
 
   /// Executes the spec end to end (see file comment). Thread-safe: many
   /// session threads call concurrently. `weight` biases the fair gate
-  /// (weight 2 receives ~2x the morsel share of weight 1 under load).
+  /// (weight 2 receives ~2x the morsel share of weight 1 under load);
+  /// wire clients set it per query via the QUERY line's weight= clause.
   ResultSet Run(const QuerySpec& spec, const exec::ExecConfig& cfg,
                 uint64_t weight = 1);
 

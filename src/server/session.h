@@ -4,7 +4,10 @@
 // QuerySession: the in-process client API of the serving layer.
 //
 // A session borrows the process-wide Catalog and QueryScheduler and is the
-// handle a client thread submits queries through:
+// handle a client thread submits queries through. (The network front-end,
+// src/net/server.h, is a consumer of this same API: each wire handler
+// thread owns one QuerySession, so a socket client and an in-process
+// caller take the identical execution path and get identical bytes.)
 //
 //   server::Catalog catalog;                       // load once
 //   catalog.RegisterTable("R", keys, attrs, n_r);
